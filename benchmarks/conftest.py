@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables: it runs the
+workload on the simulated machine, renders the same rows the paper
+reports, asserts the qualitative *shape* (who wins, roughly by how
+much, where the crossovers fall), and records the harness wall time
+via pytest-benchmark.  Rendered tables are written to
+``benchmarks/results/`` and echoed to stdout (visible with ``-s`` or
+in the captured-output section).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str = "",
+) -> str:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def publish(name: str, text: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print("\n" + text + "\n")
+
+
+def fmt_us(us: float) -> str:
+    return f"{us:.2f}"
+
+
+def fmt_ms(us: float) -> str:
+    return f"{us / 1000.0:.2f}"
+
+
+def fmt_s(us: float) -> str:
+    return f"{us / 1e6:.3f}"

@@ -1,0 +1,76 @@
+"""Ablation A5: message delivery cost vs forwarding-chain length
+(§4.3).
+
+A cold sender whose best guess is k migrations stale triggers an FIR
+chase along the chain; the chase grows with chain length, while the
+*second* message (after the chain back-patched every table) goes
+direct regardless of history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fmt_us, publish, render_table
+from repro import HalRuntime, RuntimeConfig
+from tests.conftest import Counter, Hopper
+
+
+def measure_chain(chain_len: int):
+    """Move an actor ``chain_len`` times *without* telling node 7,
+    then measure node 7's first (stale, FIR) and second (repaired)
+    request latencies."""
+    rt = HalRuntime(RuntimeConfig(num_nodes=8, seed=7))
+    rt.load_behaviors(Counter, Hopper)
+    ref = rt.spawn(Hopper, at=0)
+    # Prime node 7's cache with the original location.
+    assert rt.call(ref, "whereami", from_node=7) == 0
+    route = [1, 2, 3, 4, 5, 6]
+    for dest in route[:chain_len]:
+        rt.send(ref, "hop", dest, from_node=dest)  # sender knows; 7 doesn't
+        rt.run()
+    # Sabotage the shortcuts so node 7 must walk the chain: restore
+    # node 7's stale guess (the birthplace caching would otherwise
+    # have short-circuited the walk — that is measured separately).
+    desc7 = rt.kernels[7].table.get(ref.address)
+    desc7.set_remote(0, rt.kernels[0].table.get(ref.address).addr if chain_len == 0 else -1)
+    if chain_len > 0:
+        # also make intermediate hops honest chain links
+        for i, node in enumerate([0] + route[:chain_len - 1]):
+            d = rt.kernels[node].table.get(ref.address)
+            d.set_remote(route[i] if i < len(route) else node)
+    t0 = rt.now
+    assert rt.call(ref, "whereami", from_node=7) is not None
+    first = rt.now - t0
+    rt.run()
+    t0 = rt.now
+    rt.call(ref, "whereami", from_node=7)
+    second = rt.now - t0
+    return first, second, rt.stats.counter("fir.relayed")
+
+
+def test_fir_chain_cost(benchmark):
+    def run_all():
+        return {k: measure_chain(k) for k in (0, 1, 2, 4, 6)}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (f"{k} migrations", fmt_us(first), fmt_us(second), relays)
+        for k, (first, second, relays) in results.items()
+    ]
+    publish("ablation_migration", render_table(
+        "Ablation A5 — delivery latency vs forwarding-chain length "
+        "(simulated us)",
+        ["chain", "first msg (FIR chase)", "second msg (repaired)", "FIR relays"],
+        rows,
+        note="The first message walks the chain with an FIR; the reply "
+             "back-patches every table, so the second message is O(1).",
+    ))
+
+    firsts = [results[k][0] for k in (0, 1, 2, 4, 6)]
+    # chase cost grows with chain length
+    assert firsts[-1] > firsts[1] > firsts[0]
+    # repaired sends are cheap and flat
+    seconds = [results[k][1] for k in (0, 1, 2, 4, 6)]
+    assert max(seconds) < 1.6 * min(seconds)
+    assert max(seconds) < firsts[-1]

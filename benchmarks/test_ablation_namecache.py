@@ -1,0 +1,57 @@
+"""Ablation A2: locality-descriptor address caching (§4.1).
+
+"The memory address of the locality descriptor in the receiving node
+is sent back to the sending node and cached ... making name table
+look-up in the receiving node unnecessary."  We measure a long
+request/reply ping stream with caching on and off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fmt_us, publish, render_table
+from repro import HalRuntime, RuntimeConfig
+from tests.conftest import EchoServer
+
+PINGS = 50
+
+
+def run_pings(caching: bool) -> float:
+    rt = HalRuntime(RuntimeConfig(num_nodes=2, descriptor_caching=caching))
+    rt.load_behaviors(EchoServer)
+    server = rt.spawn(EchoServer, at=1)
+    rt.run()
+    t0 = rt.now
+    for i in range(PINGS):
+        assert rt.call(server, "echo", i, from_node=0) == i
+    elapsed = rt.now - t0
+    stats = rt.stats
+    return elapsed, stats.counter("delivery.sent_direct"), stats.counter(
+        "delivery.sent_keyed"
+    )
+
+
+def test_descriptor_caching(benchmark):
+    def run_both():
+        return run_pings(True), run_pings(False)
+
+    (on_us, on_direct, on_keyed), (off_us, off_direct, off_keyed) = (
+        benchmark.pedantic(run_both, rounds=1, iterations=1)
+    )
+    publish("ablation_namecache", render_table(
+        f"Ablation A2 — {PINGS} cross-node request/replies (simulated us)",
+        ["configuration", "total", "per ping", "direct", "keyed"],
+        [
+            ("descriptor caching on", fmt_us(on_us), fmt_us(on_us / PINGS),
+             on_direct, on_keyed),
+            ("descriptor caching off", fmt_us(off_us), fmt_us(off_us / PINGS),
+             off_direct, off_keyed),
+        ],
+        note="Cached descriptor addresses replace the receiving node's "
+             "hash lookup with a direct dereference.",
+    ))
+    assert on_us < off_us
+    assert on_direct >= PINGS - 1     # everything after the first send
+    assert off_direct == 0            # never cached
+    assert off_keyed >= PINGS

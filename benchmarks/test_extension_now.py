@@ -1,0 +1,69 @@
+"""Extension: the runtime on a network of workstations (§9).
+
+The paper's conclusions: "networks of workstations with fast
+interconnect network have drawn more and more attention ... We are
+investigating ways to reconcile such hardware platforms and our
+runtime system."  The runtime is machine-independent above the
+messaging layer, so we can run the *same* workloads on an ATM-era NOW
+model (``NetworkParams.now_atm``) and measure what the platform shift
+does: coarse-grained work (systolic matmul) ports almost for free,
+fine-grained work (Fibonacci tasks) feels the 10x latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fmt_ms, publish, render_table
+from repro.config import LoadBalanceParams, NetworkParams, RuntimeConfig
+from repro.apps.fibonacci import run_fib
+from repro.apps.systolic import run_systolic
+
+P = 16
+FIB_N = 18
+MM_N = 256
+
+
+def run_platforms():
+    out = {}
+    for platform, net in (("CM-5", NetworkParams.cm5()),
+                          ("NOW/ATM", NetworkParams.now_atm())):
+        cfg = RuntimeConfig(
+            num_nodes=P, network=net,
+            load_balance=LoadBalanceParams(enabled=True),
+        )
+        out[(platform, "fib")] = run_fib(
+            FIB_N, P, load_balance=True, config=cfg
+        ).elapsed_us
+        cfg_mm = RuntimeConfig(num_nodes=P, network=net)
+        out[(platform, "matmul")] = run_systolic(
+            MM_N, P, config=cfg_mm
+        ).elapsed_us
+    return out
+
+
+def test_now_platform_port(benchmark):
+    results = benchmark.pedantic(run_platforms, rounds=1, iterations=1)
+    fib_ratio = results[("NOW/ATM", "fib")] / results[("CM-5", "fib")]
+    mm_ratio = results[("NOW/ATM", "matmul")] / results[("CM-5", "matmul")]
+    rows = [
+        (f"fib({FIB_N}), stealing", fmt_ms(results[("CM-5", "fib")]),
+         fmt_ms(results[("NOW/ATM", "fib")]), f"{fib_ratio:.2f}x"),
+        (f"systolic {MM_N}^2", fmt_ms(results[("CM-5", "matmul")]),
+         fmt_ms(results[("NOW/ATM", "matmul")]), f"{mm_ratio:.2f}x"),
+    ]
+    publish("extension_now", render_table(
+        f"Extension — the same runtime on a NOW (P={P}, simulated ms)",
+        ["workload", "CM-5", "NOW/ATM", "slowdown"],
+        rows,
+        note="Only NetworkParams changes; kernels, name service and "
+             "compiler interface are untouched (§9 future work).",
+    ))
+    # Both workloads still complete correctly on the NOW (asserted
+    # inside the apps); the platform shift costs something...
+    assert fib_ratio > 1.02
+    assert mm_ratio > 1.0
+    # ...but the coarse-grained workload absorbs the latency far
+    # better than the fine-grained one.
+    assert mm_ratio < 1.3
+    assert fib_ratio > 1.5 * mm_ratio or fib_ratio > 1.3

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Cholesky decomposition: local vs global synchronization (Table 1).
+
+Four implementations of the same column factorisation:
+
+  BP    pipelined, local synchronization only, block column mapping
+  CP    pipelined, local synchronization only, cyclic column mapping
+  Seq   global synchronization, point-to-point pivot distribution
+  Bcast global synchronization, broadcast pivot distribution
+
+    python examples/cholesky_pipeline.py [n] [nodes]
+"""
+
+import sys
+
+from repro.apps.cholesky import VARIANTS, run_cholesky
+
+
+def main(n: int = 96, nodes: int = 8) -> None:
+    print(f"Cholesky of a {n}x{n} SPD matrix on {nodes} simulated nodes")
+    print(f"(the factor L is verified against numpy on every run)\n")
+    results = {}
+    for variant in VARIANTS:
+        r = run_cholesky(variant, n, nodes)
+        results[variant] = r
+        kind = "local sync " if variant in ("BP", "CP") else "global sync"
+        print(f"  {variant:>5}  [{kind}]  {r.elapsed_ms:8.2f} ms")
+
+    best = min(results, key=lambda v: results[v].elapsed_us)
+    worst = max(results, key=lambda v: results[v].elapsed_us)
+    print(f"\n{best} is {results[worst].elapsed_us / results[best].elapsed_us:.1f}x "
+          f"faster than {worst}: starting iteration i+1 before iteration i "
+          "completes — legal under per-column local synchronization — keeps "
+          "every node busy, while global barriers serialise the pipeline.")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    main(n, nodes)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Fibonacci with receiver-initiated dynamic load balancing (Table 4).
+
+The recursion tree is extremely concurrent and heavily imbalanced;
+idle nodes steal subtrees from random peers.  Compare static placement
+against dynamic load balancing:
+
+    python examples/fibonacci_loadbalance.py [n] [nodes]
+"""
+
+import sys
+
+from repro.apps.fibonacci import c_model_us, cilk_model_us, fib_calls, run_fib
+
+
+def main(n: int = 20, nodes: int = 8) -> None:
+    print(f"fib({n}): {fib_calls(n):,} tasks on {nodes} simulated nodes\n")
+
+    base = run_fib(n, 1, load_balance=False)
+    print(f"{'1 node':>28}: {base.elapsed_us / 1e6:8.4f} s")
+
+    static = run_fib(n, nodes, load_balance=False)
+    print(f"{'static placement':>28}: {static.elapsed_us / 1e6:8.4f} s "
+          f"(speedup {base.elapsed_us / static.elapsed_us:4.1f}x)")
+
+    lb = run_fib(n, nodes, load_balance=True)
+    print(f"{'dynamic load balancing':>28}: {lb.elapsed_us / 1e6:8.4f} s "
+          f"(speedup {base.elapsed_us / lb.elapsed_us:4.1f}x, "
+          f"{lb.steals} steals)")
+
+    print(f"\ncontext (modelled from the paper's published fib(33) numbers):")
+    print(f"{'Cilk, 1 SPARC node':>28}: {cilk_model_us(n) / 1e6:8.4f} s")
+    print(f"{'optimised C':>28}: {c_model_us(n) / 1e6:8.4f} s")
+    assert lb.value == static.value == base.value
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    main(n, nodes)

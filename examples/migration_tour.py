@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Location transparency under migration: the FIR protocol at work.
+
+A stateful actor tours the whole partition while clients on every node
+keep calling it through the *same* reference.  Stale name-table
+entries trigger forwarding-information-request (FIR) chases; the
+replies back-patch every table on the chain, so repeated senders go
+direct again.
+
+    python examples/migration_tour.py [nodes]
+"""
+
+import sys
+
+from repro import HalRuntime, RuntimeConfig, behavior, method
+
+
+@behavior
+class TouringOracle:
+    def __init__(self):
+        self.answers = 0
+
+    @method
+    def ask(self, ctx, question):
+        self.answers += 1
+        return f"answer #{self.answers} (from node {ctx.node}): {question}!"
+
+    @method
+    def relocate(self, ctx, to):
+        ctx.migrate(to)
+
+
+def main(nodes: int = 8) -> None:
+    rt = HalRuntime(RuntimeConfig(num_nodes=nodes), trace=True)
+    rt.load_behaviors(TouringOracle)
+    oracle = rt.spawn(TouringOracle, at=0)
+
+    print(f"oracle born on node 0; touring {nodes} nodes\n")
+    for stop in range(1, nodes):
+        # a client on a node with a stale cache asks a question
+        client = (stop * 3) % nodes
+        reply = rt.call(oracle, "ask", "why", from_node=client)
+        print(f"client n{client}: {reply}")
+        # the oracle moves on
+        rt.send(oracle, "relocate", stop, from_node=0)
+        rt.run()
+        assert rt.locate(oracle) == stop
+
+    s = rt.stats
+    print(f"\nmigrations   : {s.counter('migration.arrived')}")
+    print(f"FIR chases   : {s.counter('fir.initiated')}")
+    print(f"FIR relays   : {s.counter('fir.relayed')}")
+    print(f"caches fixed : {s.counter('fir.updated') + s.counter('names.cached_addrs')}")
+    print(f"messages     : {s.counter('am.sends')} "
+          f"(simulated time {rt.now / 1000:.2f} ms)")
+    print("\nEvery call went through the same ActorRef; no sender ever "
+          "needed to know where the oracle actually was.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

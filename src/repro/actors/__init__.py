@@ -1,0 +1,27 @@
+"""Actor-model core: the data structures of HAL's object model.
+
+Everything here is machine-independent — actors, behaviours, mail
+queues, synchronization constraints and join continuations are plain
+objects that the runtime kernel (:mod:`repro.runtime`) animates on the
+simulated multicomputer.
+"""
+
+from repro.actors.actor import Actor
+from repro.actors.behavior import Behavior, behavior_of, is_behavior_class
+from repro.actors.constraints import ConstraintSet, disable_when
+from repro.actors.continuations import JoinContinuation
+from repro.actors.mailbox import Mailbox
+from repro.actors.message import ActorMessage, ReplyTarget
+
+__all__ = [
+    "Actor",
+    "Behavior",
+    "behavior_of",
+    "is_behavior_class",
+    "ConstraintSet",
+    "disable_when",
+    "JoinContinuation",
+    "Mailbox",
+    "ActorMessage",
+    "ReplyTarget",
+]

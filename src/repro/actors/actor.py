@@ -1,0 +1,96 @@
+"""The actor object animated by the runtime kernel.
+
+An :class:`Actor` is pure bookkeeping: behaviour + state + mailbox +
+lifecycle flags.  All *execution* (dispatch, constraint checks, cost
+charging, scheduling) lives in :mod:`repro.runtime.dispatcher` so the
+data structure stays machine-independent and directly unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.actors.behavior import Behavior
+from repro.actors.mailbox import Mailbox
+from repro.errors import BehaviorError, MigrationError
+
+
+class Actor:
+    """A single actor: independent, concurrent, buffered communication."""
+
+    __slots__ = (
+        "behavior",
+        "state",
+        "mailbox",
+        "node_id",
+        "key",
+        "scheduled",
+        "busy",
+        "migrating",
+        "messages_processed",
+        "group",
+        "group_index",
+        "gc_epoch",
+    )
+
+    def __init__(
+        self,
+        behavior: Behavior,
+        state: Any,
+        node_id: int,
+        key: Any = None,
+    ) -> None:
+        self.behavior = behavior
+        self.state = state
+        self.mailbox = Mailbox()
+        #: Node currently hosting the actor.
+        self.node_id = node_id
+        #: The actor's mail address (a MailAddress once registered).
+        self.key = key
+        #: True while sitting in the dispatcher's ready queue.
+        self.scheduled = False
+        #: True while a method is executing (inline-dispatch guard).
+        self.busy = False
+        #: True while mid-migration (messages are parked by the kernel).
+        self.migrating = False
+        self.messages_processed = 0
+        #: Last garbage-collection epoch that marked this actor live.
+        self.gc_epoch = 0
+        #: Group membership (set by grpnew), if any.
+        self.group: Optional[Any] = None
+        self.group_index: int = -1
+
+    # ------------------------------------------------------------------
+    def become(self, behavior: Behavior, state: Any) -> None:
+        """Replace behaviour and state (the actor model's ``become``).
+
+        The mail address, mailbox and pending queue are retained — a
+        become changes how *future* messages are interpreted, nothing
+        else.
+        """
+        if behavior is None:
+            raise BehaviorError("become requires a behaviour")
+        self.behavior = behavior
+        self.state = state
+
+    # ------------------------------------------------------------------
+    def pack_for_migration(self) -> Tuple[Behavior, Any, list]:
+        """Capture behaviour, state and all queued mail for transport.
+
+        The mailbox is drained: queued messages travel with the actor
+        so delivery order per sender is preserved across the move.
+        """
+        if self.busy:
+            raise MigrationError("cannot pack an actor mid-execution")
+        return (self.behavior, self.state, self.mailbox.drain())
+
+    @property
+    def ready(self) -> bool:
+        """True when the actor has deliverable mail."""
+        return self.mailbox.ready_count > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Actor({self.behavior.name}@n{self.node_id}, "
+            f"mail={self.mailbox.ready_count}+{self.mailbox.pending_count}p)"
+        )

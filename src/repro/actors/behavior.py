@@ -1,0 +1,116 @@
+"""Behaviour templates.
+
+A *behaviour* is HAL's analogue of a class (§2.2): a method table, a
+constraint set, and a constructor for per-actor state.  Behaviours are
+declared with the :func:`behavior` class decorator and the
+:func:`method` marker::
+
+    @behavior
+    class Counter:
+        def __init__(self, start=0):
+            self.value = start
+
+        @method
+        def incr(self, ctx, by=1):
+            self.value += by
+
+Only ``@method``-marked callables are invocable by messages; plain
+functions remain private helpers.  The HAL compiler
+(:mod:`repro.hal.compiler`) later attaches analysis results to the
+:class:`Behavior` (``compiled`` slot).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, Optional, Type
+
+from repro.actors.constraints import ConstraintSet
+from repro.errors import BehaviorError
+
+_METHOD_ATTR = "__hal_method__"
+_BEHAVIOR_ATTR = "__hal_behavior__"
+
+
+def method(fn: Callable) -> Callable:
+    """Mark ``fn`` as message-invocable.  Methods take ``(self, ctx,
+    *args)`` and may be plain functions or generators (generators are
+    the request/reply form; see :mod:`repro.hal.dependence`)."""
+    setattr(fn, _METHOD_ATTR, True)
+    return fn
+
+
+def is_hal_method(fn: Any) -> bool:
+    return callable(fn) and getattr(fn, _METHOD_ATTR, False)
+
+
+class Behavior:
+    """Runtime representation of a behaviour template."""
+
+    def __init__(self, cls: Type) -> None:
+        self.cls = cls
+        self.name: str = cls.__name__
+        self.methods: Dict[str, Callable] = {}
+        for attr_name, fn in inspect.getmembers(cls, callable):
+            if is_hal_method(fn):
+                self.methods[attr_name] = fn
+        self.constraints = ConstraintSet.from_methods(self.methods)
+        #: Filled by the HAL compiler with a CompiledBehavior.
+        self.compiled: Optional[Any] = None
+        #: True for behaviours the compiler proved purely functional
+        #: (enables the creation-elision optimisation of Table 4).
+        self.functional: bool = False
+
+    # ------------------------------------------------------------------
+    def make_state(self, args: tuple, kwargs: Optional[dict] = None) -> Any:
+        """Instantiate per-actor state."""
+        try:
+            return self.cls(*args, **(kwargs or {}))
+        except TypeError as exc:
+            raise BehaviorError(
+                f"cannot construct {self.name} with args {args!r}: {exc}"
+            ) from exc
+
+    def lookup(self, selector: str) -> Callable:
+        try:
+            return self.methods[selector]
+        except KeyError:
+            raise BehaviorError(
+                f"behaviour {self.name} has no method {selector!r}; "
+                f"available: {sorted(self.methods)}"
+            ) from None
+
+    def has_method(self, selector: str) -> bool:
+        return selector in self.methods
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Behavior({self.name}, methods={sorted(self.methods)})"
+
+
+def behavior(cls: Type) -> Type:
+    """Class decorator declaring a behaviour template.
+
+    The :class:`Behavior` is attached to the class; the class itself is
+    returned unmodified so normal Python subclassing and testing work.
+    """
+    if not inspect.isclass(cls):
+        raise BehaviorError("@behavior must decorate a class")
+    beh = Behavior(cls)
+    if not beh.methods:
+        raise BehaviorError(
+            f"behaviour {cls.__name__} declares no @method-marked methods"
+        )
+    setattr(cls, _BEHAVIOR_ATTR, beh)
+    return cls
+
+
+def is_behavior_class(cls: Any) -> bool:
+    return inspect.isclass(cls) and _BEHAVIOR_ATTR in vars(cls)
+
+
+def behavior_of(cls: Type) -> Behavior:
+    """The :class:`Behavior` attached to a ``@behavior`` class."""
+    beh = vars(cls).get(_BEHAVIOR_ATTR)
+    if beh is None:
+        raise BehaviorError(f"{cls!r} is not a @behavior class")
+    return beh

@@ -1,0 +1,98 @@
+"""Local synchronization constraints (disabling conditions).
+
+HAL specifies synchronization modularly as *disabling conditions* on a
+per-object basis (§2.2, §6.1): a constraint names a method and a
+predicate over the object's state (and optionally the message); while
+the predicate holds, the method is disabled and matching messages park
+in the pending queue.
+
+Constraints are declared on behaviour classes with the
+:func:`disable_when` decorator::
+
+    @behavior
+    class BoundedBuffer:
+        def __init__(self, n):
+            self.items, self.n = [], n
+
+        @method
+        @disable_when(lambda self, msg: len(self.items) >= self.n)
+        def put(self, ctx, x): ...
+
+        @method
+        @disable_when(lambda self, msg: not self.items)
+        def get(self, ctx): ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.actors.message import ActorMessage
+from repro.errors import ConstraintError
+
+#: ``predicate(state, message) -> bool`` — True means *disabled*.
+Predicate = Callable[[Any, ActorMessage], bool]
+
+_ATTR = "__hal_disable_when__"
+
+
+def disable_when(predicate: Predicate):
+    """Attach a disabling condition to a behaviour method.
+
+    Multiple conditions on one method are OR-ed: the method is disabled
+    if *any* of them holds.
+    """
+    if not callable(predicate):
+        raise ConstraintError("disable_when requires a callable predicate")
+
+    def wrap(fn):
+        conditions: List[Predicate] = list(getattr(fn, _ATTR, ()))
+        conditions.append(predicate)
+        setattr(fn, _ATTR, conditions)
+        return fn
+
+    return wrap
+
+
+def conditions_of(fn) -> List[Predicate]:
+    """The disabling conditions attached to a method function."""
+    return list(getattr(fn, _ATTR, ()))
+
+
+class ConstraintSet:
+    """All disabling conditions of one behaviour, keyed by selector."""
+
+    def __init__(self, by_selector: Optional[Dict[str, List[Predicate]]] = None) -> None:
+        self._by_selector: Dict[str, List[Predicate]] = dict(by_selector or {})
+
+    @classmethod
+    def from_methods(cls, methods: Dict[str, Callable]) -> "ConstraintSet":
+        table: Dict[str, List[Predicate]] = {}
+        for selector, fn in methods.items():
+            conds = conditions_of(fn)
+            if conds:
+                table[selector] = conds
+        return cls(table)
+
+    # ------------------------------------------------------------------
+    def is_disabled(self, selector: str, state: Any, msg: ActorMessage) -> bool:
+        """True if any condition currently disables ``selector``."""
+        for pred in self._by_selector.get(selector, ()):
+            try:
+                if pred(state, msg):
+                    return True
+            except Exception as exc:  # constraint bugs must be loud
+                raise ConstraintError(
+                    f"constraint predicate for {selector!r} raised: {exc!r}"
+                ) from exc
+        return False
+
+    def has_constraints(self, selector: str) -> bool:
+        return selector in self._by_selector
+
+    @property
+    def constrained_selectors(self) -> List[str]:
+        return sorted(self._by_selector)
+
+    def __bool__(self) -> bool:
+        return bool(self._by_selector)

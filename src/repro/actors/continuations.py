@@ -1,0 +1,107 @@
+"""Join continuations (§6.2, Fig. 4).
+
+A join continuation has four components: a *counter* of empty slots, a
+*function* implementing the compiler-separated continuation of a
+request send, the *creator* actor, and a set of *argument slots*.
+Replies fill slots and decrement the counter; at zero the function is
+invoked with the continuation as its argument.  Join continuations are
+deterministic: they fire exactly once and never receive further
+messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ContinuationError
+
+_EMPTY = object()  # sentinel distinguishing "unfilled" from a None reply
+
+
+class JoinContinuation:
+    """Node-local join of one or more outstanding replies."""
+
+    __slots__ = ("cont_id", "counter", "function", "creator", "slots", "fired",
+                 "created_at")
+
+    def __init__(
+        self,
+        cont_id: int,
+        nslots: int,
+        function: Callable[["JoinContinuation"], None],
+        creator: Optional[Any] = None,
+        *,
+        known: Optional[dict[int, Any]] = None,
+        created_at: float = 0.0,
+    ) -> None:
+        if nslots < 0:
+            raise ContinuationError(f"negative slot count {nslots}")
+        self.cont_id = cont_id
+        self.function = function
+        self.creator = creator
+        self.slots: List[Any] = [_EMPTY] * nslots
+        self.fired = False
+        self.created_at = created_at
+        # Slots whose values were already known at creation time are
+        # pre-filled and do not count toward the join.
+        if known:
+            for idx, value in known.items():
+                self._check_slot(idx)
+                self.slots[idx] = value
+        self.counter = sum(1 for s in self.slots if s is _EMPTY)
+
+    # ------------------------------------------------------------------
+    def _check_slot(self, idx: int) -> None:
+        if not (0 <= idx < len(self.slots)):
+            raise ContinuationError(
+                f"slot {idx} out of range for continuation {self.cont_id} "
+                f"({len(self.slots)} slots)"
+            )
+
+    def fill(self, idx: int, value: Any) -> bool:
+        """Fill slot ``idx``; returns True when the join completes."""
+        if self.fired:
+            raise ContinuationError(
+                f"continuation {self.cont_id} already fired"
+            )
+        self._check_slot(idx)
+        if self.slots[idx] is not _EMPTY:
+            raise ContinuationError(
+                f"slot {idx} of continuation {self.cont_id} filled twice"
+            )
+        self.slots[idx] = value
+        self.counter -= 1
+        return self.counter == 0
+
+    @property
+    def complete(self) -> bool:
+        return self.counter == 0
+
+    def values(self) -> List[Any]:
+        """All slot values; only valid once complete."""
+        if not self.complete:
+            raise ContinuationError(
+                f"continuation {self.cont_id} read before completion "
+                f"({self.counter} slots empty)"
+            )
+        return list(self.slots)
+
+    def invoke(self) -> None:
+        """Run the continuation function.  Fires exactly once."""
+        if not self.complete:
+            raise ContinuationError(
+                f"continuation {self.cont_id} invoked with {self.counter} "
+                "slots still empty"
+            )
+        if self.fired:
+            raise ContinuationError(
+                f"continuation {self.cont_id} invoked twice"
+            )
+        self.fired = True
+        self.function(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JoinContinuation(id={self.cont_id}, counter={self.counter}, "
+            f"slots={len(self.slots)}, fired={self.fired})"
+        )

@@ -1,0 +1,86 @@
+"""Mail queues.
+
+Communication between actors is buffered (§2.1): incoming messages
+queue until the actor is ready.  Each actor additionally owns an
+auxiliary *pending queue* (§6.1) holding messages whose method is
+currently disabled by a local synchronization constraint; the pending
+queue is re-examined after every completed method execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.actors.message import ActorMessage
+from repro.errors import DeliveryError
+
+
+class Mailbox:
+    """FIFO mail queue plus the constraint pending queue."""
+
+    __slots__ = ("queue", "pending", "total_enqueued", "total_deferred")
+
+    def __init__(self) -> None:
+        self.queue: Deque[ActorMessage] = deque()
+        self.pending: Deque[ActorMessage] = deque()
+        self.total_enqueued = 0
+        self.total_deferred = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, msg: ActorMessage) -> None:
+        self.queue.append(msg)
+        self.total_enqueued += 1
+
+    def enqueue_front(self, msg: ActorMessage) -> None:
+        """Requeue at the front (used when a migration interrupts
+        dispatch: the message travels with the actor and must keep its
+        place)."""
+        self.queue.appendleft(msg)
+
+    def dequeue(self) -> ActorMessage:
+        if not self.queue:
+            raise DeliveryError("dequeue from empty mailbox")
+        return self.queue.popleft()
+
+    # ------------------------------------------------------------------
+    def defer(self, msg: ActorMessage) -> None:
+        """Park a message whose method is currently disabled."""
+        if not msg.was_deferred:
+            msg.was_deferred = True
+            self.total_deferred += 1
+        self.pending.append(msg)
+
+    def take_pending(self) -> Deque[ActorMessage]:
+        """Remove and return the whole pending queue for re-examination
+        (the caller re-defers whatever is still disabled)."""
+        taken = self.pending
+        self.pending = deque()
+        return taken
+
+    # ------------------------------------------------------------------
+    @property
+    def ready_count(self) -> int:
+        return len(self.queue)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.pending)
+
+    def __len__(self) -> int:
+        return len(self.queue) + len(self.pending)
+
+    def __bool__(self) -> bool:
+        return bool(self.queue) or bool(self.pending)
+
+    def __iter__(self) -> Iterator[ActorMessage]:
+        yield from self.queue
+        yield from self.pending
+
+    def drain(self) -> list[ActorMessage]:
+        """Remove and return every queued message (migration packs the
+        mailbox into the actor's travel state)."""
+        out = list(self.queue) + list(self.pending)
+        self.queue.clear()
+        self.pending.clear()
+        return out

@@ -1,0 +1,50 @@
+"""Actor messages.
+
+Every HAL message carries a destination mail address, a method
+selector, and optionally a continuation address (§3).  The destination
+is carried by the delivery machinery; :class:`ActorMessage` is the part
+queued in mailboxes — selector, arguments and the optional reply
+target that implements the call/return abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ReplyTarget:
+    """Where a ``reply`` must go: a join-continuation slot on a node.
+
+    The paper's continuation address — node-local continuations are
+    named by ``(node, continuation id)`` and the request reserves a
+    specific argument ``slot``.
+    """
+
+    node: int
+    cont_id: int
+    slot: int
+
+    #: wire size: node + id + slot, one word each
+    WIRE_BYTES = 12
+
+
+@dataclass
+class ActorMessage:
+    """A buffered message awaiting (or undergoing) dispatch."""
+
+    selector: str
+    args: Tuple[Any, ...] = ()
+    reply_to: Optional[ReplyTarget] = None
+    #: Node where the send was issued (for stats/traces only).
+    sender_node: int = -1
+    #: Simulated time at which the send was issued.
+    sent_at: float = 0.0
+    #: True once the message has been parked in the pending queue at
+    #: least once (used to avoid re-counting deferrals).
+    was_deferred: bool = field(default=False, compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        r = f"->cont{self.reply_to.cont_id}@{self.reply_to.node}" if self.reply_to else ""
+        return f"Msg({self.selector}{self.args!r}{r})"

@@ -1,0 +1,31 @@
+"""Active-messages layer (the CMAM substitute).
+
+CMAM properties the runtime relies on, all modelled here:
+
+- messages carry a handler index executed on arrival (no buffering at
+  the messaging layer) — :mod:`repro.am.cmam`;
+- bulk data moves through a three-phase request/ack/data protocol —
+  :mod:`repro.am.bulk`;
+- broadcast is built from point-to-point sends over a hypercube-like
+  minimum spanning tree — :mod:`repro.am.broadcast`;
+- the node manager performs minimal flow control so only one bulk
+  transfer is inbound per node at a time — :mod:`repro.am.flowcontrol`.
+"""
+
+from repro.am.broadcast import TreeMulticaster
+from repro.am.bulk import BulkManager
+from repro.am.cmam import Endpoint
+from repro.am.flowcontrol import AcceptAll, FlowControlPolicy, MinimalFlowControl
+from repro.am.handler import HandlerRegistry
+from repro.am.messages import payload_nbytes
+
+__all__ = [
+    "Endpoint",
+    "HandlerRegistry",
+    "TreeMulticaster",
+    "BulkManager",
+    "FlowControlPolicy",
+    "MinimalFlowControl",
+    "AcceptAll",
+    "payload_nbytes",
+]

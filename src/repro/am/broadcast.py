@@ -1,0 +1,69 @@
+"""Spanning-tree multicast over point-to-point active messages.
+
+The paper implements ``broadcast`` "in terms of point-to-point
+communication, using a hypercube-like minimum spanning tree" (§3,
+§6.4).  :class:`TreeMulticaster` wires one forwarding handler into
+every endpoint; a multicast carries its root so each node can compute
+its children locally from the topology.
+
+The *user* handler runs once per node (including the root).  Group
+fan-out to individual actors on a node is the runtime's job (collective
+scheduling, :mod:`repro.runtime.scheduling`); this layer only gets one
+copy of the message to every node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.am.cmam import Endpoint
+from repro.errors import HandlerError
+from repro.sim.topology import Topology
+
+_TREE_HANDLER = "__mcast.tree__"
+
+
+class TreeMulticaster:
+    """Binds the tree-forwarding handler on every endpoint of a machine."""
+
+    def __init__(self, topology: Topology, directory: Dict[int, Endpoint]) -> None:
+        self.topology = topology
+        self.directory = directory
+        self._installed = False
+
+    def install(self) -> None:
+        """Register the forwarding handler on all endpoints.  Call once
+        after every node's endpoint has been constructed."""
+        if self._installed:
+            raise HandlerError("TreeMulticaster.install called twice")
+        for endpoint in self.directory.values():
+            endpoint.register(_TREE_HANDLER, self._make_forwarder(endpoint))
+        self._installed = True
+
+    def _make_forwarder(self, endpoint: Endpoint):
+        def forward(src: int, root: int, handler: str, args: tuple) -> None:
+            me = endpoint.node_id
+            for child in self.topology.spanning_tree_children(root, me):
+                endpoint.send(child, _TREE_HANDLER, (root, handler, args))
+            endpoint.run_local(handler, args)
+        return forward
+
+    # ------------------------------------------------------------------
+    def multicast(self, endpoint: Endpoint, handler: str, args: tuple = ()) -> None:
+        """Deliver ``handler(args)`` once on every node, rooted at
+        ``endpoint``'s node.  Runs locally at the root immediately."""
+        if not self._installed:
+            raise HandlerError("TreeMulticaster not installed")
+        root = endpoint.node_id
+        endpoint.run_local(_TREE_HANDLER, (root, handler, args))
+
+    def tree_edges(self, root: int) -> list[tuple[int, int]]:
+        """All (parent, child) edges of the broadcast tree (for tests)."""
+        edges: list[tuple[int, int]] = []
+        stack = [root]
+        while stack:
+            me = stack.pop()
+            for child in self.topology.spanning_tree_children(root, me):
+                edges.append((me, child))
+                stack.append(child)
+        return edges

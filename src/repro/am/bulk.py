@@ -1,0 +1,115 @@
+"""Three-phase bulk transfer protocol (CMAM ``xfer``).
+
+Active messages are not buffered, so bulk data moves in three phases
+(§6.5): the sender issues a small *request*; the receiving node manager
+*acks* when the transfer may proceed (subject to the flow-control
+policy); the sender then injects the *data* message, whose arrival runs
+the user's completion handler.
+
+Each node owns one :class:`BulkManager`; senders park the pending
+payload locally until the ack returns, exactly like keeping the source
+buffer alive until the transfer completes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Tuple
+
+from repro.am.cmam import Endpoint
+from repro.am.flowcontrol import FlowControlPolicy, TransferKey
+from repro.errors import FlowControlError
+
+_H_REQ = "__bulk.req__"
+_H_ACK = "__bulk.ack__"
+_H_DATA = "__bulk.data__"
+
+#: Completion handler: ``fn(src_node, payload)``.
+Completion = Callable[[int, tuple], None]
+
+
+class BulkManager:
+    """Per-node endpoint extension implementing the three-phase protocol."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        policy: FlowControlPolicy,
+        *,
+        request_cpu_us: float,
+        ack_cpu_us: float,
+    ) -> None:
+        self.endpoint = endpoint
+        self.policy = policy
+        self.request_cpu_us = request_cpu_us
+        self.ack_cpu_us = ack_cpu_us
+        self._ids = itertools.count(1)
+        # Sender side: transfer_id -> (dst, handler, args, nbytes)
+        self._outgoing: Dict[int, Tuple[int, str, tuple, int]] = {}
+        # Receiver side: (src, transfer_id) -> nbytes (awaiting data)
+        self._inbound: Dict[TransferKey, int] = {}
+        endpoint.register(_H_REQ, self._on_request)
+        endpoint.register(_H_ACK, self._on_ack)
+        endpoint.register(_H_DATA, self._on_data)
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def send_bulk(self, dst: int, handler: str, args: tuple, nbytes: int) -> int:
+        """Start a bulk transfer of ``nbytes`` to ``dst``; ``handler``
+        runs there with ``args`` when the data lands.  Returns the
+        transfer id (useful in tests)."""
+        if nbytes <= 0:
+            raise FlowControlError(f"bulk transfer of {nbytes} bytes")
+        tid = next(self._ids)
+        self._outgoing[tid] = (dst, handler, args, nbytes)
+        self.endpoint.stats.incr("bulk.requests")
+        self.endpoint.send(dst, _H_REQ, (tid, nbytes))
+        return tid
+
+    def _on_ack(self, src: int, tid: int) -> None:
+        try:
+            dst, handler, args, nbytes = self._outgoing.pop(tid)
+        except KeyError:
+            raise FlowControlError(f"ack for unknown transfer {tid}") from None
+        if dst != src:
+            raise FlowControlError(f"ack for transfer {tid} from wrong node {src}")
+        self.endpoint.stats.incr("bulk.data_sends")
+        self.endpoint.send(dst, _H_DATA, (tid, handler, args), nbytes=nbytes)
+
+    # ------------------------------------------------------------------
+    # receiver side (node-manager role)
+    # ------------------------------------------------------------------
+    def _on_request(self, src: int, tid: int, nbytes: int) -> None:
+        self.endpoint.node.charge(self.request_cpu_us)
+        key: TransferKey = (src, tid)
+        self._inbound[key] = nbytes
+        if self.policy.on_request(key, nbytes):
+            self._send_ack(key)
+        else:
+            self.endpoint.stats.incr("bulk.fc_deferred")
+
+    def _send_ack(self, key: TransferKey) -> None:
+        src, tid = key
+        self.endpoint.node.charge(self.ack_cpu_us)
+        self.endpoint.send(src, _H_ACK, (tid,))
+
+    def _on_data(self, src: int, tid: int, handler: str, args: tuple) -> None:
+        key: TransferKey = (src, tid)
+        if key not in self._inbound:
+            raise FlowControlError(f"data for unannounced transfer {key}")
+        del self._inbound[key]
+        self.endpoint.stats.incr("bulk.completions")
+        nxt = self.policy.on_complete(key)
+        if nxt is not None:
+            self._send_ack(nxt)
+        self.endpoint.handlers.lookup(handler)(src, *args)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_outgoing(self) -> int:
+        return len(self._outgoing)
+
+    @property
+    def pending_inbound(self) -> int:
+        return len(self._inbound)

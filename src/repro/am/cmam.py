@@ -1,0 +1,131 @@
+"""Per-node active-message endpoint (the CMAM interface).
+
+An :class:`Endpoint` is the kernel's communication module's view of the
+machine: ``send`` injects a message whose named handler runs on the
+destination CPU at delivery.  The endpoint charges the CPU costs the
+paper attributes to the messaging layer (send overhead on the sender,
+handler-entry overhead on the receiver); wire and NIC serialisation
+costs live in :class:`repro.sim.network.Network`.
+
+Endpoints of one machine share a *directory* (``dict[int, Endpoint]``)
+so a sender can hand delivery to the destination endpoint's handler
+table — the moral equivalent of all nodes running the same program
+image with the same handler indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.am.handler import Handler, HandlerRegistry
+from repro.am.messages import message_nbytes
+from repro.errors import HandlerError, NetworkError
+from repro.sim.engine import SimNode
+from repro.sim.network import Network
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import TraceLog
+
+
+class Endpoint:
+    """One node's attachment point to the messaging layer."""
+
+    def __init__(
+        self,
+        node: SimNode,
+        network: Network,
+        directory: Dict[int, "Endpoint"],
+        stats: StatsRegistry,
+        trace: TraceLog,
+        *,
+        send_overhead_us: float,
+        receive_overhead_us: float,
+    ) -> None:
+        self.node = node
+        self.network = network
+        self.directory = directory
+        self.stats = stats
+        self.trace = trace
+        self.send_overhead_us = send_overhead_us
+        self.receive_overhead_us = receive_overhead_us
+        self.handlers = HandlerRegistry()
+        #: Messages delivered to this endpoint (white-box for tests).
+        self.delivered: int = 0
+        if node.node_id in directory:
+            raise HandlerError(f"node {node.node_id} already has an endpoint")
+        directory[node.node_id] = self
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    def register(self, name: str, fn: Handler, *, replace: bool = False) -> None:
+        self.handlers.register(name, fn, replace=replace)
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        handler: str,
+        args: tuple = (),
+        *,
+        nbytes: Optional[int] = None,
+        charge_sender: bool = True,
+    ) -> None:
+        """Send an active message to node ``dst``.
+
+        The sender's CPU is charged ``send_overhead_us``; the message
+        is then injected into the network.  ``nbytes`` overrides the
+        payload-size estimate (used by the bulk protocol, which sizes
+        the data phase explicitly).
+        """
+        if dst == self.node_id:
+            raise NetworkError(
+                "Endpoint.send is remote-only; local work runs directly"
+            )
+        peer = self.directory.get(dst)
+        if peer is None:
+            raise NetworkError(f"no endpoint attached at node {dst}")
+        if charge_sender:
+            self.node.charge(self.send_overhead_us)
+        size = nbytes if nbytes is not None else message_nbytes(
+            args, self.network.params.packet_bytes
+        )
+        src = self.node_id
+        self.stats.incr("am.sends")
+        self.trace.emit(self.node.now, src, "am.send", handler, dst, size)
+
+        def transmit() -> None:
+            self.network.unicast(
+                src, dst, size,
+                lambda: peer._deliver(src, handler, args),
+                label=f"am:{handler}",
+            )
+
+        # A long-running handler may issue this send with its virtual
+        # clock far ahead of the global event clock.  Mutating the
+        # shared NIC state *now* would let this future send delay
+        # other nodes' earlier (but not-yet-executed) messages.  Defer
+        # the transmission to an event at its true simulated time so
+        # network state is always touched in time order.
+        issue_at = self.node.now if self.node.in_handler else self.network.sim.now
+        if issue_at > self.network.sim.now:
+            self.network.sim.schedule(issue_at, transmit, label=f"am.tx:{handler}")
+        else:
+            transmit()
+
+    def _deliver(self, src: int, handler: str, args: tuple) -> None:
+        """Runs on this (destination) node's CPU, scheduled by the network."""
+        self.node.charge(self.receive_overhead_us)
+        self.delivered += 1
+        self.stats.incr("am.delivered")
+        self.trace.emit(self.node.now, self.node_id, "am.recv", handler, src)
+        self.handlers.lookup(handler)(src, *args)
+
+    # ------------------------------------------------------------------
+    def run_local(self, handler: str, args: tuple = ()) -> None:
+        """Invoke a handler on this node without touching the network.
+
+        Used by the broadcast tree when the root is also a recipient.
+        """
+        self.handlers.lookup(handler)(self.node_id, *args)

@@ -1,0 +1,81 @@
+"""Flow-control policies for the three-phase bulk protocol.
+
+The paper (§6.5): "A node manager controls sending the acknowledgment
+for a bulk data transfer request to the requesting node so that only
+one such transfer is active at a time."  :class:`MinimalFlowControl`
+is that policy; :class:`AcceptAll` is the ablation (no flow control),
+under which concurrent bulks to one node overflow its receive buffer
+and pay the network model's back-up penalty — exactly the failure mode
+Table 1's pipelined Cholesky exposes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.errors import FlowControlError
+
+#: (src_node, transfer_id) uniquely names an inbound transfer.
+TransferKey = Tuple[int, int]
+
+
+class FlowControlPolicy:
+    """Decides when a bulk-transfer request may be acknowledged."""
+
+    def on_request(self, key: TransferKey, nbytes: int) -> bool:
+        """Return True if the transfer may be acked immediately."""
+        raise NotImplementedError
+
+    def on_complete(self, key: TransferKey) -> Optional[TransferKey]:
+        """Called when a transfer's data has arrived; returns the next
+        queued transfer to ack, if any."""
+        raise NotImplementedError
+
+
+class AcceptAll(FlowControlPolicy):
+    """No flow control: every request is acked immediately."""
+
+    def on_request(self, key: TransferKey, nbytes: int) -> bool:
+        return True
+
+    def on_complete(self, key: TransferKey) -> Optional[TransferKey]:
+        return None
+
+
+class MinimalFlowControl(FlowControlPolicy):
+    """At most ``max_active`` inbound transfers at a time (paper: 1)."""
+
+    def __init__(self, max_active: int = 1) -> None:
+        if max_active < 1:
+            raise FlowControlError("max_active must be >= 1")
+        self.max_active = max_active
+        self._active: set[TransferKey] = set()
+        self._waiting: Deque[TransferKey] = deque()
+
+    def on_request(self, key: TransferKey, nbytes: int) -> bool:
+        if key in self._active:
+            raise FlowControlError(f"duplicate bulk request {key}")
+        if len(self._active) < self.max_active:
+            self._active.add(key)
+            return True
+        self._waiting.append(key)
+        return False
+
+    def on_complete(self, key: TransferKey) -> Optional[TransferKey]:
+        if key not in self._active:
+            raise FlowControlError(f"completion for inactive transfer {key}")
+        self._active.remove(key)
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self._active.add(nxt)
+            return nxt
+        return None
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._waiting)

@@ -1,0 +1,51 @@
+"""Handler registry for active messages.
+
+CMAM identifies handlers by index compiled into the program image; we
+identify them by name.  Each node's endpoint holds its own registry so
+a kernel can bind its own node-manager methods, but handler *names*
+must agree across nodes (they are part of the wire format).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+from repro.errors import HandlerError
+
+#: Handler signature: ``fn(src_node, *args)`` run on the receiving
+#: node's CPU at delivery time.
+Handler = Callable[..., None]
+
+
+class HandlerRegistry:
+    """Name → handler mapping with explicit registration discipline."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Handler] = {}
+
+    def register(self, name: str, fn: Handler, *, replace: bool = False) -> None:
+        """Bind ``name`` to ``fn``.
+
+        Re-registration without ``replace=True`` raises — a silent
+        rebind is almost always a programming error in kernel boot.
+        """
+        if not name:
+            raise HandlerError("handler name must be non-empty")
+        if name in self._handlers and not replace:
+            raise HandlerError(f"handler {name!r} already registered")
+        self._handlers[name] = fn
+
+    def lookup(self, name: str) -> Handler:
+        try:
+            return self._handlers[name]
+        except KeyError:
+            raise HandlerError(f"no handler registered for {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._handlers
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._handlers)
+
+    def __len__(self) -> int:
+        return len(self._handlers)

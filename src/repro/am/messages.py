@@ -1,0 +1,59 @@
+"""Wire-size model for active-message payloads.
+
+The paper's messages carry a destination mail address, a method
+selector and often a continuation address; bulk messages carry matrix
+blocks.  The byte estimate below drives NIC serialisation and the
+receive-buffer occupancy in the network model, so it only needs to be
+*consistent*, not exact: scalars cost one 1995-era machine word,
+containers cost the sum of their elements plus a small header, and
+NumPy arrays cost their true buffer size.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+#: Bytes per scalar value (a 1995 machine word).
+WORD_BYTES = 4
+#: Fixed per-container overhead.
+CONTAINER_HEADER_BYTES = 4
+#: Maximum recursion depth when sizing nested payloads.
+_MAX_DEPTH = 16
+
+
+def payload_nbytes(value: Any, _depth: int = 0) -> int:
+    """Estimate the wire size of ``value`` in bytes (at least one word)."""
+    if _depth > _MAX_DEPTH:
+        return WORD_BYTES
+    if value is None or isinstance(value, (bool, int, float)):
+        return WORD_BYTES
+    if isinstance(value, str):
+        return CONTAINER_HEADER_BYTES + len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return CONTAINER_HEADER_BYTES + len(value)
+    if isinstance(value, np.ndarray):
+        return CONTAINER_HEADER_BYTES + int(value.nbytes)
+    if isinstance(value, np.generic):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return CONTAINER_HEADER_BYTES + sum(
+            payload_nbytes(v, _depth + 1) for v in value
+        )
+    if isinstance(value, dict):
+        return CONTAINER_HEADER_BYTES + sum(
+            payload_nbytes(k, _depth + 1) + payload_nbytes(v, _depth + 1)
+            for k, v in value.items()
+        )
+    # Opaque runtime objects (mail addresses, descriptors carried in
+    # protocol messages) marshal to a few words.
+    size_hint = getattr(value, "WIRE_BYTES", None)
+    if size_hint is not None:
+        return int(size_hint)
+    return 2 * WORD_BYTES
+
+
+def message_nbytes(args: tuple, packet_bytes: int) -> int:
+    """Total wire size of an AM with ``args``, including the header."""
+    return packet_bytes + sum(payload_nbytes(a) for a in args)

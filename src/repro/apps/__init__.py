@@ -1,0 +1,14 @@
+"""Applications used by the paper's evaluation (§7) and the examples.
+
+- :mod:`repro.apps.fibonacci` — the Table 4 workload: an extremely
+  concurrent, load-imbalanced divide-and-conquer tree with actor
+  creations optimised into lightweight tasks;
+- :mod:`repro.apps.cholesky` — the Table 1 workload: column Cholesky
+  under four synchronization/mapping regimes (BP, CP, Seq, Bcast);
+- :mod:`repro.apps.systolic` — the Table 5 workload: Cannon's systolic
+  matrix multiplication with per-actor local synchronization only;
+- :mod:`repro.apps.microbench` — tiny behaviours used by the runtime
+  primitive measurements (Tables 2 and 3).
+"""
+
+__all__ = ["fibonacci", "cholesky", "systolic", "microbench"]

@@ -1,0 +1,322 @@
+"""Column Cholesky decomposition under four regimes (§2.2, Table 1).
+
+The paper compares implementations that start iteration ``i+1`` before
+iteration ``i`` completes, *using only local synchronization* (columns
+BP and CP: block and cyclic column mapping) against implementations
+that complete each iteration before the next starts (columns Seq and
+Bcast: global synchronization, point-to-point vs broadcast pivot
+distribution).  Local synchronization wins, and cyclic mapping
+pipelines better than block mapping as P grows.  Flow control matters
+here too (§6.5): the pipelined variants move many concurrent column
+transfers, which back up the network without it.
+
+The factorisation is *real*: column actors hold NumPy column vectors,
+and :func:`verify_cholesky` checks ``L @ L.T == A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import RuntimeConfig
+from repro.hal.dsl import HalProgram, behavior, disable_when, method
+from repro.runtime.system import HalRuntime
+
+#: Table 1 row labels -> (pipelined?, placement / distribution).
+VARIANTS = ("BP", "CP", "Seq", "Bcast")
+
+
+def make_spd_matrix(n: int, seed: int = 7) -> np.ndarray:
+    """A deterministic, well-conditioned SPD matrix."""
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((n, n))
+    return b @ b.T + n * np.eye(n)
+
+
+def _column_of(n: int, seed: int, j: int) -> np.ndarray:
+    """Column ``j`` of the shared input matrix (regenerated locally so
+    grpnew needs no per-member payload)."""
+    return make_spd_matrix(n, seed)[:, j].copy()
+
+
+# ----------------------------------------------------------------------
+# pipelined variants (BP / CP): local synchronization only
+# ----------------------------------------------------------------------
+@behavior
+class PipelinedColumn:
+    """Column ``j``: applies updates as they arrive; when all ``j``
+    updates are in, finalises itself and distributes itself to the
+    later columns.  No barrier anywhere — iteration ``j+1`` starts
+    while iteration ``j`` is still in flight, kept correct purely by
+    the per-column update count (local synchronization).
+
+    ``dist`` selects the distribution mechanism: ``"bcast"`` (group
+    broadcast, the default — so the Table 1 comparison against the
+    globally synchronised Bcast variant isolates *synchronization*)
+    or ``"p2p"`` (one point-to-point — typically bulk — transfer per
+    later column, the traffic pattern the flow-control ablation
+    exercises).
+    """
+
+    def __init__(self, n, seed, dist, index, size):
+        self.n = n
+        self.j = index
+        self.dist = dist
+        self.col = _column_of(n, seed, index)
+        self.applied = 0
+        self.done = False
+        self.coordinator = None
+
+    @method
+    def start(self, ctx, coordinator):
+        self.coordinator = coordinator
+        # Column 0 needs no updates; later columns may already have
+        # received all their updates if the start broadcast was slow.
+        if not self.done and self.applied == self.j:
+            self._finalize(ctx)
+
+    @method
+    def update(self, ctx, k, lk):
+        """cmod(j, k): subtract the contribution of finalised column k."""
+        j = self.j
+        if k >= j:
+            return  # broadcast copy reaching the pivot or earlier columns
+        self.col[j:] -= lk[j] * lk[j:]
+        ctx.flops(2 * (self.n - j) + 1)
+        self.applied += 1
+        if not self.done and self.applied == j and self.coordinator is not None:
+            self._finalize(ctx)
+
+    def _finalize(self, ctx):
+        """cdiv(j) + fan the finalised column out to later columns."""
+        j = self.j
+        group = ctx.actor.group
+        self.col[j] = np.sqrt(self.col[j])
+        self.col[j + 1:] /= self.col[j]
+        ctx.flops(self.n - j + 8)
+        self.done = True
+        lj = self.col
+        if j + 1 < self.n:
+            if self.dist == "bcast":
+                ctx.broadcast(group, "update", j, lj)
+            else:
+                for i in range(j + 1, self.n):
+                    ctx.send(group.member(i), "update", j, lj)
+        ctx.send(self.coordinator, "column_done", j)
+
+
+@behavior
+class PipelineCoordinator:
+    """Counts finalised columns; replies to the driver when all done."""
+
+    def __init__(self, n):
+        self.n = n
+        self.done = 0
+
+    @method
+    def run(self, ctx, group_size):
+        # The reply is deferred until every column reports in.
+        self.client = ctx.msg.reply_to
+        self._maybe_finish(ctx)
+
+    @method
+    def column_done(self, ctx, j):
+        self.done += 1
+        self._maybe_finish(ctx)
+
+    def _maybe_finish(self, ctx):
+        if self.done == self.n and getattr(self, "client", None) is not None:
+            ctx.kernel.reply_router.send_reply(self.client, self.done)
+            self.client = None
+
+
+# ----------------------------------------------------------------------
+# globally synchronised variants (Seq / Bcast)
+# ----------------------------------------------------------------------
+@behavior
+class SyncColumn:
+    """Column actor driven by a global coordinator."""
+
+    def __init__(self, n, seed, index, size):
+        self.n = n
+        self.j = index
+        self.col = _column_of(n, seed, index)
+        self.applied = 0
+
+    @method
+    def cdiv(self, ctx):
+        """Finalise this column and return it (to the coordinator)."""
+        j = self.j
+        self.col[j] = np.sqrt(self.col[j])
+        self.col[j + 1:] /= self.col[j]
+        ctx.flops(self.n - j + 8)
+        return self.col
+
+    @method
+    def apply(self, ctx, k, lk):
+        """cmod with an explicit ack (the coordinator barriers on it)."""
+        j = self.j
+        self.col[j:] -= lk[j] * lk[j:]
+        ctx.flops(2 * (self.n - j) + 1)
+        self.applied += 1
+        return True
+
+    @method
+    def apply_bcast(self, ctx, k, lk):
+        """cmod from a broadcast copy (no ack; the barrier is `sync`)."""
+        if self.j > k:
+            j = self.j
+            self.col[j:] -= lk[j] * lk[j:]
+            ctx.flops(2 * (self.n - j) + 1)
+            self.applied += 1
+
+    @method
+    @disable_when(lambda self, msg: self.j > msg.args[0] and self.applied <= msg.args[0])
+    def sync(self, ctx, k):
+        """Barrier probe: enabled only once update ``k`` has been
+        applied (a local synchronization constraint implementing a
+        global barrier)."""
+        return True
+
+    @method
+    def cdiv_bcast(self, ctx, group_ignored):
+        """Finalise and broadcast to the whole group."""
+        j = self.j
+        self.col[j] = np.sqrt(self.col[j])
+        self.col[j + 1:] /= self.col[j]
+        ctx.flops(self.n - j + 8)
+        ctx.broadcast(ctx.actor.group, "apply_bcast", j, self.col)
+        return True
+
+
+@behavior
+class SeqCoordinator:
+    """Global synchronization, point-to-point distribution: iteration
+    ``k+1`` starts only after every cmod of iteration ``k`` acked."""
+
+    def __init__(self, n):
+        self.n = n
+
+    @method
+    def run(self, ctx, group):
+        n = self.n
+        for k in range(n):
+            lk = yield ctx.request(group.member(k), "cdiv")
+            if k + 1 < n:
+                yield [
+                    ctx.request(group.member(j), "apply", k, lk)
+                    for j in range(k + 1, n)
+                ]
+        return n
+
+
+@behavior
+class BcastCoordinator:
+    """Global synchronization, broadcast distribution: the pivot column
+    is broadcast to the group; a sync sweep forms the barrier."""
+
+    def __init__(self, n):
+        self.n = n
+
+    @method
+    def run(self, ctx, group):
+        n = self.n
+        for k in range(n):
+            yield ctx.request(group.member(k), "cdiv_bcast", 0)
+            if k + 1 < n:
+                yield [
+                    ctx.request(group.member(j), "sync", k)
+                    for j in range(k + 1, n)
+                ]
+        return n
+
+
+# ----------------------------------------------------------------------
+# program + driver
+# ----------------------------------------------------------------------
+def cholesky_program() -> HalProgram:
+    program = HalProgram("cholesky")
+    for cls in (PipelinedColumn, PipelineCoordinator, SyncColumn,
+                SeqCoordinator, BcastCoordinator):
+        program.behavior(cls)
+    return program
+
+
+@dataclass
+class CholeskyResult:
+    variant: str
+    n: int
+    num_nodes: int
+    elapsed_us: float
+    L: np.ndarray
+    backup_events: int
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_us / 1000.0
+
+
+def run_cholesky(
+    variant: str,
+    n: int,
+    num_nodes: int,
+    *,
+    seed: int = 7,
+    config: Optional[RuntimeConfig] = None,
+    verify: bool = True,
+    p2p: bool = False,
+) -> CholeskyResult:
+    """Run one Table 1 cell.  ``variant`` is BP, CP, Seq or Bcast.
+    ``p2p=True`` makes the pipelined variants distribute columns with
+    point-to-point (bulk-eligible) transfers instead of broadcast —
+    the traffic the flow-control ablation measures."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+    cfg = config or RuntimeConfig(num_nodes=num_nodes, seed=seed)
+    rt = HalRuntime(cfg)
+    rt.load(cholesky_program())
+    start = rt.now
+
+    if variant in ("BP", "CP"):
+        placement = "block" if variant == "BP" else "cyclic"
+        dist = "p2p" if p2p else "bcast"
+        group = rt.grpnew(PipelinedColumn, n, n, seed, dist, placement=placement)
+        coord = rt.spawn(PipelineCoordinator, n, at=0)
+        rt.run()  # let the group finish materialising
+        rt.broadcast(group, "start", coord)
+        done = rt.call(coord, "run", n)
+    else:
+        placement = "cyclic"
+        group = rt.grpnew(SyncColumn, n, n, seed, placement=placement)
+        coord_cls = SeqCoordinator if variant == "Seq" else BcastCoordinator
+        coord = rt.spawn(coord_cls, n, at=0)
+        rt.run()
+        done = rt.call(coord, "run", group)
+    assert done == n
+    rt.run()
+
+    elapsed = rt.now - start
+    L = np.zeros((n, n))
+    for j in range(n):
+        col = rt.state_of(group.member(j)).col
+        L[j:, j] = col[j:]
+    if verify:
+        verify_cholesky(L, n, seed)
+    return CholeskyResult(
+        variant=variant,
+        n=n,
+        num_nodes=num_nodes,
+        elapsed_us=elapsed,
+        L=L,
+        backup_events=rt.stats.counter("net.backup_events"),
+    )
+
+
+def verify_cholesky(L: np.ndarray, n: int, seed: int) -> None:
+    a = make_spd_matrix(n, seed)
+    err = np.max(np.abs(L @ L.T - a))
+    if err > 1e-6 * n:
+        raise AssertionError(f"Cholesky residual too large: {err}")

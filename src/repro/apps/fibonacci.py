@@ -1,0 +1,198 @@
+"""Fibonacci number generator (§7.2, Table 4).
+
+"Although the Fibonacci number generator is a very simple program, it
+is extremely concurrent: executing the Fibonacci of 33 results in the
+creation of 11,405,773 actors.  Moreover, its computation tree has a
+great deal of load imbalance."
+
+Two implementations:
+
+- :func:`fib_task` — the compiled form the paper measures: since
+  Fibonacci actors are purely functional, actor creations are
+  optimised away into lightweight tasks joined by explicit join
+  continuations (the compiler's CPS output).  Receiver-initiated
+  random-polling load balancing redistributes the imbalanced tree.
+- :class:`FibActor` — the naive actor form (one actor per call),
+  useful at small ``n`` to validate the creation-elision optimisation.
+
+Static placement (the "without dynamic load balancing" columns of
+Table 4) scatters subtree roots over nodes only near the top of the
+tree, which — because fib's two subtrees have exponentially different
+sizes — leaves most of the work on a few nodes.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.config import LoadBalanceParams, RuntimeConfig
+from repro.hal.dsl import HalProgram, behavior, method
+from repro.runtime.system import HalRuntime
+
+#: Per-call grain of the simulated task body, calibrated so that a
+#: single 33 MHz SPARC node lands in the range the paper reports for
+#: actor-based fib (HAL is faster than Cilk's 6.4 us/call but well
+#: above optimised C's 0.74 us/call).
+TASK_GRAIN_US = 2.5
+
+#: Depth below which static placement scatters children round-robin.
+STATIC_SPLIT_DEPTH = 5
+
+
+@functools.lru_cache(maxsize=None)
+def fib_value(n: int) -> int:
+    """Ground truth."""
+    if n < 2:
+        return n
+    return fib_value(n - 1) + fib_value(n - 2)
+
+
+@functools.lru_cache(maxsize=None)
+def fib_calls(n: int) -> int:
+    """Number of calls (= actors/tasks) in the naive recursion tree;
+    fib_calls(33) == 11_405_773, the paper's count."""
+    if n < 2:
+        return 1
+    return 1 + fib_calls(n - 1) + fib_calls(n - 2)
+
+
+# ----------------------------------------------------------------------
+# compiled (creation-elided) task form
+# ----------------------------------------------------------------------
+def fib_task(ctx, n: int, target, depth: int) -> None:
+    """One node of the recursion tree as a lightweight task.
+
+    ``target`` is the join-continuation slot awaiting this subtree's
+    value.  The two children share a fresh two-slot join continuation
+    whose function adds the results and forwards them — the exact
+    compiled structure of §6.2/Fig. 4.
+    """
+    ctx.charge(TASK_GRAIN_US)
+    if n < 2:
+        ctx.reply_to(target, n)
+        return
+    t1, t2 = ctx.make_join(2, lambda vals: ctx.reply_to(target, vals[0] + vals[1]))
+    lb_enabled = ctx.kernel.config.load_balance.enabled
+    if lb_enabled or depth >= STATIC_SPLIT_DEPTH:
+        # Spawn locally; idle nodes steal from the tail of our queue.
+        ctx.spawn_task("fib", n - 1, t1, depth + 1)
+        ctx.spawn_task("fib", n - 2, t2, depth + 1)
+    else:
+        # Static scatter: embed the top of the tree over the partition.
+        p = ctx.num_nodes
+        left = (2 * ctx.node + 1) % p
+        right = (2 * ctx.node + 2) % p
+        ctx.spawn_task("fib", n - 1, t1, depth + 1, at=left)
+        ctx.spawn_task("fib", n - 2, t2, depth + 1, at=right)
+
+
+# ----------------------------------------------------------------------
+# naive actor form (validates creation elision)
+# ----------------------------------------------------------------------
+@behavior
+class FibActor:
+    """One actor per call; children are created dynamically."""
+
+    def __init__(self):
+        pass
+
+    @method
+    def compute(self, ctx, n):
+        ctx.charge(TASK_GRAIN_US)
+        if n < 2:
+            return n
+        p = ctx.num_nodes
+        left = ctx.new(FibActor, at=(ctx.node + 1) % p)
+        right = ctx.new(FibActor, at=(ctx.node + 2) % p)
+        a, b = yield [
+            ctx.request(left, "compute", n - 1),
+            ctx.request(right, "compute", n - 2),
+        ]
+        return a + b
+
+
+def fib_program() -> HalProgram:
+    program = HalProgram("fibonacci")
+    program.behavior(FibActor)
+    program.tasks["fib"] = fib_task
+    return program
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+@dataclass
+class FibResult:
+    n: int
+    value: int
+    elapsed_us: float
+    tasks: int
+    steals: int
+    num_nodes: int
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_us / 1e6
+
+
+def run_fib(
+    n: int,
+    num_nodes: int,
+    *,
+    load_balance: bool,
+    seed: int = 1995,
+    use_actors: bool = False,
+    config: Optional[RuntimeConfig] = None,
+) -> FibResult:
+    """Run fib(n) on a fresh runtime; returns value + simulated time."""
+    cfg = config or RuntimeConfig(
+        num_nodes=num_nodes,
+        seed=seed,
+        load_balance=LoadBalanceParams(enabled=load_balance),
+    )
+    rt = HalRuntime(cfg)
+    rt.load(fib_program())
+    start = rt.now
+    if use_actors:
+        root = rt.spawn(FibActor, at=0)
+        value = rt.call(root, "compute", n)
+    else:
+        target, box = rt.make_collector(from_node=0)
+        rt.spawn_task("fib", n, target, 0, at=0)
+        rt.run()
+        if not box:
+            raise RuntimeError("fib computation did not complete")
+        value = box[0]
+    elapsed = rt.now - start
+    expected = fib_value(n)
+    if value != expected:
+        raise AssertionError(f"fib({n}) = {value}, expected {expected}")
+    return FibResult(
+        n=n,
+        value=value,
+        elapsed_us=elapsed,
+        tasks=rt.stats.counter("exec.tasks"),
+        steals=rt.stats.counter("steal.received"),
+        num_nodes=num_nodes,
+    )
+
+
+# ----------------------------------------------------------------------
+# comparator models (Table 4 context rows)
+# ----------------------------------------------------------------------
+#: Cilk on one 33 MHz SPARC: 73.16 s for fib(33) -> us per call.
+CILK_US_PER_CALL = 73.16e6 / fib_calls(33)
+#: Optimised sequential C: 8.49 s for fib(33) -> us per call.
+C_US_PER_CALL = 8.49e6 / fib_calls(33)
+
+
+def cilk_model_us(n: int) -> float:
+    """Modelled single-node Cilk time, calibrated from the paper."""
+    return fib_calls(n) * CILK_US_PER_CALL
+
+
+def c_model_us(n: int) -> float:
+    """Modelled optimised-C time, calibrated from the paper."""
+    return fib_calls(n) * C_US_PER_CALL

@@ -1,0 +1,141 @@
+"""Adaptive quadrature: a dynamic, irregular workload (§1).
+
+The paper argues that location transparency, dynamic placement and
+migration are "essential for scalable execution of dynamic, irregular
+applications" — workloads whose shape is unknown until runtime.
+Adaptive quadrature is the canonical example: the integration interval
+is subdivided recursively wherever the integrand is badly behaved, so
+the work tree is deeply unbalanced in ways no static placement can
+anticipate.
+
+The integrand family used here has a tunable "spike": most of the
+interval converges immediately while a narrow region recurses deeply.
+With static placement the nodes owning the spike become the critical
+path; receiver-initiated stealing flattens it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import LoadBalanceParams, RuntimeConfig
+from repro.hal.dsl import HalProgram
+from repro.runtime.system import HalRuntime
+
+#: Simulated cost of one integrand evaluation (us) — a handful of
+#: transcendental operations on a 33 MHz SPARC.
+EVAL_US = 4.0
+#: Fixed per-task bookkeeping (us).
+TASK_US = 2.0
+
+
+def spiky(x: float, *, center: float = 0.37, width: float = 1e-3) -> float:
+    """A smooth function with one violent spike: cheap almost
+    everywhere, arbitrarily deep recursion near ``center``."""
+    return math.sin(3.0 * x) + width / ((x - center) ** 2 + width ** 2)
+
+
+def spiky_integral(a: float, b: float, *, center: float = 0.37,
+                   width: float = 1e-3) -> float:
+    """Closed form of :func:`spiky` for verification."""
+    trig = (math.cos(3.0 * a) - math.cos(3.0 * b)) / 3.0
+    atan = math.atan((b - center) / width) - math.atan((a - center) / width)
+    return trig + atan
+
+
+def _simpson(f: Callable[[float], float], a: float, b: float) -> float:
+    return (b - a) / 6.0 * (f(a) + 4.0 * f((a + b) / 2.0) + f(b))
+
+
+def quad_task(ctx, a: float, b: float, tol: float, target, depth: int) -> None:
+    """One interval of the adaptive scheme (compiled CPS form).
+
+    Compares one Simpson estimate against two half-interval estimates;
+    on disagreement the halves become two stealable subtasks joined by
+    a fresh continuation.
+    """
+    ctx.charge(TASK_US + 5 * EVAL_US)
+    m = (a + b) / 2.0
+    whole = _simpson(spiky, a, b)
+    left = _simpson(spiky, a, m)
+    right = _simpson(spiky, m, b)
+    if abs(left + right - whole) < 15.0 * tol or depth >= 40:
+        ctx.reply_to(target, left + right + (left + right - whole) / 15.0)
+        return
+    t1, t2 = ctx.make_join(
+        2, lambda vals: ctx.reply_to(target, vals[0] + vals[1])
+    )
+    ctx.spawn_task("quad", a, m, tol / 2.0, t1, depth + 1)
+    ctx.spawn_task("quad", m, b, tol / 2.0, t2, depth + 1)
+
+
+def quadrature_program() -> HalProgram:
+    program = HalProgram("quadrature")
+    program.tasks["quad"] = quad_task
+    return program
+
+
+@dataclass
+class QuadResult:
+    value: float
+    expected: float
+    elapsed_us: float
+    tasks: int
+    steals: int
+
+    @property
+    def error(self) -> float:
+        return abs(self.value - self.expected)
+
+
+def run_quadrature(
+    num_nodes: int,
+    *,
+    a: float = 0.0,
+    b: float = 1.0,
+    tol: float = 1e-7,
+    load_balance: bool = True,
+    seed: int = 1995,
+    initial_splits: Optional[int] = None,
+    config: Optional[RuntimeConfig] = None,
+) -> QuadResult:
+    """Integrate the spiky function over [a, b] on ``num_nodes``.
+
+    The interval is statically pre-split into ``initial_splits`` even
+    chunks scattered round-robin (the best a static placement can do);
+    the adaptive recursion below each chunk stays local unless stolen.
+    """
+    cfg = config or RuntimeConfig(
+        num_nodes=num_nodes,
+        seed=seed,
+        load_balance=LoadBalanceParams(enabled=load_balance),
+    )
+    rt = HalRuntime(cfg)
+    rt.load(quadrature_program())
+    splits = initial_splits if initial_splits is not None else max(num_nodes, 4)
+
+    total = [0.0]
+    remaining = [splits]
+    target_boxes = []
+    for i in range(splits):
+        target, box = rt.make_collector(from_node=0)
+        target_boxes.append(box)
+        lo = a + (b - a) * i / splits
+        hi = a + (b - a) * (i + 1) / splits
+        rt.spawn_task("quad", lo, hi, tol / splits, target, 0,
+                      at=i % num_nodes)
+    start = rt.now
+    rt.run()
+    elapsed = rt.now - start
+    if not all(box for box in target_boxes):
+        raise RuntimeError("quadrature did not complete")
+    value = sum(box[0] for box in target_boxes)
+    return QuadResult(
+        value=value,
+        expected=spiky_integral(a, b),
+        elapsed_us=elapsed,
+        tasks=rt.stats.counter("exec.tasks"),
+        steals=rt.stats.counter("steal.received"),
+    )

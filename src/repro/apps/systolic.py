@@ -1,0 +1,205 @@
+"""Systolic (Cannon) dense matrix multiplication (§7.3, Table 5).
+
+"The systolic matrix multiplication algorithm involves first skewing
+the blocks within a square processor grid, and then, cyclicly shifting
+the blocks at each step.  No global synchronization is used in the
+implementation.  Instead, per actor basis local synchronization is
+used to enforce the necessary synchronization."
+
+One :class:`BlockActor` per grid cell (a group of P members, one per
+node).  The skew and every shift are real messages carrying NumPy
+blocks (bulk transfers through the three-phase protocol); a block that
+arrives for a *future* step parks in the pending queue via a disabling
+condition — the paper's local synchronization constraints doing the
+pipelining.  The result is verified against ``A @ B``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import RuntimeConfig
+from repro.hal.dsl import HalProgram, behavior, disable_when, method
+from repro.runtime.system import HalRuntime
+
+
+def block_of(n: int, q: int, seed: int, which: str, r: int, c: int) -> np.ndarray:
+    """Deterministic content of block (r, c) of matrix ``which``.
+
+    Blocks are generated independently so each actor materialises only
+    its own block; the verifier assembles the same blocks globally.
+    """
+    b = n // q
+    rng = np.random.default_rng(
+        (seed * 1_000_003 + (0 if which == "A" else 500_000) + r * q + c) & 0x7FFFFFFF
+    )
+    return rng.standard_normal((b, b))
+
+
+def assemble(n: int, q: int, seed: int, which: str) -> np.ndarray:
+    out = np.zeros((n, n))
+    b = n // q
+    for r in range(q):
+        for c in range(q):
+            out[r * b:(r + 1) * b, c * b:(c + 1) * b] = block_of(n, q, seed, which, r, c)
+    return out
+
+
+@behavior
+class BlockActor:
+    """Grid cell (r, c) of the Cannon algorithm."""
+
+    def __init__(self, n, q, seed, index, size):
+        self.n = n
+        self.q = q
+        self.seed = seed
+        self.r, self.c = divmod(index, q)
+        b = n // q
+        self.C = np.zeros((b, b))
+        self.step = 0
+        self.a = None
+        self.b = None
+        self.coordinator = None
+
+    # ------------------------------------------------------------------
+    def _member(self, group, r, c):
+        return group.member((r % self.q) * self.q + (c % self.q))
+
+    @method
+    def start(self, ctx, coordinator):
+        """Generate local blocks and perform the initial skew: A(r,c)
+        moves left by r, B(r,c) moves up by c."""
+        self.coordinator = coordinator
+        group = ctx.actor.group
+        r, c, q = self.r, self.c, self.q
+        a0 = block_of(self.n, q, self.seed, "A", r, c)
+        b0 = block_of(self.n, q, self.seed, "B", r, c)
+        ctx.charge(5.0)  # block generation bookkeeping
+        ctx.send(self._member(group, r, c - r), "recv_a", 0, a0)
+        ctx.send(self._member(group, r - c, c), "recv_b", 0, b0)
+
+    # A block for a future step waits in the pending queue until this
+    # actor's local step catches up — local synchronization only.
+    @method
+    @disable_when(lambda self, msg: msg.args[0] > self.step)
+    def recv_a(self, ctx, step, block):
+        assert step == self.step, (step, self.step)
+        self.a = block
+        self._try_step(ctx)
+
+    @method
+    @disable_when(lambda self, msg: msg.args[0] > self.step)
+    def recv_b(self, ctx, step, block):
+        assert step == self.step, (step, self.step)
+        self.b = block
+        self._try_step(ctx)
+
+    def _try_step(self, ctx):
+        if self.a is None or self.b is None:
+            return
+        b = self.n // self.q
+        self.C += self.a @ self.b
+        ctx.flops(2 * b * b * b)
+        group = ctx.actor.group
+        nxt = self.step + 1
+        if nxt < self.q:
+            # Cyclic shift: A left, B up.
+            ctx.send(self._member(group, self.r, self.c - 1), "recv_a", nxt, self.a)
+            ctx.send(self._member(group, self.r - 1, self.c), "recv_b", nxt, self.b)
+        else:
+            ctx.send(self.coordinator, "block_done", self.r * self.q + self.c)
+        self.a = None
+        self.b = None
+        self.step = nxt
+
+
+@behavior
+class GridCoordinator:
+    """Counts finished cells; replies to the driver when all are done."""
+
+    def __init__(self, cells):
+        self.cells = cells
+        self.done = 0
+        self.client = None
+
+    @method
+    def run(self, ctx, ignored):
+        self.client = ctx.msg.reply_to
+        self._maybe_finish(ctx)
+
+    @method
+    def block_done(self, ctx, index):
+        self.done += 1
+        self._maybe_finish(ctx)
+
+    def _maybe_finish(self, ctx):
+        if self.done == self.cells and self.client is not None:
+            ctx.kernel.reply_router.send_reply(self.client, self.done)
+            self.client = None
+
+
+def systolic_program() -> HalProgram:
+    program = HalProgram("systolic")
+    program.behavior(BlockActor)
+    program.behavior(GridCoordinator)
+    return program
+
+
+@dataclass
+class SystolicResult:
+    n: int
+    num_nodes: int
+    elapsed_us: float
+    mflops: float
+    C: np.ndarray
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_us / 1e6
+
+
+def run_systolic(
+    n: int,
+    num_nodes: int,
+    *,
+    seed: int = 11,
+    config: Optional[RuntimeConfig] = None,
+    verify: bool = True,
+) -> SystolicResult:
+    """Multiply two n x n matrices on a √P x √P grid (Table 5 cell)."""
+    q = int(math.isqrt(num_nodes))
+    if q * q != num_nodes:
+        raise ValueError(f"systolic grid needs a square node count, got {num_nodes}")
+    if n % q != 0:
+        raise ValueError(f"matrix size {n} not divisible by grid side {q}")
+    cfg = config or RuntimeConfig(num_nodes=num_nodes, seed=seed)
+    rt = HalRuntime(cfg)
+    rt.load(systolic_program())
+
+    group = rt.grpnew(BlockActor, num_nodes, n, q, seed, placement="cyclic")
+    coord = rt.spawn(GridCoordinator, num_nodes, at=0)
+    rt.run()
+    start = rt.now
+    rt.broadcast(group, "start", coord)
+    done = rt.call(coord, "run", 0)
+    assert done == num_nodes
+    rt.run()
+    elapsed = rt.now - start
+
+    b = n // q
+    C = np.zeros((n, n))
+    for idx in range(num_nodes):
+        r, c = divmod(idx, q)
+        C[r * b:(r + 1) * b, c * b:(c + 1) * b] = rt.state_of(group.member(idx)).C
+    if verify:
+        expect = assemble(n, q, seed, "A") @ assemble(n, q, seed, "B")
+        err = np.max(np.abs(C - expect))
+        if err > 1e-8 * n:
+            raise AssertionError(f"systolic result off by {err}")
+    mflops = 2.0 * n ** 3 / elapsed if elapsed > 0 else 0.0
+    return SystolicResult(n=n, num_nodes=num_nodes, elapsed_us=elapsed,
+                          mflops=mflops, C=C)

@@ -1,0 +1,164 @@
+"""Command-line interface: regenerate the paper's tables and inspect
+the compiler.
+
+::
+
+    python -m repro tables            # every table, small configs
+    python -m repro table2            # just the runtime primitives
+    python -m repro table4 --n 22 --nodes 16
+    python -m repro compile-report    # what the HAL compiler decided
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.reporting import fmt_ms, fmt_s, fmt_us, render_table
+
+
+def _cmd_table1(args) -> None:
+    from repro.apps.cholesky import VARIANTS, run_cholesky
+    rows = []
+    for p in args.partitions:
+        results = {v: run_cholesky(v, args.n, p) for v in VARIANTS}
+        rows.append([f"P={p}"] + [fmt_ms(results[v].elapsed_us) for v in VARIANTS])
+    print(render_table(
+        f"Table 1 — Cholesky decomposition, n={args.n} (simulated ms)",
+        ["", *VARIANTS], rows,
+        note="BP/CP: pipelined, local synchronization only; "
+             "Seq/Bcast: global synchronization.",
+    ))
+
+
+def _cmd_table2(args) -> None:
+    from repro.apps import microbench as mb
+    rows = []
+    rt = mb.fresh_runtime(4)
+    rows.append(("local creation", fmt_us(mb.measure_local_creation(rt)), "-"))
+    rt = mb.fresh_runtime(4)
+    rows.append(("remote creation (issue, alias)",
+                 fmt_us(mb.measure_remote_creation_issue(rt)), "5.83"))
+    rt = mb.fresh_runtime(4)
+    rows.append(("remote creation (actual)",
+                 fmt_us(mb.measure_remote_creation_actual(rt)), "20.83"))
+    rt = mb.fresh_runtime(4)
+    rows.append(("locality check (local actor)",
+                 fmt_us(mb.measure_locality_check(rt)), "< 1"))
+    print(render_table(
+        "Table 2 — runtime primitives (simulated us)",
+        ["primitive", "measured", "paper"], rows,
+    ))
+
+
+def _cmd_table3(args) -> None:
+    from repro.apps.microbench import measure_invocation_regimes
+    regimes = measure_invocation_regimes()
+    print(render_table(
+        "Table 3 — method-invocation costs (simulated us)",
+        ["dispatch mechanism", "us"],
+        [(k, fmt_us(v)) for k, v in regimes.items()],
+    ))
+
+
+def _cmd_table4(args) -> None:
+    from repro.apps.fibonacci import c_model_us, cilk_model_us, fib_calls, run_fib
+    rows = []
+    for p in args.partitions:
+        static = run_fib(args.n, p, load_balance=False)
+        lb = run_fib(args.n, p, load_balance=True) if p > 1 else None
+        rows.append((f"P={p}", fmt_s(static.elapsed_us),
+                     fmt_s(lb.elapsed_us) if lb else "-",
+                     lb.steals if lb else 0))
+    rows.append(("Cilk (modelled)", fmt_s(cilk_model_us(args.n)), "-", "-"))
+    rows.append(("optimised C (modelled)", fmt_s(c_model_us(args.n)), "-", "-"))
+    print(render_table(
+        f"Table 4 — Fibonacci({args.n}) = {fib_calls(args.n):,} tasks "
+        "(simulated s)",
+        ["", "static", "load balancing", "steals"], rows,
+    ))
+
+
+def _cmd_table5(args) -> None:
+    from repro.apps.systolic import run_systolic
+    rows = []
+    for p in args.partitions:
+        q = int(p ** 0.5)
+        if q * q != p:
+            continue
+        n = args.n - (args.n % q)
+        r = run_systolic(n, p)
+        rows.append((f"{n}x{n}", f"P={p}", fmt_s(r.elapsed_us),
+                     f"{r.mflops:.1f}"))
+    print(render_table(
+        "Table 5 — systolic matrix multiplication (simulated)",
+        ["matrix", "partition", "time (s)", "MFlops"], rows,
+        note="paper: peaks at 434 MFlops for 1024x1024 on 64 nodes",
+    ))
+
+
+def _cmd_compile_report(args) -> None:
+    from repro.actors.behavior import behavior_of
+    from repro.hal.compiler import compile_behaviors
+    from repro.apps.cholesky import cholesky_program
+    from repro.apps.fibonacci import fib_program
+    from repro.apps.systolic import systolic_program
+    for program in (fib_program(), cholesky_program(), systolic_program()):
+        behaviors = {
+            behavior_of(cls).name: behavior_of(cls)
+            for cls in program.behaviors
+        }
+        print(compile_behaviors(behaviors, name=program.name).report())
+        print()
+
+
+def _cmd_tables(args) -> None:
+    for fn in (_cmd_table1, _cmd_table2, _cmd_table3, _cmd_table4, _cmd_table5):
+        fn(args)
+        print()
+
+
+def _partitions(value: str) -> List[int]:
+    return [int(x) for x in value.split(",")]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the tables of Kim & Agha (SC '95) on the "
+                    "simulated HAL runtime.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    specs = {
+        "tables": (_cmd_tables, 96, "4,8,16"),
+        "table1": (_cmd_table1, 96, "4,8,16"),
+        "table2": (_cmd_table2, 0, "4"),
+        "table3": (_cmd_table3, 0, "4"),
+        "table4": (_cmd_table4, 18, "1,4,8,16"),
+        "table5": (_cmd_table5, 256, "4,16,64"),
+        "compile-report": (_cmd_compile_report, 0, "4"),
+    }
+    for name, (fn, default_n, default_p) in specs.items():
+        p = sub.add_parser(name)
+        p.add_argument("--n", type=int, default=default_n,
+                       help="problem size (table-specific)")
+        p.add_argument("--partitions", type=_partitions, default=_partitions(default_p),
+                       help="comma-separated node counts")
+        p.set_defaults(fn=fn)
+
+    args = parser.parse_args(argv)
+    if args.command == "tables":
+        # `tables` runs every table with its own default problem size.
+        for name in ("table1", "table2", "table3", "table4", "table5"):
+            fn, default_n, default_p = specs[name]
+            fn(argparse.Namespace(n=default_n, partitions=_partitions(default_p)))
+            print()
+        return 0
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

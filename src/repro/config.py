@@ -1,0 +1,136 @@
+"""Configuration objects shared by the simulator and the runtime.
+
+The defaults describe a CM-5-like partition: 33 MHz SPARC processing
+elements connected by a fat-tree, driven through a CMAM-style
+active-message layer.  All times are **simulated microseconds**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Interconnect cost model (CM-5 data network via CMAM).
+
+    The base numbers are calibrated so that the runtime-primitive
+    micro-benchmarks land on the paper's published values (remote
+    creation issue 5.83 us vs. actual 20.83 us; locality check under
+    1 us); see ``repro.runtime.costmodel`` for the calibration table.
+    """
+
+    #: Fall-through wire latency for a single-hop message (us).
+    base_latency_us: float = 3.0
+    #: Additional latency per fat-tree hop (us).
+    per_hop_us: float = 0.5
+    #: Sender-side NIC injection cost per byte (us/byte).
+    inject_us_per_byte: float = 0.025
+    #: Receiver-side NIC drain cost per byte (us/byte).
+    drain_us_per_byte: float = 0.025
+    #: Bytes the receiving NIC can buffer before back-pressure sets in.
+    rx_buffer_bytes: int = 16 * 1024
+    #: Penalty factor applied to bytes that overflow the receive buffer.
+    #: Models the packet back-up / retry traffic the paper's minimal
+    #: flow control is designed to avoid.
+    backup_penalty_us_per_byte: float = 0.25
+    #: Size in bytes of a minimal active-message packet (header included).
+    packet_bytes: int = 20
+
+    @classmethod
+    def cm5(cls) -> "NetworkParams":
+        """The default: CM-5 data network through CMAM."""
+        return cls()
+
+    @classmethod
+    def now_atm(cls) -> "NetworkParams":
+        """A mid-90s network of workstations over ATM (the platform
+        the paper's conclusions point at): an order of magnitude more
+        wire latency and roughly 15 MB/s per link, but the same
+        runtime on top.  Calibrated from the Active Messages over ATM
+        measurements the paper cites [34]."""
+        return cls(
+            base_latency_us=26.0,
+            per_hop_us=4.0,
+            inject_us_per_byte=0.065,
+            drain_us_per_byte=0.065,
+            rx_buffer_bytes=64 * 1024,
+            backup_penalty_us_per_byte=0.4,
+            packet_bytes=48,
+        )
+
+
+@dataclass(frozen=True)
+class SchedulerParams:
+    """Intra-node scheduling knobs exposed to the HAL compiler."""
+
+    #: Maximum depth of compiler-controlled stack-based inline
+    #: invocations before falling back to the buffered generic send.
+    max_inline_depth: int = 32
+    #: Enable static dispatch with locality check (compiler interface).
+    static_dispatch: bool = True
+    #: Enable collective scheduling of broadcast messages.
+    collective_broadcast: bool = True
+    #: Stack-based (LIFO, newest-first) scheduling of ready items —
+    #: the paper's compiler-controlled stack-based scheduling.  Work
+    #: expands depth-first, keeping queues small and leaving the
+    #: biggest-grain subtrees at the old end where thieves steal.
+    #: False selects plain FIFO (queue-based) scheduling, the regime
+    #: the ABCL/onAP1000 comparison row in Table 3 represents.
+    stack_scheduling: bool = True
+
+
+@dataclass(frozen=True)
+class LoadBalanceParams:
+    """Receiver-initiated random-polling work stealing (Kumar et al.)."""
+
+    enabled: bool = False
+    #: Idle time before an idle node polls a random peer (us).
+    poll_interval_us: float = 50.0
+    #: A node grants a steal only if it has more ready items than this.
+    surplus_threshold: int = 1
+    #: Maximum number of items handed over per successful poll.
+    max_grant: int = 1
+    #: Steal from the head of the ready queue.  Task expansion is
+    #: breadth-first (the dispatcher is FIFO), so the head holds the
+    #: oldest — i.e. shallowest, biggest-grain — stealable subtree.
+    steal_from_tail: bool = False
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Top-level configuration for a simulated HAL runtime instance."""
+
+    #: Number of processing elements in the partition.
+    num_nodes: int = 8
+    #: Interconnect topology: CM-5 fat-tree or binary hypercube.
+    topology: Literal["fattree", "hypercube"] = "fattree"
+    #: Seed for all deterministic random substreams.
+    seed: int = 1995
+    #: Use aliases to hide remote-creation latency (paper Section 5).
+    alias_creation: bool = True
+    #: Cache remote locality-descriptor addresses (paper Section 4.1).
+    descriptor_caching: bool = True
+    #: Minimal flow control for bulk transfers (paper Section 6.5).
+    flow_control: bool = True
+    #: Bulk-transfer threshold in bytes: payloads at or above this size
+    #: use the three-phase CMAM protocol.
+    bulk_threshold_bytes: int = 256
+
+    network: NetworkParams = field(default_factory=NetworkParams)
+    scheduler: SchedulerParams = field(default_factory=SchedulerParams)
+    load_balance: LoadBalanceParams = field(default_factory=LoadBalanceParams)
+
+    #: Abort the simulation after this many events (safety valve).
+    max_events: int = 200_000_000
+
+    def with_(self, **changes) -> "RuntimeConfig":
+        """Return a copy of the config with ``changes`` applied."""
+        return replace(self, **changes)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.bulk_threshold_bytes < 1:
+            raise ValueError("bulk_threshold_bytes must be >= 1")

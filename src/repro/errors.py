@@ -1,0 +1,84 @@
+"""Exception hierarchy for the HAL-runtime reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures without masking programming
+errors in their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class CausalityError(SimulationError):
+    """An event was scheduled in the simulated past."""
+
+
+class TopologyError(ReproError):
+    """An invalid node id or partition shape was used."""
+
+
+class NetworkError(ReproError):
+    """The interconnect model rejected a transmission."""
+
+
+class HandlerError(ReproError):
+    """An active-message handler was missing or misused."""
+
+
+class NameServiceError(ReproError):
+    """The distributed name server was driven into an invalid state."""
+
+
+class UnknownActorError(NameServiceError):
+    """A mail address does not (and can never) resolve to an actor."""
+
+
+class MigrationError(ReproError):
+    """An actor migration request could not be honoured."""
+
+
+class DeliveryError(ReproError):
+    """A message could not be delivered to its target actor."""
+
+
+class SchedulingError(ReproError):
+    """The dispatcher or an inline-invocation plan was misused."""
+
+
+class ConstraintError(ReproError):
+    """A local synchronization constraint was declared incorrectly."""
+
+
+class ContinuationError(ReproError):
+    """A join continuation was used after firing or with bad slots."""
+
+
+class BehaviorError(ReproError):
+    """A behaviour definition is malformed (bad method, bad become)."""
+
+
+class CompileError(ReproError):
+    """The HAL compiler could not analyse or lower a behaviour."""
+
+
+class TypeInferenceError(CompileError):
+    """Constraint-based type inference found an inconsistency."""
+
+
+class GroupError(ReproError):
+    """An actor-group (``grpnew``) operation failed."""
+
+
+class LoadError(ReproError):
+    """The program load module rejected an executable."""
+
+
+class FlowControlError(ReproError):
+    """The bulk-transfer flow-control protocol was violated."""

@@ -1,0 +1,27 @@
+"""The HAL language layer.
+
+HAL is untyped but statically type-checked: the compiler infers types
+with a constraint-based algorithm (§2, [27]) and uses them to select
+dispatch mechanisms (§6.3).  This package provides:
+
+- :mod:`repro.hal.dsl` — the embedded programming surface
+  (``@behavior``, ``@method``, ``disable_when``);
+- :mod:`repro.hal.types` / :mod:`repro.hal.inference` — the type
+  lattice and the constraint-based inference over method ASTs;
+- :mod:`repro.hal.dependence` — analysis of generator (request/reply)
+  methods: continuation splitting and purity detection;
+- :mod:`repro.hal.optimize` / :mod:`repro.hal.compiler` — dispatch-plan
+  selection and the compilation pipeline invoked at program load.
+"""
+
+from repro.hal.compiler import CompiledBehavior, CompiledProgram, compile_program
+from repro.hal.dsl import behavior, disable_when, method
+
+__all__ = [
+    "behavior",
+    "method",
+    "disable_when",
+    "compile_program",
+    "CompiledProgram",
+    "CompiledBehavior",
+]

@@ -1,0 +1,131 @@
+"""The HAL compilation pipeline (run by the front-end at load time).
+
+Stages, mirroring the paper's compiler/runtime split:
+
+1. constraint-based type inference over all behaviour methods
+   (:mod:`repro.hal.inference`);
+2. dependence analysis: continuation structure of request/reply
+   methods + purity detection (:mod:`repro.hal.dependence`);
+3. dispatch-plan selection with static type checking
+   (:mod:`repro.hal.optimize`).
+
+The output is attached to each :class:`~repro.actors.behavior.Behavior`
+(its ``compiled`` slot) where the runtime's send path consults it —
+the "open interface" between compiler and runtime the paper argues
+for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.actors.behavior import Behavior, behavior_of
+from repro.hal.dependence import DependenceResult, analyze_dependence
+from repro.hal.inference import InferenceResult, infer_program
+from repro.hal.optimize import BehaviorPlans, select_plans
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.program import HalProgram
+
+
+@dataclass
+class CompiledBehavior:
+    """Per-behaviour compiler output consulted by the runtime."""
+
+    behavior: str
+    plans: BehaviorPlans
+    functional: bool
+    #: (method, selector) -> reason string, for the compiler report.
+    notes: Dict = field(default_factory=dict)
+
+    def plan_for(self, method: str, selector: str) -> str:
+        return self.plans.plan_for(method, selector)
+
+
+@dataclass
+class CompiledProgram:
+    """Whole-program compiler output + report."""
+
+    name: str
+    behaviors: Dict[str, CompiledBehavior]
+    inference: InferenceResult
+    dependence: DependenceResult
+    diagnostics: List[str]
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable compilation report (dispatch decisions,
+        continuation structure, purity)."""
+        lines = [f"=== HAL compilation report: {self.name} ==="]
+        for bname in sorted(self.behaviors):
+            cb = self.behaviors[bname]
+            tag = " [functional]" if cb.functional else ""
+            lines.append(f"behaviour {bname}{tag}")
+            for (mname, selector), plan in sorted(cb.plans.plans.items()):
+                lines.append(
+                    f"  {mname}: send {selector!r} -> {plan.kind:<7} ({plan.reason})"
+                )
+            for (b, m), cont in sorted(self.dependence.continuations.items()):
+                if b == bname and cont.is_generator:
+                    joins = ", ".join(
+                        f"{j.slots if j.slots >= 0 else '?'}@{j.lineno}"
+                        for j in cont.joins
+                    )
+                    lines.append(
+                        f"  {m}: {cont.split_points} continuation split(s) [{joins}]"
+                    )
+        for d in self.diagnostics:
+            lines.append(d)
+        return "\n".join(lines)
+
+    def static_site_count(self) -> int:
+        return sum(
+            1
+            for cb in self.behaviors.values()
+            for plan in cb.plans.plans.values()
+            if plan.kind == "static"
+        )
+
+
+def compile_behaviors(
+    behaviors: Dict[str, Behavior],
+    *,
+    name: str = "<adhoc>",
+    strict: bool = True,
+    universe: Optional[Dict[str, Behavior]] = None,
+) -> CompiledProgram:
+    """Run the pipeline over a behaviour set and attach the results.
+
+    ``universe`` is the full set of behaviours visible at link time —
+    kernels execute all programs in one address space, so a program's
+    sends may target behaviours loaded earlier.  Analysis runs over the
+    universe; results are attached to ``behaviors`` only.
+    """
+    universe = dict(universe or {})
+    universe.update(behaviors)
+    inference = infer_program(universe)
+    dependence = analyze_dependence(inference)
+    plans, diags = select_plans(universe, inference, dependence, strict=strict)
+    diags = list(inference.diagnostics) + diags
+    compiled: Dict[str, CompiledBehavior] = {}
+    for bname, beh in behaviors.items():
+        functional = dependence.behavior_is_functional(bname)
+        cb = CompiledBehavior(bname, plans[bname], functional)
+        beh.compiled = cb
+        beh.functional = functional
+        compiled[bname] = cb
+    return CompiledProgram(name, compiled, inference, dependence, diags)
+
+
+def compile_program(
+    program: "HalProgram",
+    *,
+    strict: bool = True,
+    universe: Optional[Dict[str, Behavior]] = None,
+) -> CompiledProgram:
+    """Compile a program image (front-end entry point)."""
+    behaviors = {behavior_of(cls).name: behavior_of(cls) for cls in program.behaviors}
+    return compile_behaviors(
+        behaviors, name=program.name, strict=strict, universe=universe
+    )

@@ -1,0 +1,186 @@
+"""Dependence analysis of request/reply methods (§6.2) and purity
+detection (§7.2).
+
+The HAL compiler transforms a ``request`` send into an asynchronous
+send and separates out its continuation through dependence analysis;
+independent sends are grouped to share one continuation.  In the DSL,
+the split points are explicit ``yield``s, so the static analysis here
+has three jobs:
+
+1. **validate** generator methods (every yield must be a request or a
+   group of requests — anything else would deadlock the continuation);
+2. **summarise** the continuation structure (how many split points,
+   how many slots per join) for the compiler report and for tests;
+3. **detect purely functional behaviours** — methods that never write
+   ``self``, never ``become`` and never ``migrate``.  For those, actor
+   creation can be optimised away into lightweight tasks, the
+   optimisation the paper applies to the Fibonacci benchmark
+   ("since Fibonacci actors are purely functional, actor creations
+   were optimized away").
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.hal.inference import InferenceResult, MethodAnalysis
+
+
+@dataclass(frozen=True)
+class JoinPoint:
+    """One yield: a join of ``slots`` grouped requests."""
+
+    lineno: int
+    slots: int
+    grouped: bool
+
+
+@dataclass
+class ContinuationPlan:
+    """Continuation structure of one method."""
+
+    behavior: str
+    method: str
+    is_generator: bool
+    joins: List[JoinPoint] = field(default_factory=list)
+
+    @property
+    def split_points(self) -> int:
+        return len(self.joins)
+
+
+@dataclass
+class PurityInfo:
+    """Write-effects of one method."""
+
+    writes_state: bool
+    becomes: bool
+    migrates: bool
+
+    @property
+    def pure(self) -> bool:
+        return not (self.writes_state or self.becomes or self.migrates)
+
+
+def _is_request_call(e: ast.expr) -> bool:
+    return (
+        isinstance(e, ast.Call)
+        and isinstance(e.func, ast.Attribute)
+        and e.func.attr in ("request", "request_create")
+        and isinstance(e.func.value, ast.Name)
+        and e.func.value.id == "ctx"
+    )
+
+
+def analyze_continuations(ma: MethodAnalysis) -> ContinuationPlan:
+    """Compute (and validate) the continuation structure of a method."""
+    plan = ContinuationPlan(ma.behavior, ma.name, ma.has_yield)
+    if not ma.analyzable or not ma.has_yield:
+        return plan
+    for node in ast.walk(ma.node):
+        if isinstance(node, ast.YieldFrom):
+            raise CompileError(
+                f"{ma.behavior}.{ma.name} (line {node.lineno}): `yield from` "
+                "is not a HAL construct; yield individual requests"
+            )
+        if not isinstance(node, ast.Yield):
+            continue
+        inner = node.value
+        if inner is None:
+            raise CompileError(
+                f"{ma.behavior}.{ma.name} (line {node.lineno}): bare yield; "
+                "a method may only yield ctx.request(...) values"
+            )
+        if isinstance(inner, (ast.List, ast.Tuple)):
+            elts = inner.elts
+            bad = [e for e in elts if not _is_request_call(e)]
+            if bad or not elts:
+                raise CompileError(
+                    f"{ma.behavior}.{ma.name} (line {node.lineno}): grouped "
+                    "yield must contain only ctx.request(...) calls"
+                )
+            plan.joins.append(JoinPoint(node.lineno, len(elts), True))
+        elif _is_request_call(inner):
+            plan.joins.append(JoinPoint(node.lineno, 1, False))
+        elif isinstance(inner, (ast.Constant, ast.BinOp, ast.Compare,
+                                ast.JoinedStr, ast.Dict, ast.Set)):
+            raise CompileError(
+                f"{ma.behavior}.{ma.name} (line {node.lineno}): a method "
+                "may only yield ctx.request(...) values, not "
+                f"{ast.dump(inner)[:40]}..."
+            )
+        else:
+            # A dynamic expression (e.g. a pre-built list variable) —
+            # slots unknown statically; the runtime validates at the
+            # split point.  Record it as a dynamic join.
+            plan.joins.append(JoinPoint(node.lineno, -1, True))
+    return plan
+
+
+def analyze_purity(ma: MethodAnalysis) -> PurityInfo:
+    """Determine whether a method writes its actor's state."""
+    if not ma.analyzable:
+        return PurityInfo(True, True, True)  # unknown: assume impure
+    writes = becomes = migrates = False
+    for node in ast.walk(ma.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for t in targets:
+                for sub in ast.walk(t):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                    ):
+                        writes = True
+                    if (
+                        isinstance(sub, ast.Subscript)
+                        and isinstance(sub.value, ast.Attribute)
+                        and isinstance(sub.value.value, ast.Name)
+                        and sub.value.value.id == "self"
+                    ):
+                        writes = True
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if isinstance(node.func.value, ast.Name) and node.func.value.id == "ctx":
+                if node.func.attr == "become":
+                    becomes = True
+                elif node.func.attr == "migrate":
+                    migrates = True
+            # self.items.append(...) style mutation
+            if (
+                isinstance(node.func.value, ast.Attribute)
+                and isinstance(node.func.value.value, ast.Name)
+                and node.func.value.value.id == "self"
+                and node.func.attr in (
+                    "append", "extend", "insert", "pop", "remove", "clear",
+                    "add", "discard", "update", "setdefault", "popleft",
+                    "appendleft",
+                )
+            ):
+                writes = True
+    return PurityInfo(writes, becomes, migrates)
+
+
+@dataclass
+class DependenceResult:
+    continuations: Dict[Tuple[str, str], ContinuationPlan]
+    purity: Dict[Tuple[str, str], PurityInfo]
+
+    def behavior_is_functional(self, behavior: str) -> bool:
+        """True when *every* analysed method of the behaviour is pure."""
+        infos = [p for (b, _), p in self.purity.items() if b == behavior]
+        return bool(infos) and all(p.pure for p in infos)
+
+
+def analyze_dependence(inference: InferenceResult) -> DependenceResult:
+    continuations: Dict[Tuple[str, str], ContinuationPlan] = {}
+    purity: Dict[Tuple[str, str], PurityInfo] = {}
+    for key, ma in inference.methods.items():
+        continuations[key] = analyze_continuations(ma)
+        purity[key] = analyze_purity(ma)
+    return DependenceResult(continuations, purity)

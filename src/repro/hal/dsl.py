@@ -1,0 +1,38 @@
+"""The HAL programming surface (embedded DSL).
+
+Programs are ordinary Python classes marked with :func:`behavior`;
+message-invocable methods are marked with :func:`method` and receive
+``(self, ctx, *args)``.  The full primitive set (§2.2):
+
+===================  ====================================================
+HAL construct        DSL form
+===================  ====================================================
+``new``              ``ctx.new(Cls, *args, at=node)``
+``grpnew``           ``ctx.grpnew(Cls, n, *args, placement=...)``
+``send``             ``ctx.send(ref, "selector", *args)``
+``request``          ``value = yield ctx.request(ref, "sel", *args)``
+grouped requests     ``a, b = yield [ctx.request(...), ctx.request(...)]``
+``reply``            ``return value`` or ``ctx.reply(value)``
+``broadcast``        ``ctx.broadcast(group, "selector", *args)``
+``become``           ``ctx.become(Cls, *args)``
+migration            ``ctx.migrate(node)``
+sync constraints     ``@disable_when(lambda self, msg: ...)``
+===================  ====================================================
+
+Behaviours used with ``grpnew`` receive ``(*args, index, size)`` in
+their constructor so each member knows its coordinates.
+"""
+
+from repro.actors.behavior import behavior, method
+from repro.actors.constraints import disable_when
+from repro.runtime.calls import CreateRequest, Request
+from repro.runtime.program import HalProgram
+
+__all__ = [
+    "behavior",
+    "method",
+    "disable_when",
+    "Request",
+    "CreateRequest",
+    "HalProgram",
+]

@@ -1,0 +1,25 @@
+"""A textual front-end for HAL (the mini-HAL language).
+
+HAL [15] descends from the Rosette/Acore family, so the surface syntax
+here is s-expressions::
+
+    (defbehavior counter (value)
+      (method incr (by)
+        (set! value (+ value by)))
+      (method get ()
+        (reply value)))
+
+:func:`compile_hal` turns HAL source into a loadable
+:class:`~repro.runtime.program.HalProgram`: the code generator emits
+Python behaviour classes (mirroring the real compiler, which "generates
+C code as its output") and registers the generated source with
+``linecache`` so the *whole* analysis pipeline — constraint-based type
+inference, dependence analysis, dispatch-plan selection — runs on
+mini-HAL programs exactly as on the embedded DSL.
+"""
+
+from repro.hal.lang.codegen import compile_hal, generate_python
+from repro.hal.lang.lexer import tokenize
+from repro.hal.lang.parser import parse
+
+__all__ = ["compile_hal", "generate_python", "tokenize", "parse"]

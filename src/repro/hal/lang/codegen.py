@@ -1,0 +1,431 @@
+"""Code generator: mini-HAL declarations → Python behaviour classes.
+
+Mirrors the real HAL compiler's structure ("The compiler ... generates
+C code as its output"): each behaviour becomes a generated Python
+class using the embedded DSL; ``request`` forms compile to ``yield``
+expressions, so the dependence analysis sees the same split points;
+``disable-when`` clauses become :func:`disable_when` guards.  The
+generated source is registered with :mod:`linecache` under a synthetic
+filename so ``inspect.getsource`` — and therefore the whole inference
+pipeline — works on mini-HAL programs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import linecache
+from typing import Dict, List, Optional, Set
+
+from repro.errors import CompileError
+from repro.hal.lang.parser import BehaviorDecl, Keyword, MethodDecl, Sexp, Symbol, parse
+from repro.runtime.program import HalProgram
+
+_counter = itertools.count(1)
+
+#: Binary/variadic operators: HAL symbol -> Python operator.
+_BINOPS = {
+    "+": "+", "-": "-", "*": "*", "/": "/", "mod": "%",
+    "<": "<", ">": ">", "<=": "<=", ">=": ">=",
+    "=": "==", "!=": "!=",
+}
+
+#: Simple function-call builtins: HAL symbol -> Python callable text.
+_BUILTINS = {
+    "len": "len", "abs": "abs", "min": "min", "max": "max",
+    "int": "int", "float": "float", "str-of": "str",
+    "sqrt": "math.sqrt", "floor": "math.floor", "ceil": "math.ceil",
+}
+
+
+def mangle(name: str) -> str:
+    """HAL identifier → Python identifier."""
+    out = name.replace("-", "_").replace("?", "_p").replace("!", "_x")
+    out = out.replace("*", "_star").replace("/", "_slash")
+    if not out.isidentifier():
+        raise CompileError(f"cannot mangle identifier {name!r}")
+    return out
+
+
+class _Scope:
+    """Tracks which names are state variables vs locals."""
+
+    def __init__(self, state_vars: Set[str], behaviors: Set[str]) -> None:
+        self.state = state_vars
+        self.behaviors = behaviors
+        self.locals: Set[str] = set()
+
+    def reference(self, name: str) -> str:
+        if name in self.locals:
+            return mangle(name)
+        if name in self.state:
+            return f"self.{mangle(name)}"
+        raise CompileError(
+            f"unbound variable {name!r} (declare it as a state variable "
+            "or bind it with let)"
+        )
+
+
+class _MethodGen:
+    """Compiles one method body."""
+
+    def __init__(self, decl: BehaviorDecl, m: MethodDecl,
+                 behaviors: Set[str]) -> None:
+        self.decl = decl
+        self.m = m
+        self.scope = _Scope(set(decl.state_vars), behaviors)
+        self.scope.locals.update(m.params)
+        self.lines: List[str] = []
+
+    def err(self, msg: str) -> CompileError:
+        return CompileError(f"{self.decl.name}.{self.m.name}: {msg}")
+
+    # ------------------------------------------------------------------
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def generate(self) -> List[str]:
+        params = "".join(f", {mangle(p)}" for p in self.m.params)
+        self.emit(1, "@method")
+        if self.m.disable_when is not None:
+            guard = self.guard_name()
+            self.emit(1, f"@disable_when({guard})")
+        self.emit(1, f"def {mangle(self.m.name)}(self, ctx{params}):")
+        for form in self.m.body:
+            self.stmt(form, 2)
+        return self.lines
+
+    def guard_name(self) -> str:
+        return f"_guard_{mangle(self.decl.name)}_{mangle(self.m.name)}"
+
+    def generate_guard(self) -> List[str]:
+        """The disable-when predicate as a module-level function."""
+        expr = _GuardGen(self.decl).expr(self.m.disable_when)
+        return [
+            f"def {self.guard_name()}(self, msg):",
+            f"    return {expr}",
+        ]
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def stmt(self, form: Sexp, ind: int) -> None:
+        if not isinstance(form, list) or not form:
+            # bare expression statement (rarely useful, but legal)
+            self.emit(ind, self.expr(form))
+            return
+        head = form[0]
+        if isinstance(head, Symbol):
+            h = head.name
+            if h == "set!":
+                if len(form) != 3 or not isinstance(form[1], Symbol):
+                    raise self.err("(set! var expr)")
+                target = self.scope.reference(form[1].name)
+                self.emit(ind, f"{target} = {self.expr(form[2])}")
+                return
+            if h == "let":
+                if len(form) < 3 or not isinstance(form[1], list):
+                    raise self.err("(let ((var expr) ...) body ...)")
+                for binding in form[1]:
+                    if not (isinstance(binding, list) and len(binding) == 2
+                            and isinstance(binding[0], Symbol)):
+                        raise self.err(f"bad let binding {binding!r}")
+                    value = self.expr(binding[1])
+                    self.scope.locals.add(binding[0].name)
+                    self.emit(ind, f"{mangle(binding[0].name)} = {value}")
+                for sub in form[2:]:
+                    self.stmt(sub, ind)
+                return
+            if h == "begin":
+                for sub in form[1:]:
+                    self.stmt(sub, ind)
+                return
+            if h == "if":
+                if len(form) not in (3, 4):
+                    raise self.err("(if cond then [else])")
+                self.emit(ind, f"if {self.expr(form[1])}:")
+                self.stmt(form[2], ind + 1)
+                if len(form) == 4:
+                    self.emit(ind, "else:")
+                    self.stmt(form[3], ind + 1)
+                return
+            if h == "while":
+                if len(form) < 3:
+                    raise self.err("(while cond body ...)")
+                self.emit(ind, f"while {self.expr(form[1])}:")
+                for sub in form[2:]:
+                    self.stmt(sub, ind + 1)
+                return
+            if h == "dotimes":
+                if (len(form) < 3 or not isinstance(form[1], list)
+                        or len(form[1]) != 2
+                        or not isinstance(form[1][0], Symbol)):
+                    raise self.err("(dotimes (i n) body ...)")
+                var = form[1][0].name
+                self.scope.locals.add(var)
+                self.emit(
+                    ind,
+                    f"for {mangle(var)} in range({self.expr(form[1][1])}):",
+                )
+                for sub in form[2:]:
+                    self.stmt(sub, ind + 1)
+                return
+            if h == "reply":
+                if len(form) != 2:
+                    raise self.err("(reply expr)")
+                self.emit(ind, f"return {self.expr(form[1])}")
+                return
+            if h == "send":
+                self.emit(ind, self._send_expr(form))
+                return
+            if h == "broadcast":
+                if len(form) < 3 or not isinstance(form[2], Symbol):
+                    raise self.err("(broadcast group selector args ...)")
+                args = "".join(f", {self.expr(a)}" for a in form[3:])
+                self.emit(
+                    ind,
+                    f"ctx.broadcast({self.expr(form[1])}, "
+                    f"\"{mangle(form[2].name)}\"{args})",
+                )
+                return
+            if h == "become":
+                if len(form) < 2 or not isinstance(form[1], Symbol):
+                    raise self.err("(become Behavior args ...)")
+                args = "".join(f", {self.expr(a)}" for a in form[2:])
+                self.emit(ind, f"ctx.become({mangle(form[1].name)}{args})")
+                return
+            if h == "migrate":
+                if len(form) != 2:
+                    raise self.err("(migrate node-expr)")
+                self.emit(ind, f"ctx.migrate({self.expr(form[1])})")
+                return
+            if h in ("io", "charge", "flops"):
+                if len(form) != 2:
+                    raise self.err(f"({h} expr)")
+                arg = self.expr(form[1])
+                if h == "io":
+                    arg = f"str({arg})"
+                self.emit(ind, f"ctx.{h}({arg})")
+                return
+            if h == "append!":
+                if len(form) != 3:
+                    raise self.err("(append! list-expr value)")
+                self.emit(
+                    ind,
+                    f"{self.expr(form[1])}.append({self.expr(form[2])})",
+                )
+                return
+        # fallthrough: expression statement (request for effect, etc.)
+        self.emit(ind, self.expr(form))
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def expr(self, form: Sexp) -> str:
+        if isinstance(form, (int, float)):
+            return repr(form)
+        if isinstance(form, str):
+            return repr(form)
+        if isinstance(form, Keyword):
+            raise self.err(f"keyword :{form.name} outside a call")
+        if isinstance(form, Symbol):
+            return self._atom(form.name)
+        if not form:
+            return "None"
+        head = form[0]
+        if not isinstance(head, Symbol):
+            raise self.err(f"cannot call {head!r}")
+        h = head.name
+        if h in _BINOPS:
+            if len(form) < 3:
+                raise self.err(f"operator {h} needs two operands")
+            op = _BINOPS[h]
+            return "(" + f" {op} ".join(self.expr(a) for a in form[1:]) + ")"
+        if h in _BUILTINS:
+            args = ", ".join(self.expr(a) for a in form[1:])
+            return f"{_BUILTINS[h]}({args})"
+        if h == "and":
+            return "(" + " and ".join(self.expr(a) for a in form[1:]) + ")"
+        if h == "or":
+            return "(" + " or ".join(self.expr(a) for a in form[1:]) + ")"
+        if h == "not":
+            return f"(not {self.expr(form[1])})"
+        if h == "if":
+            if len(form) != 4:
+                raise self.err("expression (if cond then else)")
+            return (f"({self.expr(form[2])} if {self.expr(form[1])} "
+                    f"else {self.expr(form[3])})")
+        if h == "list":
+            return "[" + ", ".join(self.expr(a) for a in form[1:]) + "]"
+        if h == "nth":
+            return f"{self.expr(form[1])}[{self.expr(form[2])}]"
+        if h == "pop!":
+            return f"{self.expr(form[1])}.pop(0)"
+        if h == "empty?":
+            return f"(len({self.expr(form[1])}) == 0)"
+        if h == "str":
+            return "(" + " + ".join(f"str({self.expr(a)})" for a in form[1:]) + ")"
+        if h == "new":
+            return self._new_expr(form)
+        if h == "grpnew":
+            return self._grpnew_expr(form)
+        if h == "member":
+            if len(form) != 3:
+                raise self.err("(member group index)")
+            return f"{self.expr(form[1])}.member({self.expr(form[2])})"
+        if h == "request":
+            if len(form) < 3 or not isinstance(form[2], Symbol):
+                raise self.err("(request ref selector args ...)")
+            args = "".join(f", {self.expr(a)}" for a in form[3:])
+            return (f"(yield ctx.request({self.expr(form[1])}, "
+                    f"\"{mangle(form[2].name)}\"{args}))")
+        if h == "request-create":
+            call, at = self._split_at(form[1:], "request-create")
+            if not call or not isinstance(call[0], Symbol):
+                raise self.err("(request-create Behavior args ... :at node)")
+            if at is None:
+                raise self.err("request-create requires :at")
+            args = "".join(f", {self.expr(a)}" for a in call[1:])
+            return (f"(yield ctx.request_create({mangle(call[0].name)}"
+                    f"{args}, at={at}))")
+        if h == "send":
+            return self._send_expr(form)
+        raise self.err(f"unknown form ({h} ...)")
+
+    def _atom(self, name: str) -> str:
+        if name == "self":
+            return "ctx.me"
+        if name == "node":
+            return "ctx.node"
+        if name == "num-nodes":
+            return "ctx.num_nodes"
+        if name == "now":
+            return "ctx.now"
+        if name == "nil":
+            return "None"
+        if name == "true":
+            return "True"
+        if name == "false":
+            return "False"
+        return self.scope.reference(name)
+
+    def _send_expr(self, form: list) -> str:
+        if len(form) < 3 or not isinstance(form[2], Symbol):
+            raise self.err("(send ref selector args ...)")
+        args = "".join(f", {self.expr(a)}" for a in form[3:])
+        return (f"ctx.send({self.expr(form[1])}, "
+                f"\"{mangle(form[2].name)}\"{args})")
+
+    def _split_at(self, items: list, what: str):
+        """Split off a trailing ``:at expr`` pair."""
+        at = None
+        out = list(items)
+        for i, item in enumerate(out):
+            if isinstance(item, Keyword):
+                if item.name != "at" or i + 1 >= len(out):
+                    raise self.err(f"{what}: bad keyword :{item.name}")
+                at = self.expr(out[i + 1])
+                out = out[:i] + out[i + 2:]
+                break
+        return out, at
+
+    def _new_expr(self, form: list) -> str:
+        call, at = self._split_at(form[1:], "new")
+        if not call or not isinstance(call[0], Symbol):
+            raise self.err("(new Behavior args ... [:at node])")
+        bname = call[0].name
+        if bname not in self.scope.behaviors:
+            raise self.err(f"new of unknown behaviour {bname!r}")
+        args = "".join(f", {self.expr(a)}" for a in call[1:])
+        at_kw = f", at={at}" if at is not None else ""
+        return f"ctx.new({mangle(bname)}{args}{at_kw})"
+
+    def _grpnew_expr(self, form: list) -> str:
+        call, _ = self._split_at(form[1:], "grpnew")
+        if len(call) < 2 or not isinstance(call[0], Symbol):
+            raise self.err("(grpnew Behavior n args ...)")
+        bname = call[0].name
+        if bname not in self.scope.behaviors:
+            raise self.err(f"grpnew of unknown behaviour {bname!r}")
+        args = "".join(f", {self.expr(a)}" for a in call[1:])
+        return f"ctx.grpnew({mangle(bname)}{args})"
+
+
+class _GuardGen(_MethodGen):
+    """Expression compiler for disable-when predicates: state vars map
+    to ``self.<var>``; ``(msg-arg i)`` reads the pending message."""
+
+    def __init__(self, decl: BehaviorDecl) -> None:
+        self.decl = decl
+        self.m = MethodDecl("<guard>", [], None, [], decl.line)
+        self.scope = _Scope(set(decl.state_vars), set())
+        self.lines = []
+
+    def expr(self, form: Sexp) -> str:
+        if (isinstance(form, list) and form and isinstance(form[0], Symbol)
+                and form[0].name == "msg-arg"):
+            if len(form) != 2:
+                raise self.err("(msg-arg index)")
+            return f"msg.args[{super().expr(form[1])}]"
+        return super().expr(form)
+
+
+# ----------------------------------------------------------------------
+# whole-program generation
+# ----------------------------------------------------------------------
+def generate_python(source: str, program_name: str = "hal") -> str:
+    """Compile HAL source to Python module text."""
+    decls = parse(source)
+    behavior_names = {d.name for d in decls}
+    lines: List[str] = [
+        f'"""Generated by the mini-HAL compiler from program '
+        f'{program_name!r}."""',
+        "import math",
+        "from repro.actors.behavior import behavior, method",
+        "from repro.actors.constraints import disable_when",
+        "",
+    ]
+    for decl in decls:
+        # guards first (module level)
+        for m in decl.methods:
+            if m.disable_when is not None:
+                gen = _MethodGen(decl, m, behavior_names)
+                lines.extend(gen.generate_guard())
+                lines.append("")
+        lines.append("@behavior")
+        lines.append(f"class {mangle(decl.name)}:")
+        ctor_params = "".join(f", {mangle(v)}" for v in decl.state_vars)
+        lines.append(f"    def __init__(self{ctor_params}):")
+        if decl.state_vars:
+            for v in decl.state_vars:
+                lines.append(f"        self.{mangle(v)} = {mangle(v)}")
+        else:
+            lines.append("        pass")
+        lines.append("")
+        for m in decl.methods:
+            gen = _MethodGen(decl, m, behavior_names)
+            lines.extend(gen.generate())
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def compile_hal(source: str, program_name: str = "hal") -> HalProgram:
+    """Compile HAL source into a loadable program.
+
+    The generated Python is registered with :mod:`linecache`, so the
+    inference/dependence/dispatch pipeline analyses it at load time
+    like any hand-written behaviour.
+    """
+    text = generate_python(source, program_name)
+    filename = f"<hal:{program_name}:{next(_counter)}>"
+    code = compile(text, filename, "exec")
+    namespace: Dict[str, object] = {}
+    linecache.cache[filename] = (
+        len(text), None, text.splitlines(keepends=True), filename,
+    )
+    exec(code, namespace)  # noqa: S102 - this *is* the code generator
+    program = HalProgram(program_name)
+    from repro.actors.behavior import is_behavior_class
+    for value in namespace.values():
+        if is_behavior_class(value):
+            program.behavior(value)
+    return program

@@ -1,0 +1,92 @@
+"""Tokenizer for mini-HAL s-expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+from repro.errors import CompileError
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (for error messages)."""
+
+    kind: str  # "(" | ")" | "symbol" | "number" | "string" | "keyword"
+    value: Union[str, int, float]
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}({self.value!r})@{self.line}:{self.col}"
+
+
+_DELIMS = "()"
+_WS = " \t\r\n"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split HAL source into tokens.  Comments run from ``;`` to end
+    of line.  Keywords are ``:name`` atoms (used for ``:at`` etc.)."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in _WS:
+            i += 1
+            col += 1
+            continue
+        if ch == ";":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in _DELIMS:
+            tokens.append(Token(ch, ch, line, col))
+            i += 1
+            col += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(source[j + 1])
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise CompileError(f"line {line}: unterminated string")
+            tokens.append(Token("string", "".join(buf), line, col))
+            col += j - i + 1
+            i = j + 1
+            continue
+        # atom: symbol / number / keyword
+        j = i
+        while j < n and source[j] not in _WS + _DELIMS + ";":
+            j += 1
+        atom = source[i:j]
+        tokens.append(_classify(atom, line, col))
+        col += j - i
+        i = j
+    return tokens
+
+
+def _classify(atom: str, line: int, col: int) -> Token:
+    if atom.startswith(":") and len(atom) > 1:
+        return Token("keyword", atom[1:], line, col)
+    try:
+        return Token("number", int(atom), line, col)
+    except ValueError:
+        pass
+    try:
+        return Token("number", float(atom), line, col)
+    except ValueError:
+        pass
+    return Token("symbol", atom, line, col)

@@ -1,0 +1,179 @@
+"""Parser: tokens → s-expression trees → behaviour declarations.
+
+The generic reader produces nested lists of atoms; a small structural
+pass then validates the top-level forms (``defbehavior`` with
+``method`` bodies and optional ``disable-when`` clauses) into typed
+declaration records the code generator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.errors import CompileError
+from repro.hal.lang.lexer import Token, tokenize
+
+
+@dataclass(frozen=True)
+class Symbol:
+    name: str
+    line: int = 0
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Keyword:
+    name: str
+    line: int = 0
+
+    def __repr__(self) -> str:
+        return f":{self.name}"
+
+
+#: An s-expression: atom or list of s-expressions.
+Sexp = Union[Symbol, Keyword, int, float, str, list]
+
+
+def read(source: str) -> List[Sexp]:
+    """Read every top-level form in ``source``."""
+    tokens = tokenize(source)
+    forms: List[Sexp] = []
+    pos = 0
+    while pos < len(tokens):
+        form, pos = _read_form(tokens, pos)
+        forms.append(form)
+    return forms
+
+
+def _read_form(tokens: List[Token], pos: int) -> Tuple[Sexp, int]:
+    if pos >= len(tokens):
+        raise CompileError("unexpected end of input")
+    tok = tokens[pos]
+    if tok.kind == "(":
+        items: list = []
+        pos += 1
+        while True:
+            if pos >= len(tokens):
+                raise CompileError(
+                    f"line {tok.line}: unclosed '(' opened here"
+                )
+            if tokens[pos].kind == ")":
+                return items, pos + 1
+            item, pos = _read_form(tokens, pos)
+            items.append(item)
+    if tok.kind == ")":
+        raise CompileError(f"line {tok.line}: unexpected ')'")
+    if tok.kind == "symbol":
+        return Symbol(str(tok.value), tok.line), pos + 1
+    if tok.kind == "keyword":
+        return Keyword(str(tok.value), tok.line), pos + 1
+    return tok.value, pos + 1
+
+
+# ----------------------------------------------------------------------
+# structural validation
+# ----------------------------------------------------------------------
+@dataclass
+class MethodDecl:
+    name: str
+    params: List[str]
+    disable_when: Optional[Sexp]
+    body: List[Sexp]
+    line: int
+
+
+@dataclass
+class BehaviorDecl:
+    name: str
+    state_vars: List[str]
+    methods: List[MethodDecl] = field(default_factory=list)
+    line: int = 0
+
+
+def _expect_symbol(x: Sexp, what: str) -> Symbol:
+    if not isinstance(x, Symbol):
+        raise CompileError(f"expected {what}, got {x!r}")
+    return x
+
+
+def parse(source: str) -> List[BehaviorDecl]:
+    """Parse HAL source into behaviour declarations."""
+    decls: List[BehaviorDecl] = []
+    for form in read(source):
+        if not (isinstance(form, list) and form
+                and isinstance(form[0], Symbol)):
+            raise CompileError(f"top-level form must be a list, got {form!r}")
+        head = form[0]
+        if head.name != "defbehavior":
+            raise CompileError(
+                f"line {head.line}: unknown top-level form {head.name!r} "
+                "(only defbehavior is allowed)"
+            )
+        decls.append(_parse_behavior(form))
+    if not decls:
+        raise CompileError("empty HAL program")
+    names = [d.name for d in decls]
+    dupes = {n for n in names if names.count(n) > 1}
+    if dupes:
+        raise CompileError(f"duplicate behaviour name(s): {sorted(dupes)}")
+    return decls
+
+
+def _parse_behavior(form: list) -> BehaviorDecl:
+    if len(form) < 3:
+        raise CompileError(
+            f"line {form[0].line}: defbehavior needs a name, a state-var "
+            "list and at least one method"
+        )
+    name = _expect_symbol(form[1], "behaviour name")
+    if not isinstance(form[2], list):
+        raise CompileError(
+            f"line {name.line}: defbehavior {name.name}: second argument "
+            "must be the state-variable list"
+        )
+    state_vars = [
+        _expect_symbol(sv, "state variable").name for sv in form[2]
+    ]
+    decl = BehaviorDecl(name.name, state_vars, line=name.line)
+    for body_form in form[3:]:
+        if not (isinstance(body_form, list) and body_form
+                and isinstance(body_form[0], Symbol)
+                and body_form[0].name == "method"):
+            raise CompileError(
+                f"defbehavior {name.name}: expected (method ...), got "
+                f"{body_form!r}"
+            )
+        decl.methods.append(_parse_method(name.name, body_form))
+    if not decl.methods:
+        raise CompileError(f"behaviour {name.name} declares no methods")
+    return decl
+
+
+def _parse_method(behavior: str, form: list) -> MethodDecl:
+    if len(form) < 3:
+        raise CompileError(
+            f"{behavior}: method needs a name, a parameter list and a body"
+        )
+    mname = _expect_symbol(form[1], "method name")
+    if not isinstance(form[2], list):
+        raise CompileError(
+            f"{behavior}.{mname.name}: parameter list must be a list"
+        )
+    params = [_expect_symbol(p, "parameter").name for p in form[2]]
+    body = list(form[3:])
+    disable: Optional[Sexp] = None
+    if body and isinstance(body[0], list) and body[0] and \
+            isinstance(body[0][0], Symbol) and body[0][0].name == "disable-when":
+        clause = body.pop(0)
+        if len(clause) != 2:
+            raise CompileError(
+                f"{behavior}.{mname.name}: disable-when takes exactly one "
+                "predicate expression"
+            )
+        disable = clause[1]
+    if not body:
+        raise CompileError(f"{behavior}.{mname.name}: empty method body")
+    return MethodDecl(mname.name, params, disable, body, mname.line)

@@ -1,0 +1,135 @@
+"""Dispatch-plan selection (§6.3).
+
+For every send site the compiler chooses one of three mechanisms:
+
+- ``static``  — a unique receiver type was inferred: emit a static
+  method dispatch guarded by the runtime's locality-check routine;
+- ``lookup``  — finitely many receiver types: the emitted code also
+  obtains the function pointer via the runtime's method-lookup routine;
+- ``generic`` — unknown receiver: the generic buffered send.
+
+Receivers whose behaviour ever executes ``become`` are demoted from
+``static`` to ``lookup`` (the method table may change under our feet).
+Static type checking happens here too: a send to a known receiver set
+lacking the selector is a compile error — HAL is untyped but
+statically type-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.actors.behavior import Behavior
+from repro.errors import TypeInferenceError
+from repro.hal.dependence import DependenceResult
+from repro.hal.inference import InferenceResult, SendSite
+
+PlanKind = str  # "static" | "lookup" | "generic"
+
+
+@dataclass
+class SitePlan:
+    """The verdict for one (sender method, selector) send group."""
+
+    kind: PlanKind
+    receivers: Optional[FrozenSet[str]]
+    reason: str
+
+
+@dataclass
+class BehaviorPlans:
+    """All plans of one behaviour, keyed by (method, selector)."""
+
+    behavior: str
+    plans: Dict[Tuple[str, str], SitePlan] = field(default_factory=dict)
+
+    def plan_for(self, method: str, selector: str) -> PlanKind:
+        plan = self.plans.get((method, selector))
+        return plan.kind if plan is not None else "generic"
+
+
+def select_plans(
+    behaviors: Dict[str, Behavior],
+    inference: InferenceResult,
+    dependence: DependenceResult,
+    *,
+    strict: bool = True,
+) -> Tuple[Dict[str, BehaviorPlans], List[str]]:
+    """Produce per-behaviour dispatch plans and type diagnostics."""
+    diags: List[str] = []
+    becomers = {
+        b for (b, _), p in dependence.purity.items() if p.becomes
+    }
+    out: Dict[str, BehaviorPlans] = {
+        name: BehaviorPlans(name) for name in behaviors
+    }
+
+    # Group sites by (sender behavior, sender method, selector): the
+    # runtime consults plans at that granularity.
+    grouped: Dict[Tuple[str, str, str], List[SendSite]] = {}
+    for site in inference.sites:
+        if site.selector is None:
+            continue  # dynamic selector: stays generic
+        grouped.setdefault((site.behavior, site.method, site.selector), []).append(site)
+
+    for (bname, mname, selector), sites in grouped.items():
+        receivers = _merge_receivers(sites)
+        plan = _plan_for_receivers(
+            bname, mname, selector, receivers, behaviors, becomers, diags,
+            strict=strict,
+        )
+        out[bname].plans[(mname, selector)] = plan
+
+    return out, diags
+
+
+def _merge_receivers(sites: List[SendSite]) -> Optional[FrozenSet[str]]:
+    merged: set = set()
+    for s in sites:
+        if s.receivers is None:
+            return None
+        merged |= s.receivers
+    return frozenset(merged)
+
+
+def _plan_for_receivers(
+    bname: str,
+    mname: str,
+    selector: str,
+    receivers: Optional[FrozenSet[str]],
+    behaviors: Dict[str, Behavior],
+    becomers: FrozenSet[str] | set,
+    diags: List[str],
+    *,
+    strict: bool,
+) -> SitePlan:
+    if receivers is None:
+        return SitePlan("generic", None, "receiver type unknown (top)")
+    if not receivers:
+        return SitePlan("generic", receivers, "no type information reached site")
+    missing = [
+        r for r in receivers
+        if r in behaviors and not behaviors[r].has_method(selector)
+    ]
+    if missing:
+        msg = (
+            f"{bname}.{mname}: send of {selector!r} to behaviour(s) "
+            f"{sorted(missing)} which declare no such method"
+        )
+        if strict:
+            raise TypeInferenceError(msg)
+        diags.append(f"warning: {msg}")
+        return SitePlan("generic", receivers, "selector missing on receiver")
+    unknown = [r for r in receivers if r not in behaviors]
+    if unknown:
+        return SitePlan("lookup", receivers, f"unloaded receiver(s) {unknown}")
+    if len(receivers) == 1:
+        (only,) = receivers
+        if only in becomers:
+            return SitePlan(
+                "lookup", receivers,
+                f"{only} uses become; method table not fixed",
+            )
+        return SitePlan("static", receivers, f"unique receiver type {only}")
+    return SitePlan("lookup", receivers, f"{len(receivers)} possible types")

@@ -1,0 +1,116 @@
+"""The type lattice for constraint-based inference.
+
+A deliberately small lattice in the style of Palsberg/Schwartzbach
+inference [27]: atoms are behaviour references, group references and
+scalars; a *type value* is either a finite set of atoms or ⊤ (``ANY``).
+Join is set union with a width cap — sets wider than
+:data:`MAX_WIDTH` collapse to ⊤, which keeps the lattice height finite
+and the fixpoint fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Union
+
+
+@dataclass(frozen=True)
+class RefOf:
+    """A reference to an actor of a known behaviour."""
+
+    behavior: str
+
+    def __repr__(self) -> str:
+        return f"Ref[{self.behavior}]"
+
+
+@dataclass(frozen=True)
+class GroupOf:
+    """A group identifier whose members have a known behaviour."""
+
+    behavior: str
+
+    def __repr__(self) -> str:
+        return f"Group[{self.behavior}]"
+
+
+@dataclass(frozen=True)
+class Scalar:
+    """Numbers, strings, booleans, None — anything without methods."""
+
+    def __repr__(self) -> str:
+        return "Scalar"
+
+
+SCALAR = Scalar()
+Atom = Union[RefOf, GroupOf, Scalar]
+
+#: Sets wider than this collapse to ANY.
+MAX_WIDTH = 8
+
+
+class _Any:
+    """⊤: statically unknown."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Any"
+
+
+ANY = _Any()
+
+#: A type value: ⊤ or a finite atom set.  ⊥ is the empty set.
+TypeVal = Union[_Any, FrozenSet[Atom]]
+
+BOTTOM: TypeVal = frozenset()
+
+
+def atom(a: Atom) -> TypeVal:
+    return frozenset((a,))
+
+
+def join(a: TypeVal, b: TypeVal) -> TypeVal:
+    """Least upper bound."""
+    if a is ANY or b is ANY:
+        return ANY
+    united = a | b
+    if len(united) > MAX_WIDTH:
+        return ANY
+    return united
+
+
+def join_all(vals: Iterable[TypeVal]) -> TypeVal:
+    out: TypeVal = BOTTOM
+    for v in vals:
+        out = join(out, v)
+        if out is ANY:
+            return ANY
+    return out
+
+
+def ref_behaviors(val: TypeVal) -> FrozenSet[str] | None:
+    """Behaviour names a value may reference, or None if ⊤ (or if the
+    value may be something that is not an actor reference)."""
+    if val is ANY:
+        return None
+    names = set()
+    for a in val:
+        if isinstance(a, RefOf):
+            names.add(a.behavior)
+        elif isinstance(a, Scalar):
+            # Sending to a scalar is a type error caught elsewhere;
+            # for dispatch purposes the site is not a pure ref site.
+            return None
+        elif isinstance(a, GroupOf):
+            return None
+    return frozenset(names)
+
+
+def is_bottom(val: TypeVal) -> bool:
+    return val is not ANY and len(val) == 0

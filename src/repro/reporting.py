@@ -1,0 +1,42 @@
+"""Plain-text table rendering shared by the benchmark harness and the
+``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render an aligned text table with a title rule and an optional
+    trailing note."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def fmt_us(us: float) -> str:
+    return f"{us:.2f}"
+
+
+def fmt_ms(us: float) -> str:
+    return f"{us / 1000.0:.2f}"
+
+
+def fmt_s(us: float) -> str:
+    return f"{us / 1e6:.3f}"

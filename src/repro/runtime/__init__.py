@@ -1,0 +1,20 @@
+"""The HAL runtime system (the paper's primary contribution).
+
+One :class:`~repro.runtime.kernel.Kernel` runs per processing element;
+a :class:`~repro.runtime.frontend.FrontEnd` plays the partition
+manager.  :class:`HalRuntime` is the user-facing facade that boots the
+whole stack on a simulated machine.
+"""
+
+from repro.runtime.costmodel import CostModel
+from repro.runtime.names import ActorRef, AddrKind, LocalityDescriptor, MailAddress
+from repro.runtime.system import HalRuntime
+
+__all__ = [
+    "HalRuntime",
+    "CostModel",
+    "ActorRef",
+    "AddrKind",
+    "MailAddress",
+    "LocalityDescriptor",
+]

@@ -1,0 +1,214 @@
+"""The execution context handed to actor methods and tasks.
+
+``ctx`` is the language surface of HAL's primitives: asynchronous
+``send``, ``new`` / ``grpnew`` creation, ``request``/``reply``
+(call/return), ``broadcast``, ``become`` and ``migrate`` — plus the
+simulation-only hooks ``charge`` and ``flops`` applications use to
+model their compute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING, Type
+
+from repro.errors import BehaviorError, MigrationError, SchedulingError
+from repro.runtime.calls import Request
+from repro.runtime.names import ActorRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.actors.actor import Actor
+    from repro.actors.message import ActorMessage
+    from repro.runtime.groups import GroupRef
+    from repro.runtime.kernel import Kernel
+
+
+class Context:
+    """One method (or task) invocation's view of the runtime."""
+
+    __slots__ = (
+        "kernel",
+        "actor",
+        "msg",
+        "method_name",
+        "depth",
+        "_replied",
+        "_migrate_to",
+    )
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        actor: Optional["Actor"],
+        msg: Optional["ActorMessage"],
+        method_name: str = "",
+        depth: int = 0,
+    ) -> None:
+        self.kernel = kernel
+        self.actor = actor
+        self.msg = msg
+        self.method_name = method_name
+        #: Inline-invocation stack depth (compiler-controlled
+        #: stack-based scheduling).
+        self.depth = depth
+        self._replied = False
+        self._migrate_to: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # identity / environment
+    # ------------------------------------------------------------------
+    @property
+    def me(self) -> ActorRef:
+        """This actor's own mail address."""
+        if self.actor is None or self.actor.key is None:
+            raise BehaviorError("no self-reference in a task context")
+        return ActorRef(self.actor.key)
+
+    @property
+    def node(self) -> int:
+        return self.kernel.node_id
+
+    @property
+    def num_nodes(self) -> int:
+        return self.kernel.runtime.num_nodes
+
+    @property
+    def now(self) -> float:
+        """Node-local simulated time (microseconds)."""
+        return self.kernel.node.now
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def send(self, ref: ActorRef, selector: str, *args: Any) -> None:
+        """Asynchronous, buffered send (the actor primitive)."""
+        self.kernel.delivery.send_message(
+            ref, selector, args, sender_actor=self.actor, sender_ctx=self
+        )
+
+    def request(self, ref: ActorRef, selector: str, *args: Any) -> Request:
+        """Build a call/return request.  Must be ``yield``-ed; the
+        compiler (generator protocol) separates the continuation::
+
+            value = yield ctx.request(server, "compute", x)
+            a, b = yield [ctx.request(s1, "f"), ctx.request(s2, "g")]
+        """
+        return Request(ref, selector, args)
+
+    def request_create(self, cls: Type, *args: Any, at: int) -> "Any":
+        """Split-phase remote creation (pre-alias protocol): yield this
+        to receive the new actor's ordinary mail address::
+
+            ref = yield ctx.request_create(Worker, size, at=3)
+        """
+        from repro.runtime.calls import CreateRequest
+        behavior = self.kernel.behavior_for(cls)
+        return CreateRequest(behavior.name, args, at)
+
+    def make_join(self, nslots: int, on_complete) -> list:
+        """Allocate a join continuation explicitly (the compiled CPS
+        form used by tasks).  ``on_complete`` receives the list of slot
+        values; the returned list holds one ReplyTarget per slot."""
+        from repro.actors.message import ReplyTarget
+        k = self.kernel
+        k.node.charge(k.costs.continuation_alloc_us)
+
+        def fire(cont) -> None:
+            values = cont.values()
+            k.continuations.discard(cont.cont_id)
+            on_complete(values)
+
+        cont = k.continuations.new(nslots, fire, creator=self.actor,
+                                   created_at=k.node.now)
+        return [ReplyTarget(k.node_id, cont.cont_id, i) for i in range(nslots)]
+
+    def reply_to(self, target: Any, value: Any) -> None:
+        """Send ``value`` to an explicit reply target (compiled CPS
+        form; ordinary methods use :meth:`reply`)."""
+        self.kernel.reply_router.send_reply(target, value)
+
+    def reply(self, value: Any) -> None:
+        """Explicitly reply to the current message's continuation."""
+        if self.msg is None or self.msg.reply_to is None:
+            raise SchedulingError(
+                "reply() outside a request-carrying message"
+            )
+        if self._replied:
+            raise SchedulingError("reply() called twice for one request")
+        self._replied = True
+        self.kernel.reply_router.send_reply(self.msg.reply_to, value)
+
+    @property
+    def wants_reply(self) -> bool:
+        """True when the current message is a request (has a
+        continuation address)."""
+        return self.msg is not None and self.msg.reply_to is not None
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+    def new(self, cls: Type, *args: Any, at: Optional[int] = None) -> ActorRef:
+        """Create an actor (``new``).  ``at`` pins the placement; the
+        default is local creation.  Remote creations return an alias
+        immediately (latency hiding, §5)."""
+        return self.kernel.creation.create(cls, args, at=at)
+
+    def grpnew(
+        self,
+        cls: Type,
+        n: int,
+        *args: Any,
+        placement: str = "cyclic",
+    ) -> "GroupRef":
+        """Create a group of ``n`` actors with the same behaviour
+        template (``grpnew``); returns a group identifier usable
+        immediately."""
+        return self.kernel.groups.grpnew(cls, n, args, placement=placement)
+
+    def spawn_task(self, fn_name: str, *args: Any, at: Optional[int] = None) -> None:
+        """Spawn a lightweight task (creation-elided actor, §7.2)."""
+        self.kernel.creation.spawn_task(fn_name, args, at=at)
+
+    # ------------------------------------------------------------------
+    # groups
+    # ------------------------------------------------------------------
+    def broadcast(self, group: "GroupRef", selector: str, *args: Any) -> None:
+        """Send to all members of a group (replicated per member)."""
+        self.kernel.groups.broadcast(group, selector, args)
+
+    # ------------------------------------------------------------------
+    # behaviour change / mobility
+    # ------------------------------------------------------------------
+    def become(self, cls: Type, *args: Any) -> None:
+        """Replace this actor's behaviour (and state)."""
+        if self.actor is None:
+            raise BehaviorError("become() outside an actor method")
+        self.kernel.execution.do_become(self.actor, cls, args)
+
+    def migrate(self, to_node: int) -> None:
+        """Move this actor to ``to_node`` once the current method
+        completes."""
+        if self.actor is None:
+            raise MigrationError("migrate() outside an actor method")
+        if not (0 <= to_node < self.num_nodes):
+            raise MigrationError(f"no such node {to_node}")
+        self._migrate_to = to_node
+
+    # ------------------------------------------------------------------
+    # simulated compute
+    # ------------------------------------------------------------------
+    def charge(self, us: float) -> None:
+        """Consume ``us`` microseconds of simulated CPU."""
+        self.kernel.node.charge(us)
+
+    def flops(self, n: float) -> None:
+        """Consume the CPU time of ``n`` floating-point operations."""
+        self.kernel.node.charge(n * self.kernel.costs.flop_us)
+
+    # ------------------------------------------------------------------
+    def io(self, text: str) -> None:
+        """Write a line to the front-end console (partition manager)."""
+        self.kernel.runtime.frontend.console_write(self.node, self.now, text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        who = self.actor.behavior.name if self.actor else "task"
+        return f"Context({who}.{self.method_name}@n{self.node}, depth={self.depth})"

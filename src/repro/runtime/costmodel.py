@@ -1,0 +1,158 @@
+"""Calibrated CPU cost model (simulated microseconds).
+
+The two anchor points are published in the paper (§5, Table 2):
+
+- issuing a remote creation completes **locally in 5.83 us** thanks to
+  aliases, while the **actual creation takes 20.83 us**;
+- the locality check for locally created actors completes **within
+  1 us**.
+
+All other constants are chosen so that composite operations land in
+the range the paper and its comparables (ABCL/onAP1000, Concert)
+report for a 33 MHz SPARC: a generic buffered local send + dispatch
+costs ~5 us, a static dispatch with locality check ~1.6 us
+(= locality check + function invocation, the Table 3 formula).
+
+Costs are *components*: the benchmark harness measures end-to-end
+paths, so the published numbers emerge from sums over the protocol
+code rather than being echoed back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class CostModel:
+    # -- messaging layer (charged by the AM endpoint) -------------------
+    am_send_overhead_us: float = 1.75
+    am_receive_overhead_us: float = 1.75
+
+    # -- name service ----------------------------------------------------
+    #: Hash lookup in the local name table.
+    nametable_hash_us: float = 0.55
+    #: Insert a binding into the local name table.
+    nametable_insert_us: float = 0.70
+    #: Allocate a locality descriptor.
+    descriptor_alloc_us: float = 0.80
+    #: Follow a cached descriptor memory address (no hashing).
+    descriptor_deref_us: float = 0.15
+    #: Examine a descriptor's locality + enabled state.  Together with
+    #: the hash lookup this is the paper's "locality check ... within
+    #: 1 us using only locally available information".
+    locality_check_us: float = 0.35
+
+    # -- generic message path --------------------------------------------
+    #: Marshal selector + args into a message.
+    marshal_us: float = 0.60
+    #: Mailbox enqueue + dispatcher bookkeeping.
+    enqueue_us: float = 0.90
+    #: Dequeue + decode at the head of a scheduling slice.
+    dispatch_us: float = 1.80
+    #: Method lookup when the receiver type is not statically known.
+    method_lookup_us: float = 0.90
+    #: Function invocation (compiled method entry).
+    invoke_us: float = 0.65
+    #: Per-message constraint evaluation when the selector has
+    #: disabling conditions.
+    constraint_check_us: float = 0.30
+    #: Parking / unparking a message in the pending queue.
+    pending_queue_us: float = 0.45
+    #: ``become`` (behaviour replacement).
+    become_us: float = 0.40
+
+    # -- creation ----------------------------------------------------------
+    #: Actor allocation + constructor, excluding name-service work.
+    create_state_us: float = 4.00
+    #: Fixed local-creation overhead (scheduler + kernel bookkeeping).
+    #: Chosen so local creation totals 12.0 us:
+    #: descriptor_alloc + nametable_insert + create_state + this.
+    create_fixed_us: float = 6.50
+    #: Sender-side fixed cost of issuing a remote creation.  Chosen so
+    #: the issue path totals the paper's 5.83 us: descriptor_alloc
+    #: (alias) + nametable_insert + marshal + am_send_overhead + this.
+    remote_create_issue_fixed_us: float = 1.98
+    #: Node-manager-side fixed cost of performing a remote creation
+    #: (alias registration + ack preparation).  Calibrated so that the
+    #: end-to-end remote creation latency lands on the paper's
+    #: 20.83 us (see benchmarks/test_table2_primitives.py).
+    remote_create_serve_fixed_us: float = 1.58
+
+    # -- call/return -------------------------------------------------------
+    #: Allocate + initialise a join continuation.
+    continuation_alloc_us: float = 1.00
+    #: Fill one reply slot and decrement the counter.
+    continuation_fill_us: float = 0.60
+    #: Invoke a completed continuation's function.
+    continuation_fire_us: float = 1.20
+
+    # -- broadcast / groups -------------------------------------------------
+    #: Per-node cost of forwarding a tree multicast.
+    mcast_forward_us: float = 1.10
+    #: Dispatch cost per member under collective scheduling (amortised:
+    #: the quantum shares one decode across the group's local members).
+    collective_dispatch_us: float = 0.55
+    #: Group bookkeeping at creation, per local member.
+    group_register_us: float = 0.50
+
+    # -- migration -----------------------------------------------------------
+    #: Pack an actor (state capture + mailbox drain).
+    migrate_pack_us: float = 6.00
+    #: Unpack + register on the destination node.
+    migrate_unpack_us: float = 8.00
+    #: Node-manager work to relay one FIR hop.
+    fir_relay_us: float = 1.00
+    #: Delay before retrying a FIR that detected a transient cycle.
+    fir_retry_delay_us: float = 50.0
+
+    # -- load balancing --------------------------------------------------------
+    steal_check_us: float = 0.80
+    steal_pack_us: float = 1.50
+
+    # -- program loading ---------------------------------------------------------
+    #: Per-node cost of dynamically linking one behaviour.
+    load_behavior_us: float = 25.0
+
+    # -- application compute ----------------------------------------------------
+    #: Cost of one floating-point operation.  434 MFlops over 64 nodes
+    #: (Table 5 peak) is ~6.8 MFlops/node, i.e. ~0.147 us/flop.
+    flop_us: float = 0.147
+
+    # ------------------------------------------------------------------
+    @property
+    def create_local_total_us(self) -> float:
+        """Documented sum for a local creation (~12 us)."""
+        return (
+            self.descriptor_alloc_us
+            + self.nametable_insert_us
+            + self.create_state_us
+            + self.create_fixed_us
+        )
+
+    @property
+    def remote_create_issue_total_us(self) -> float:
+        """Documented sum for the alias-based issue path (5.83 us)."""
+        return (
+            self.descriptor_alloc_us
+            + self.nametable_insert_us
+            + self.marshal_us
+            + self.am_send_overhead_us
+            + self.remote_create_issue_fixed_us
+        )
+
+    @property
+    def locality_check_total_us(self) -> float:
+        """Hash lookup + descriptor examination (< 1 us)."""
+        return self.nametable_hash_us + self.locality_check_us
+
+    @property
+    def static_dispatch_total_us(self) -> float:
+        """Table 3 formula: locality check + function invocation."""
+        return self.locality_check_total_us + self.invoke_us
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A uniformly scaled copy (sensitivity analysis in benches)."""
+        return CostModel(**{
+            f.name: getattr(self, f.name) * factor for f in fields(self)
+        })

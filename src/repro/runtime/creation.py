@@ -1,0 +1,153 @@
+"""Actor creation: local, and remote with alias latency hiding (§5).
+
+A remote creation must normally wait for the new actor's mail address
+to come back.  Instead, the issuing kernel allocates an **alias** — a
+mail address whose ``birthplace`` is the *issuing* node, with the
+actual creation node encoded — and resumes the creator immediately;
+the remote node manager creates the actor, registers it under the
+alias, and sends its descriptor's memory address back for caching as
+background processing.  The paper's measurement: the issue path runs
+in 5.83 us while the actual creation takes 20.83 us.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, Type, TYPE_CHECKING
+
+from repro.actors.actor import Actor
+from repro.actors.behavior import Behavior
+from repro.actors.message import ReplyTarget
+from repro.errors import NameServiceError, ReproError
+from repro.runtime.dispatcher import Task
+from repro.runtime.names import ActorRef, AddrKind, DescState, MailAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.kernel import Kernel
+
+
+class CreationService:
+    """Creation primitives for one kernel."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    # ------------------------------------------------------------------
+    def create(self, cls: Type, args: tuple, at: Optional[int] = None) -> ActorRef:
+        """``new``: create an actor, locally or at node ``at``."""
+        k = self.kernel
+        behavior = k.behavior_for(cls)
+        if at is None or at == k.node_id:
+            return self.create_local(behavior, args)
+        if not (0 <= at < k.runtime.num_nodes):
+            raise ReproError(f"no such node {at}")
+        return self.create_remote(behavior, args, at)
+
+    # ------------------------------------------------------------------
+    def create_local(self, behavior: Behavior, args: tuple) -> ActorRef:
+        k = self.kernel
+        costs = k.costs
+        k.node.charge(
+            costs.descriptor_alloc_us
+            + costs.nametable_insert_us
+            + costs.create_state_us
+            + costs.create_fixed_us
+        )
+        desc = k.table.alloc()
+        key = MailAddress(AddrKind.ORDINARY, k.node_id, desc.addr)
+        k.table.bind(key, desc)
+        state = behavior.make_state(args)
+        actor = Actor(behavior, state, k.node_id, key)
+        desc.set_local(actor)
+        k.stats.incr("creation.local")
+        return ActorRef(key)
+
+    # ------------------------------------------------------------------
+    def create_remote(self, behavior: Behavior, args: tuple, dest: int) -> ActorRef:
+        """Issue a remote creation; return an alias immediately."""
+        k = self.kernel
+        costs = k.costs
+        if not k.config.alias_creation:
+            raise ReproError(
+                "alias_creation is disabled: remote `new` would block. "
+                "Use the split-phase form instead: "
+                "`ref = yield ctx.request_create(Cls, args, at=node)`"
+            )
+        k.node.charge(
+            costs.descriptor_alloc_us
+            + costs.nametable_insert_us
+            + costs.marshal_us
+        )
+        desc = k.table.alloc()
+        key = MailAddress(AddrKind.ALIAS, k.node_id, desc.addr, aux=dest)
+        k.table.bind(key, desc)
+        desc.set_remote(dest)
+        k.stats.incr("creation.remote_issued")
+        k.trace.emit(k.node.now, k.node_id, "create.issue", key, dest)
+        k.endpoint.send(dest, "create_remote", (key, behavior.name, args))
+        # The creator resumes its continuation as soon as the request's
+        # last packet is injected; the remaining bookkeeping (alias
+        # continuation fix-up) happens after the send.
+        k.node.charge(costs.remote_create_issue_fixed_us)
+        return ActorRef(key)
+
+    def on_create_remote(
+        self, src: int, key: MailAddress, behavior_name: str, args: tuple
+    ) -> None:
+        """Node-manager side of a remote creation request."""
+        k = self.kernel
+        costs = k.costs
+        k.node.charge(
+            costs.descriptor_alloc_us
+            + costs.nametable_insert_us
+            + costs.create_state_us
+            + costs.remote_create_serve_fixed_us
+        )
+        behavior = k.behavior_for(behavior_name)
+        desc = k.table.get(key)
+        if desc is None:
+            desc = k.table.alloc(key)
+        elif desc.actor is not None:
+            raise NameServiceError(f"duplicate creation for {key!r}")
+        state = behavior.make_state(args)
+        actor = Actor(behavior, state, k.node_id, key)
+        desc.set_local(actor)
+        k.stats.incr("creation.remote_served")
+        k.trace.emit(k.node.now, k.node_id, "create.serve", key, src)
+        # Messages (or FIRs) that used the alias before we registered it:
+        k.delivery.flush_deferred(desc)
+        k.migration._answer_waiting_firs(desc, k.node_id, desc.addr)
+        # Background processing: return the descriptor address to cache.
+        if k.config.descriptor_caching:
+            k.endpoint.send(src, "cache_addr", (key, k.node_id, desc.addr))
+
+    # ------------------------------------------------------------------
+    # split-phase creation (request/reply form, the alias ablation)
+    # ------------------------------------------------------------------
+    def on_create_request(
+        self, src: int, behavior_name: str, args: tuple, reply_to: ReplyTarget
+    ) -> None:
+        """Create an ordinary actor and reply with its mail address."""
+        k = self.kernel
+        behavior = k.behavior_for(behavior_name)
+        ref = self.create_local(behavior, args)
+        k.stats.incr("creation.split_phase")
+        k.reply_router.send_reply(reply_to, ref)
+
+    # ------------------------------------------------------------------
+    # lightweight tasks (creation elision, §7.2)
+    # ------------------------------------------------------------------
+    def spawn_task(self, fn_name: str, args: tuple, at: Optional[int] = None) -> None:
+        k = self.kernel
+        if fn_name not in k.tasks:
+            raise ReproError(f"task {fn_name!r} is not loaded")
+        if at is None or at == k.node_id:
+            k.node.charge(k.costs.enqueue_us)
+            k.dispatcher.enqueue(Task(fn_name, args))
+        else:
+            k.endpoint.send(at, "task_spawn", (fn_name, args))
+        k.stats.incr("creation.tasks")
+
+    def on_task_spawn(self, src: int, fn_name: str, args: tuple) -> None:
+        k = self.kernel
+        k.node.charge(k.costs.enqueue_us)
+        k.dispatcher.enqueue(Task(fn_name, args))

@@ -1,0 +1,188 @@
+"""Intra-node scheduling (§3, §6.3).
+
+The dispatcher provides the data structures for scheduling; the actual
+scheduling is delegated to the executing entities themselves — when an
+item completes, the slice loop pulls the next item and yields control
+to it, with no context switch (stack-based scheduling).  Three kinds of
+item sit in the ready queue:
+
+- an :class:`~repro.actors.actor.Actor` with deliverable mail (one
+  message is processed per slice, round-robin);
+- a :class:`FireContinuation` — a completed join continuation;
+- a :class:`Task` — a lightweight unit used when the compiler has
+  optimised actor creation away (purely functional behaviours, §7.2)
+  and by the work-stealing load balancer;
+- a :class:`GroupBatch` — a broadcast quantum scheduled collectively
+  (§6.4).
+
+The queue also answers *steal* requests from the load balancer: tasks
+are handed over wholesale, actors are migrated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, TYPE_CHECKING, Union
+
+from repro.actors.actor import Actor
+from repro.actors.continuations import JoinContinuation
+from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.kernel import Kernel
+
+
+class FireContinuation:
+    """A join continuation whose counter reached zero."""
+
+    __slots__ = ("cont",)
+    stealable = False
+
+    def __init__(self, cont: JoinContinuation) -> None:
+        self.cont = cont
+
+
+class Task:
+    """A lightweight, relocatable unit of work.
+
+    ``fn_name`` indexes the kernel's task registry (loaded with the
+    program image, so the name resolves on every node — which is what
+    makes tasks stealable across nodes).
+    """
+
+    __slots__ = ("fn_name", "args")
+    stealable = True
+
+    def __init__(self, fn_name: str, args: tuple) -> None:
+        self.fn_name = fn_name
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.fn_name}{self.args!r})"
+
+
+class GroupBatch:
+    """Local members of a group, scheduled collectively for one
+    broadcast message (quasi-dynamic scheduling, §6.4)."""
+
+    __slots__ = ("members", "selector", "args")
+    stealable = False
+
+    def __init__(self, members: List[Actor], selector: str, args: tuple) -> None:
+        self.members = members
+        self.selector = selector
+        self.args = args
+
+
+Schedulable = Union[Actor, FireContinuation, Task, GroupBatch]
+
+
+class Dispatcher:
+    """Per-node ready queue driving the slice loop."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.ready: Deque[Schedulable] = deque()
+        self._slice_pending = False
+        #: Called (once) each time the queue drains empty.
+        self.idle_callbacks: List[Callable[[], None]] = []
+        self.slices_run = 0
+
+    # ------------------------------------------------------------------
+    # enqueueing
+    # ------------------------------------------------------------------
+    def enqueue_actor(self, actor: Actor) -> None:
+        """Schedule an actor that has deliverable mail.  Idempotent
+        while the actor is already queued."""
+        if actor.scheduled or actor.migrating:
+            return
+        actor.scheduled = True
+        self.ready.append(actor)
+        self._ensure_slice()
+
+    def enqueue(self, item: Schedulable) -> None:
+        if isinstance(item, Actor):
+            self.enqueue_actor(item)
+            return
+        self.ready.append(item)
+        self._ensure_slice()
+
+    # ------------------------------------------------------------------
+    # the slice loop
+    # ------------------------------------------------------------------
+    def _ensure_slice(self) -> None:
+        if not self._slice_pending:
+            self._slice_pending = True
+            self.kernel.node.execute_now(self._slice, label="dispatch.slice")
+
+    def _slice(self) -> None:
+        self._slice_pending = False
+        if not self.ready:
+            self._notify_idle()
+            return
+        # Stack-based scheduling runs the newest item (depth-first);
+        # queue-based runs the oldest (breadth-first).
+        if self.kernel.config.scheduler.stack_scheduling:
+            item = self.ready.pop()
+        else:
+            item = self.ready.popleft()
+        self.slices_run += 1
+        ex = self.kernel.execution
+        if isinstance(item, Actor):
+            item.scheduled = False
+            ex.actor_slice(item)
+        elif isinstance(item, FireContinuation):
+            ex.fire_continuation(item.cont)
+        elif isinstance(item, Task):
+            ex.run_task(item)
+        elif isinstance(item, GroupBatch):
+            ex.run_group_batch(item)
+        else:  # pragma: no cover - protocol guard
+            raise SchedulingError(f"unknown schedulable {item!r}")
+        if self.ready:
+            self._ensure_slice()
+        else:
+            self._notify_idle()
+
+    def _notify_idle(self) -> None:
+        for cb in self.idle_callbacks:
+            cb()
+
+    # ------------------------------------------------------------------
+    # stealing interface (receiver-initiated load balancing)
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self.ready)
+
+    def surplus(self) -> int:
+        """Number of stealable items beyond the one we're working on."""
+        return sum(1 for item in self.ready if self._is_stealable(item))
+
+    @staticmethod
+    def _is_stealable(item: Schedulable) -> bool:
+        if isinstance(item, Actor):
+            # An idle, quiescent actor with queued mail can be migrated.
+            return not item.busy and not item.migrating
+        return bool(getattr(item, "stealable", False))
+
+    def steal_one(self, *, from_tail: bool = True) -> Optional[Schedulable]:
+        """Remove and return one stealable item (None if there is none
+        to spare).  Tail-stealing takes the oldest work, which for
+        divide-and-conquer trees is the biggest grain."""
+        indices = (
+            range(len(self.ready) - 1, -1, -1)
+            if from_tail
+            else range(len(self.ready))
+        )
+        for i in indices:
+            item = self.ready[i]
+            if self._is_stealable(item):
+                del self.ready[i]
+                if isinstance(item, Actor):
+                    item.scheduled = False
+                return item
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dispatcher(n{self.kernel.node_id}, ready={len(self.ready)})"

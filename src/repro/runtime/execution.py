@@ -1,0 +1,236 @@
+"""Message execution engine.
+
+Implements the kernel's dispatch mechanism: queued (generic) dispatch,
+compiler-selected static/lookup inline invocation (§6.3), enforcement
+of local synchronization constraints via the pending queue (§6.1),
+``become``, and the collective execution of broadcast quanta (§6.4).
+
+Cost accounting matches the paper's decomposition: a *generic* local
+send pays hash lookup + locality check + enqueue, then dispatch +
+method lookup + invocation in the scheduling slice; a *static* inline
+send pays only locality check + invocation.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.actors.actor import Actor
+from repro.actors.behavior import Behavior, behavior_of
+from repro.actors.continuations import JoinContinuation
+from repro.actors.message import ActorMessage
+from repro.errors import SchedulingError
+from repro.runtime.context import Context
+from repro.runtime.dispatcher import GroupBatch, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.kernel import Kernel
+
+
+class Execution:
+    """Per-kernel executor; stateless apart from the kernel handle."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        #: Current compiler-controlled inline stack depth on this node.
+        self.inline_depth = 0
+
+    # ------------------------------------------------------------------
+    # local delivery (generic buffered path)
+    # ------------------------------------------------------------------
+    def deliver_local(self, actor: Actor, msg: ActorMessage) -> None:
+        """Buffer a message in the actor's mail queue and schedule it."""
+        k = self.kernel
+        k.node.charge(k.costs.enqueue_us)
+        actor.mailbox.enqueue(msg)
+        k.dispatcher.enqueue_actor(actor)
+
+    # ------------------------------------------------------------------
+    # slice entry points (called by the dispatcher)
+    # ------------------------------------------------------------------
+    def actor_slice(self, actor: Actor) -> None:
+        """Process exactly one queued message, then drain newly enabled
+        pending messages, then hand the node back to the dispatcher."""
+        k = self.kernel
+        if actor.migrating or actor.mailbox.ready_count == 0:
+            return
+        msg = actor.mailbox.dequeue()
+        k.node.charge(k.costs.dispatch_us)
+        self._dispatch(actor, msg, lookup=True)
+        if actor.mailbox.ready_count and not actor.migrating:
+            k.dispatcher.enqueue_actor(actor)
+
+    def fire_continuation(self, cont: JoinContinuation) -> None:
+        k = self.kernel
+        k.node.charge(k.costs.continuation_fire_us)
+        k.stats.incr("exec.continuations_fired")
+        cont.invoke()
+
+    def run_task(self, task: Task) -> None:
+        k = self.kernel
+        fn = k.task_fn(task.fn_name)
+        k.node.charge(k.costs.invoke_us)
+        k.stats.incr("exec.tasks")
+        ctx = Context(k, None, None, method_name=task.fn_name)
+        result = fn(ctx, *task.args)
+        if inspect.isgenerator(result):
+            k.driver.start(None, None, result)
+
+    def run_group_batch(self, batch: GroupBatch) -> None:
+        """Collective scheduling of one broadcast message: the group's
+        local members form a quantum sharing a single decode (§6.4)."""
+        k = self.kernel
+        k.node.charge(k.costs.dispatch_us)
+        k.stats.incr("exec.group_batches")
+        for actor in batch.members:
+            msg = ActorMessage(batch.selector, batch.args, sender_node=k.node_id,
+                               sent_at=k.node.now)
+            if actor.migrating:
+                # The member left this node mid-broadcast; route the
+                # copy through the normal machinery.
+                self.kernel.delivery.route_via_descriptor(actor.key, msg)
+                continue
+            k.node.charge(k.costs.collective_dispatch_us)
+            self._dispatch(actor, msg, lookup=False)
+
+    # ------------------------------------------------------------------
+    # dispatch core
+    # ------------------------------------------------------------------
+    def _dispatch(self, actor: Actor, msg: ActorMessage, *, lookup: bool) -> None:
+        """Find the method, enforce constraints, invoke."""
+        k = self.kernel
+        if lookup:
+            k.node.charge(k.costs.method_lookup_us)
+        fn = actor.behavior.lookup(msg.selector)
+        if self._is_disabled(actor, msg):
+            k.node.charge(k.costs.pending_queue_us)
+            k.stats.incr("exec.deferred")
+            actor.mailbox.defer(msg)
+            return
+        self.invoke(actor, msg, fn, depth=0)
+
+    def _is_disabled(self, actor: Actor, msg: ActorMessage) -> bool:
+        k = self.kernel
+        constraints = actor.behavior.constraints
+        if not constraints.has_constraints(msg.selector):
+            return False
+        k.node.charge(k.costs.constraint_check_us)
+        return constraints.is_disabled(msg.selector, actor.state, msg)
+
+    def invoke(
+        self,
+        actor: Actor,
+        msg: ActorMessage,
+        fn: Callable,
+        depth: int,
+        *,
+        drain: bool = True,
+    ) -> None:
+        """Run one method body to completion (the actor processes the
+        message atomically).  Generator bodies are handed to the
+        call/return driver; non-None returns auto-reply to requests."""
+        k = self.kernel
+        k.node.charge(k.costs.invoke_us)
+        ctx = Context(k, actor, msg, method_name=msg.selector, depth=depth)
+        actor.busy = True
+        try:
+            result = fn(actor.state, ctx, *msg.args)
+        finally:
+            actor.busy = False
+        actor.messages_processed += 1
+        k.stats.incr("exec.messages")
+        if inspect.isgenerator(result):
+            k.driver.start(actor, msg, result)
+        elif (
+            msg.reply_to is not None
+            and not ctx._replied
+            and result is not None
+        ):
+            k.reply_router.send_reply(msg.reply_to, result)
+        if drain and actor.mailbox.pending_count and not actor.migrating:
+            self.drain_pending(actor)
+        if ctx._migrate_to is not None and ctx._migrate_to != k.node_id:
+            k.migration.start(actor, ctx._migrate_to)
+
+    # ------------------------------------------------------------------
+    # pending queue re-examination (§6.1)
+    # ------------------------------------------------------------------
+    def drain_pending(self, actor: Actor) -> None:
+        """Whenever a method execution completes, dispatch any pending
+        messages that have become enabled, one by one, before the next
+        actor is scheduled.  Each dispatch may enable further pending
+        messages, so we loop until a full pass makes no progress."""
+        k = self.kernel
+        progress = True
+        while progress and not actor.migrating:
+            progress = False
+            pending = actor.mailbox.take_pending()
+            while pending:
+                msg = pending.popleft()
+                if actor.migrating:
+                    actor.mailbox.defer(msg)
+                    continue
+                if self._is_disabled(actor, msg):
+                    actor.mailbox.defer(msg)
+                    continue
+                k.node.charge(k.costs.dispatch_us + k.costs.method_lookup_us)
+                fn = actor.behavior.lookup(msg.selector)
+                k.stats.incr("exec.pending_dispatched")
+                # drain=False: this loop is the drain.
+                self.invoke(actor, msg, fn, depth=0, drain=False)
+                progress = True
+
+    # ------------------------------------------------------------------
+    # compiler-controlled inline invocation (§6.3)
+    # ------------------------------------------------------------------
+    def try_inline(
+        self,
+        actor: Actor,
+        msg: ActorMessage,
+        *,
+        plan_kind: str,
+        depth: int,
+    ) -> bool:
+        """Attempt a stack-based direct invocation on a local receiver.
+
+        ``plan_kind`` is the compiler's verdict for the send site:
+        ``"static"`` (unique receiver type inferred — the method is
+        known, only the locality + enabled check runs) or ``"lookup"``
+        (several possible types — a method-lookup precedes the call).
+        Returns False when the generic buffered path must be used.
+        """
+        k = self.kernel
+        sched = k.config.scheduler
+        if not sched.static_dispatch:
+            return False
+        if depth >= sched.max_inline_depth or self.inline_depth >= sched.max_inline_depth:
+            k.stats.incr("exec.inline_depth_overflow")
+            return False
+        if actor.busy or actor.migrating:
+            return False
+        # The locality-check routine also verifies the receiver is
+        # enabled for this message (paper §6.3).
+        if self._is_disabled(actor, msg):
+            return False
+        if plan_kind == "lookup":
+            k.node.charge(k.costs.method_lookup_us)
+        fn = actor.behavior.lookup(msg.selector)
+        k.stats.incr(f"exec.inline_{plan_kind}")
+        self.inline_depth += 1
+        try:
+            self.invoke(actor, msg, fn, depth=depth + 1)
+        finally:
+            self.inline_depth -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # become
+    # ------------------------------------------------------------------
+    def do_become(self, actor: Actor, cls, args: tuple) -> None:
+        k = self.kernel
+        beh: Behavior = k.behavior_for(cls)
+        state = beh.make_state(args)
+        k.node.charge(k.costs.become_us)
+        k.stats.incr("exec.becomes")
+        actor.become(beh, state)

@@ -1,0 +1,92 @@
+"""The front-end running on the partition manager (§3).
+
+The front-end processes all I/O requests from the kernels and loads
+user executables: the compiler produces an image (a
+:class:`~repro.runtime.program.HalProgram` run through the HAL
+compiler); on ``load`` the image is announced to every kernel, which
+dynamically links it.  A simple command-interpreter-style API
+(:meth:`load`, :meth:`run_main`) mirrors the paper's user interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.errors import LoadError
+from repro.runtime.program import HalProgram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.system import HalRuntime
+
+
+@dataclass(frozen=True)
+class ConsoleLine:
+    """One line of program output collected by the partition manager."""
+
+    time: float
+    node: int
+    text: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.2f}us n{self.node}] {self.text}"
+
+
+class FrontEnd:
+    """Partition-manager process: program loading + console I/O."""
+
+    def __init__(self, runtime: "HalRuntime") -> None:
+        self.runtime = runtime
+        self._programs: Dict[str, HalProgram] = {}
+        self.console: List[ConsoleLine] = []
+
+    # ------------------------------------------------------------------
+    # program loading
+    # ------------------------------------------------------------------
+    def load(self, program: HalProgram) -> None:
+        """Compile and load ``program`` into every kernel."""
+        if program.name in self._programs:
+            raise LoadError(f"program {program.name!r} already loaded")
+        # The compiler runs on the front-end before distribution.  The
+        # analysis universe includes everything already linked: kernels
+        # execute all programs in a single address space (§3), so sends
+        # may target behaviours from earlier images.
+        from repro.hal.compiler import compile_program
+        universe = dict(self.runtime.kernels[0].behaviors) if self.runtime.kernels else {}
+        program.compiled = compile_program(program, universe=universe)
+        self._programs[program.name] = program
+        for kernel in self.runtime.kernels:
+            for cls in program.behaviors:
+                kernel.register_behavior(cls)
+            for name, fn in program.tasks.items():
+                kernel.register_task(name, fn)
+        # Charge the dynamic-link cost on every node.
+        for kernel in self.runtime.kernels:
+            kernel.node.bootstrap(lambda k=kernel: k.link_program(program.name))
+        self.runtime.machine.stats.incr("load.programs")
+
+    def program(self, name: str) -> HalProgram:
+        try:
+            return self._programs[name]
+        except KeyError:
+            raise LoadError(f"program {name!r} is not loaded") from None
+
+    @property
+    def loaded_programs(self) -> List[str]:
+        return sorted(self._programs)
+
+    def run_main(self, name: str, *args, **kwargs):
+        """Invoke a loaded program's entry point with the runtime."""
+        program = self.program(name)
+        if program.main is None:
+            raise LoadError(f"program {name!r} declares no entry point")
+        return program.main(self.runtime, *args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # console I/O
+    # ------------------------------------------------------------------
+    def console_write(self, node: int, time: float, text: str) -> None:
+        self.console.append(ConsoleLine(time, node, text))
+
+    def console_text(self) -> str:
+        return "\n".join(str(line) for line in self.console)

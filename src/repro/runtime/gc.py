@@ -1,0 +1,229 @@
+"""Distributed actor garbage collection (§9 future work).
+
+The paper's conclusions: "The use of locality descriptors to support
+location transparency has the advantage of supporting an efficient
+garbage collection scheme", citing the scalable distributed GC for
+actor systems of Venkatasubramaniam, Agha & Talcott.  This module
+implements that direction as a distributed snapshot **mark & sweep**:
+
+- the collection runs at a *quiescent* cut (no messages in flight —
+  the runtime can detect this exactly), so the reachability snapshot
+  is consistent;
+- roots are the refs the environment still holds (passed explicitly)
+  plus every actor with undelivered mail;
+- marking traces actor state and queued messages with
+  :mod:`repro.runtime.gcscan`; references to remote actors travel as
+  ``gc_mark`` active messages that *route exactly like ordinary
+  deliveries* — through locality descriptors, following forwarding
+  pointers — which is precisely the efficiency argument: the name
+  service already knows how to find every actor;
+- the sweep reclaims unmarked local actors, unbinding their
+  descriptors (later sends fail loudly with ``UnknownActorError``).
+
+Being a tracing collector, it reclaims *cyclic* garbage — rings of
+actors referring to each other die together once unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.actors.actor import Actor
+from repro.errors import ReproError
+from repro.runtime.gcscan import extract_refs
+from repro.runtime.names import ActorRef, DescState, MailAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.kernel import Kernel
+    from repro.runtime.system import HalRuntime
+
+#: CPU cost of scanning one actor's state for references (us).
+GC_SCAN_US = 3.0
+#: CPU cost of reclaiming one actor (us).
+GC_SWEEP_US = 1.5
+
+
+@dataclass
+class GcReport:
+    """Outcome of one collection."""
+
+    epoch: int
+    live: int
+    reclaimed: int
+    mark_messages: int
+    elapsed_us: float
+    per_node_reclaimed: Dict[int, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"GC epoch {self.epoch}: {self.live} live, "
+            f"{self.reclaimed} reclaimed, {self.mark_messages} mark msgs, "
+            f"{self.elapsed_us:.1f} us"
+        )
+
+
+class GcService:
+    """Per-kernel collector half; the driver lives on the front-end
+    (:func:`collect_garbage`)."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.epoch = 0
+        kernel.endpoint.register("gc_mark", self._on_mark)
+
+    # ------------------------------------------------------------------
+    # marking
+    # ------------------------------------------------------------------
+    def begin_epoch(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def mark_local_roots(self) -> None:
+        """Actors with undelivered mail are roots: their messages will
+        run and may use any ref they carry."""
+        for actor in list(self.kernel.table.local_actors()):
+            if actor.mailbox.ready_count or actor.mailbox.pending_count:
+                self.mark_actor(actor)
+
+    def mark_ref(self, ref: ActorRef) -> None:
+        """Mark the actor behind ``ref``, local or remote."""
+        k = self.kernel
+        desc = k.table.get(ref.address)
+        if desc is not None and desc.is_local:
+            self.mark_actor(desc.actor)
+            return
+        # Route the mark like a delivery: toward the best guess (or
+        # the home node encoded in the address).
+        target = (
+            desc.remote_node
+            if desc is not None and desc.remote_node >= 0
+            else ref.address.home_node()
+        )
+        if target == k.node_id:
+            # believed local but not found: the actor was already
+            # reclaimed in an earlier epoch — nothing to mark.
+            return
+        k.stats.incr("gc.mark_messages")
+        k.endpoint.send(target, "gc_mark", (ref.address, self.epoch))
+
+    def mark_actor(self, actor: Actor) -> None:
+        """Mark + trace one local actor (iterative, cycle-safe)."""
+        k = self.kernel
+        stack = [actor]
+        while stack:
+            a = stack.pop()
+            if getattr(a, "gc_epoch", 0) == self.epoch:
+                continue
+            a.gc_epoch = self.epoch
+            k.node.charge(GC_SCAN_US)
+            k.stats.incr("gc.marked")
+            sources = [a.state] + list(a.mailbox)
+            for source in sources:
+                actor_refs, group_refs = extract_refs(source)
+                for gref in group_refs:
+                    actor_refs.extend(gref.members())
+                for ref in actor_refs:
+                    desc = k.table.get(ref.address)
+                    if desc is not None and desc.is_local:
+                        if getattr(desc.actor, "gc_epoch", 0) != self.epoch:
+                            stack.append(desc.actor)
+                    else:
+                        self.mark_ref(ref)
+
+    def _on_mark(self, src: int, key: MailAddress, epoch: int) -> None:
+        k = self.kernel
+        if epoch != self.epoch:
+            self.epoch = epoch  # late joiner in this collection
+        desc = k.table.get(key)
+        if desc is not None and desc.is_local:
+            self.mark_actor(desc.actor)
+            return
+        if desc is not None and desc.state is DescState.REMOTE:
+            # forwarding pointer: relay the mark (bounded by the same
+            # chain the FIR protocol repairs)
+            k.stats.incr("gc.mark_messages")
+            k.endpoint.send(desc.remote_node, "gc_mark", (key, epoch))
+            return
+        if key.home_node() != k.node_id:
+            k.stats.incr("gc.mark_messages")
+            k.endpoint.send(key.home_node(), "gc_mark", (key, epoch))
+        # else: already reclaimed — garbage marking garbage.
+
+    # ------------------------------------------------------------------
+    # sweeping
+    # ------------------------------------------------------------------
+    def sweep(self) -> int:
+        """Reclaim unmarked local actors; returns the count."""
+        k = self.kernel
+        reclaimed = 0
+        for desc in [d for d in k.table if d.actor is not None]:
+            actor = desc.actor
+            if getattr(actor, "gc_epoch", 0) == self.epoch:
+                continue
+            k.node.charge(GC_SWEEP_US)
+            self._unbind(desc)
+            reclaimed += 1
+        k.stats.incr("gc.reclaimed", reclaimed)
+        return reclaimed
+
+    def _unbind(self, desc) -> None:
+        table = self.kernel.table
+        if desc.key is not None:
+            table._by_key.pop(desc.key, None)
+        table._by_addr.pop(desc.addr, None)
+        # group bookkeeping: drop reclaimed members
+        groups = self.kernel.groups.local_members
+        if desc.actor is not None and desc.actor.group is not None:
+            gid = desc.actor.group.group_id
+            members = groups.get(gid)
+            if members:
+                groups[gid] = [
+                    (i, a) for (i, a) in members if a is not desc.actor
+                ]
+        desc.actor = None
+
+
+def collect_garbage(
+    rt: "HalRuntime",
+    roots: Optional[List[ActorRef]] = None,
+) -> GcReport:
+    """Run one distributed collection on a quiescent machine.
+
+    ``roots`` are the references the environment (driver, front-end)
+    still holds; actors with undelivered mail are roots automatically.
+    """
+    if not rt.quiescent():
+        raise ReproError(
+            "garbage collection requires a quiescent machine; call "
+            "rt.run() first"
+        )
+    start = rt.now
+    epoch = rt._gc_epochs = getattr(rt, "_gc_epochs", 0) + 1
+    marks_before = rt.stats.counter("gc.mark_messages")
+
+    for kernel in rt.kernels:
+        kernel.gc.begin_epoch(epoch)
+    # Root marking runs on each node's CPU.
+    for kernel in rt.kernels:
+        kernel.node.bootstrap(kernel.gc.mark_local_roots)
+    for ref in roots or []:
+        home = ref.address.home_node()
+        kernel = rt.kernels[home if 0 <= home < rt.num_nodes else 0]
+        kernel.node.bootstrap(lambda k=kernel, r=ref: k.gc.mark_ref(r))
+    # Marks propagate as ordinary active messages; run to quiescence.
+    rt.run()
+
+    reclaimed_per_node = {}
+    for kernel in rt.kernels:
+        reclaimed_per_node[kernel.node_id] = kernel.node.bootstrap(
+            kernel.gc.sweep
+        )
+    live = rt.total_actors()
+    return GcReport(
+        epoch=epoch,
+        live=live,
+        reclaimed=sum(reclaimed_per_node.values()),
+        mark_messages=rt.stats.counter("gc.mark_messages") - marks_before,
+        elapsed_us=rt.now - start,
+        per_node_reclaimed=reclaimed_per_node,
+    )

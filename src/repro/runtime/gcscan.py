@@ -1,0 +1,76 @@
+"""Reference extraction for the actor garbage collector.
+
+Walks arbitrary Python state (actor fields, queued messages) and
+collects every :class:`~repro.runtime.names.ActorRef` and
+:class:`~repro.runtime.groups.GroupRef` reachable through standard
+containers, dataclasses and object ``__dict__``s.  Cycle-safe and
+depth-capped; opaque leaf objects (NumPy arrays, scalars) are skipped
+cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Set, Tuple
+
+import numpy as np
+
+from repro.runtime.groups import GroupRef
+from repro.runtime.names import ActorRef
+
+#: Containers deeper than this are not scanned (guards pathological
+#: structures; real actor state is shallow).
+MAX_DEPTH = 32
+
+_LEAF_TYPES = (
+    type(None), bool, int, float, complex, str, bytes, bytearray,
+    np.ndarray, np.generic,
+)
+
+
+def extract_refs(obj: Any) -> Tuple[List[ActorRef], List[GroupRef]]:
+    """All actor and group references reachable from ``obj``."""
+    actor_refs: List[ActorRef] = []
+    group_refs: List[GroupRef] = []
+    seen: Set[int] = set()
+    stack: List[Tuple[Any, int]] = [(obj, 0)]
+    while stack:
+        value, depth = stack.pop()
+        if isinstance(value, _LEAF_TYPES):
+            continue
+        if isinstance(value, ActorRef):
+            actor_refs.append(value)
+            continue
+        if isinstance(value, GroupRef):
+            group_refs.append(value)
+            continue
+        if depth >= MAX_DEPTH:
+            continue
+        oid = id(value)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        for child in _children(value):
+            stack.append((child, depth + 1))
+    return actor_refs, group_refs
+
+
+def _children(value: Any) -> Iterator[Any]:
+    if isinstance(value, dict):
+        yield from value.keys()
+        yield from value.values()
+        return
+    if isinstance(value, (list, tuple, set, frozenset)):
+        yield from value
+        return
+    # Messages, dataclasses, plain objects: walk their attribute dict
+    # plus declared slots.
+    d = getattr(value, "__dict__", None)
+    if d is not None:
+        yield from d.values()
+    slots = getattr(type(value), "__slots__", None)
+    if slots:
+        for name in slots:
+            try:
+                yield getattr(value, name)
+            except AttributeError:
+                continue

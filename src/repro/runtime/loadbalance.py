@@ -1,0 +1,136 @@
+"""Dynamic load balancing: receiver-initiated random polling (§7.2).
+
+An idle node polls a randomly chosen peer; a peer with surplus ready
+work hands over a stealable item — lightweight tasks travel directly,
+actors are *migrated*, exercising exactly the location-transparency
+machinery the paper builds (stale caches on third-party nodes are then
+repaired by the FIR protocol).
+
+Polling stops when the whole machine is quiescent (no in-flight
+messages and every dispatcher empty), so simulations terminate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.actors.actor import Actor
+from repro.runtime.dispatcher import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.kernel import Kernel
+
+
+class LoadBalancer:
+    """Receiver-initiated random-polling work stealing for one kernel."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.params = kernel.config.load_balance
+        self.rng = kernel.runtime.machine.rng.node_stream("steal", kernel.node_id)
+        self._poll_pending = False
+        if self.params.enabled and kernel.runtime.num_nodes > 1:
+            kernel.dispatcher.idle_callbacks.append(self.on_idle)
+
+    # ------------------------------------------------------------------
+    # thief side
+    # ------------------------------------------------------------------
+    def on_idle(self) -> None:
+        """Dispatcher drained: start (or continue) polling."""
+        self._schedule_poll()
+
+    def kick(self) -> None:
+        """Arm polling if this node is idle.  Called by the runtime
+        whenever external work is injected — a node that never received
+        any work has no dispatcher activity to trigger ``on_idle``."""
+        if (
+            self.params.enabled
+            and self.kernel.runtime.num_nodes > 1
+            and not self.kernel.dispatcher.queue_length
+        ):
+            self._schedule_poll()
+
+    def _schedule_poll(self) -> None:
+        if self._poll_pending:
+            return
+        self._poll_pending = True
+        k = self.kernel
+        k.node.execute(
+            k.node.now + self.params.poll_interval_us
+            if k.node.in_handler
+            else k.node.sim.now + self.params.poll_interval_us,
+            self._poll,
+            label="steal.poll",
+        )
+
+    def _poll(self) -> None:
+        self._poll_pending = False
+        k = self.kernel
+        if k.dispatcher.queue_length:
+            return  # got work in the meantime; idle callback will re-arm
+        if k.runtime.quiescent():
+            return  # program finished: stop generating events
+        victim = self._pick_victim()
+        if victim is None:
+            return
+        k.stats.incr("steal.polls")
+        # Steal-protocol messages are excluded from the quiescence
+        # accounting (see HalRuntime.quiescent), otherwise two idle
+        # nodes could keep each other "non-quiescent" forever.
+        k.stats.incr("steal.proto_sent")
+        k.endpoint.send(victim, "steal_req", ())
+
+    def _pick_victim(self) -> Optional[int]:
+        n = self.kernel.runtime.num_nodes
+        if n <= 1:
+            return None
+        victim = self.rng.randrange(n - 1)
+        if victim >= self.kernel.node_id:
+            victim += 1
+        return victim
+
+    # ------------------------------------------------------------------
+    # victim side
+    # ------------------------------------------------------------------
+    def on_steal_req(self, src: int) -> None:
+        k = self.kernel
+        k.stats.incr("steal.proto_recv")
+        k.node.charge(k.costs.steal_check_us)
+        granted = 0
+        if k.dispatcher.surplus() > self.params.surplus_threshold:
+            for _ in range(self.params.max_grant):
+                item = k.dispatcher.steal_one(
+                    from_tail=self.params.steal_from_tail
+                )
+                if item is None:
+                    break
+                k.node.charge(k.costs.steal_pack_us)
+                if isinstance(item, Task):
+                    k.endpoint.send(src, "steal_grant", (item.fn_name, item.args))
+                elif isinstance(item, Actor):
+                    # Steal by migration: the thief becomes the actor's
+                    # new home; senders with stale caches will be
+                    # repaired by FIR.
+                    k.migration.start(item, src)
+                else:  # pragma: no cover - steal_one filters for us
+                    continue
+                granted += 1
+        if granted:
+            k.stats.incr("steal.granted", granted)
+        else:
+            k.stats.incr("steal.denied")
+            k.stats.incr("steal.proto_sent")
+            k.endpoint.send(src, "steal_deny", ())
+
+    # ------------------------------------------------------------------
+    # thief side: responses
+    # ------------------------------------------------------------------
+    def on_steal_grant(self, src: int, fn_name: str, args: tuple) -> None:
+        k = self.kernel
+        k.stats.incr("steal.received")
+        k.dispatcher.enqueue(Task(fn_name, args))
+
+    def on_steal_deny(self, src: int) -> None:
+        self.kernel.stats.incr("steal.proto_recv")
+        if not self.kernel.dispatcher.queue_length:
+            self._schedule_poll()

@@ -1,0 +1,216 @@
+"""Actor migration and the FIR location protocol (§4.3).
+
+Migration keeps the name service deliberately inconsistent: location
+information for remote actors is a best guess.  When a node manager is
+asked to deliver a message for an actor that has migrated away, it
+does **not** forward the message; it sends a small *forwarding
+information request* (FIR) along the forwarding chain.  When the FIR
+reaches the actor, the location (node + descriptor memory address)
+propagates back along the chain, every node manager on the chain
+updates its name table, and held messages are then sent directly.
+
+To further cut migration traffic, the new descriptor address is cached
+at the actor's *birthplace* and at the *old* node as soon as the move
+completes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from repro.actors.actor import Actor
+from repro.am.messages import message_nbytes, payload_nbytes
+from repro.errors import DeliveryError, MigrationError
+from repro.runtime.names import AddrKind, DescState, LocalityDescriptor, MailAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.kernel import Kernel
+
+#: Transient routing cycles (two stale tables pointing at each other)
+#: are legal under relaxed consistency; the FIR retries until the
+#: in-flight migration completes and repairs the tables.  The cap only
+#: guards against genuine livelock bugs.
+MAX_FIR_RETRIES = 1000
+
+
+class MigrationService:
+    """Migration + FIR for one kernel."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    # ==================================================================
+    # outbound migration
+    # ==================================================================
+    def start(self, actor: Actor, dest: int) -> None:
+        """Move ``actor`` to node ``dest``.  The actor must be between
+        messages (the dispatcher guarantees this for ``ctx.migrate``
+        and for steal-driven moves)."""
+        k = self.kernel
+        if dest == k.node_id:
+            return
+        if actor.migrating:
+            raise MigrationError(f"{actor!r} is already migrating")
+        if actor.busy:
+            raise MigrationError(f"{actor!r} cannot migrate mid-execution")
+        desc = k.table.get(actor.key)
+        if desc is None or desc.actor is not actor:
+            raise MigrationError(f"{actor!r} is not registered on node {k.node_id}")
+        actor.migrating = True
+        k.node.charge(k.costs.migrate_pack_us)
+        behavior, state, mail = actor.pack_for_migration()
+        desc.begin_transit(dest)
+        k.stats.incr("migration.started")
+        k.trace.emit(k.node.now, k.node_id, "migrate.out", actor.key, dest)
+        payload = (actor.key, behavior.name, state, tuple(mail))
+        nbytes = message_nbytes(payload, k.network_params.packet_bytes) + payload_nbytes(
+            getattr(state, "__dict__", None)
+        )
+        if nbytes >= k.config.bulk_threshold_bytes:
+            k.bulk.send_bulk(dest, "migrate_arrive", payload, nbytes)
+        else:
+            k.endpoint.send(dest, "migrate_arrive", payload, nbytes=nbytes)
+
+    def on_migrate_arrive(
+        self, src: int, key: MailAddress, behavior_name: str, state, mail: tuple
+    ) -> None:
+        k = self.kernel
+        k.node.charge(k.costs.migrate_unpack_us)
+        behavior = k.behavior_for(behavior_name)
+        actor = Actor(behavior, state, k.node_id, key)
+        desc = k.table.get(key)
+        if desc is None:
+            k.node.charge(k.costs.descriptor_alloc_us + k.costs.nametable_insert_us)
+            desc = k.table.alloc(key)
+        desc.set_local(actor)
+        actor.migrating = False
+        for msg in mail:
+            actor.mailbox.enqueue(msg)
+        if actor.mailbox.ready_count:
+            k.dispatcher.enqueue_actor(actor)
+        k.stats.incr("migration.arrived")
+        k.trace.emit(k.node.now, k.node_id, "migrate.in", key, src)
+        # Any messages that raced here before the actor did:
+        k.delivery.flush_deferred(desc)
+        # FIR chains that were parked waiting on this arrival:
+        self._answer_waiting_firs(desc, k.node_id, desc.addr)
+        # Ack the old node with our descriptor address ...
+        k.endpoint.send(src, "migrate_ack", (key, desc.addr))
+        # ... and cache it at the birthplace too (§4.3).
+        birth = key.home_node()
+        if birth not in (k.node_id, src):
+            k.endpoint.send(birth, "cache_addr", (key, k.node_id, desc.addr))
+
+    def on_migrate_ack(self, src: int, key: MailAddress, new_addr: int) -> None:
+        k = self.kernel
+        desc = k.table.get(key)
+        if desc is None or desc.state is not DescState.IN_TRANSIT:
+            raise MigrationError(
+                f"node {k.node_id}: unexpected migrate_ack for {key!r}"
+            )
+        desc.set_remote(src, new_addr)
+        k.stats.incr("migration.acked")
+        k.delivery.flush_deferred(desc)
+        self._answer_waiting_firs(desc, src, new_addr)
+
+    # ==================================================================
+    # FIR protocol
+    # ==================================================================
+    def queue_for_fir(self, desc: LocalityDescriptor, msg) -> None:
+        """Hold ``msg`` and (if not already chasing) send an FIR toward
+        the actor's believed location."""
+        k = self.kernel
+        desc.deferred.append(msg)
+        if desc.state is DescState.RESOLVING:
+            k.stats.incr("fir.coalesced")
+            return  # an FIR for this actor is already outstanding
+        target = desc.remote_node
+        desc.begin_resolving()
+        k.stats.incr("fir.initiated")
+        k.trace.emit(k.node.now, k.node_id, "fir.start", desc.key, target)
+        k.node.charge(k.costs.fir_relay_us)
+        k.endpoint.send(target, "fir", (desc.key, (k.node_id,)))
+
+    def on_fir(self, src: int, key: MailAddress, chain: Tuple[int, ...]) -> None:
+        k = self.kernel
+        k.node.charge(k.costs.fir_relay_us)
+        desc = k.table.get(key)
+        if desc is None:
+            home = key.home_node()
+            if home == k.node_id and key.kind is not AddrKind.ORDINARY:
+                # Creation itself is still in flight; park the FIR.
+                desc = k.table.alloc(key)
+                desc.state = DescState.AWAITING_CREATION
+                desc.waiting_firs.append(chain)
+                return
+            if home == k.node_id:
+                raise DeliveryError(
+                    f"FIR for unknown locally-born actor {key!r}"
+                )
+            desc = k.table.alloc(key)
+            desc.set_remote(home)
+        if desc.is_local:
+            # Found the actor: propagate the location back along the
+            # chain with the locality descriptor's memory address.
+            k.stats.incr("fir.resolved")
+            self._send_fir_reply(key, k.node_id, desc.addr, chain)
+            return
+        if desc.state in (DescState.IN_TRANSIT, DescState.AWAITING_CREATION,
+                          DescState.RESOLVING):
+            # We will learn the location shortly; answer then.
+            desc.waiting_firs.append(chain)
+            return
+        nxt = desc.remote_node
+        if nxt == k.node_id or nxt in chain:
+            # Stale tables formed a transient cycle; retry after the
+            # in-flight migration has had time to repair them.
+            desc.fir_retries += 1
+            if desc.fir_retries > MAX_FIR_RETRIES:
+                raise DeliveryError(
+                    f"FIR livelock chasing {key!r} (chain {chain})"
+                )
+            k.stats.incr("fir.retries")
+            k.node.execute(
+                k.node.now + k.costs.fir_retry_delay_us,
+                lambda: self.on_fir(src, key, chain),
+                label="fir.retry",
+            )
+            return
+        k.stats.incr("fir.relayed")
+        k.endpoint.send(nxt, "fir", (key, chain + (k.node_id,)))
+
+    def _send_fir_reply(
+        self, key: MailAddress, node: int, addr: int, chain: Tuple[int, ...]
+    ) -> None:
+        """Send the resolution one hop back along the chain."""
+        if not chain:
+            return
+        self.kernel.endpoint.send(
+            chain[-1], "fir_reply", (key, node, addr, chain[:-1])
+        )
+
+    def on_fir_reply(
+        self, src: int, key: MailAddress, node: int, addr: int,
+        chain: Tuple[int, ...],
+    ) -> None:
+        """A chain node learns the actor's location: update the table,
+        release held messages, answer our own waiters, keep relaying."""
+        k = self.kernel
+        k.node.charge(k.costs.fir_relay_us)
+        desc = k.table.get(key)
+        if desc is not None and desc.state in (DescState.REMOTE, DescState.RESOLVING):
+            desc.set_remote(node, addr)
+            desc.fir_retries = 0
+            k.stats.incr("fir.updated")
+            k.delivery.flush_deferred(desc)
+            self._answer_waiting_firs(desc, node, addr)
+        self._send_fir_reply(key, node, addr, chain)
+
+    def _answer_waiting_firs(
+        self, desc: LocalityDescriptor, node: int, addr: int
+    ) -> None:
+        if not desc.waiting_firs:
+            return
+        waiting, desc.waiting_firs = desc.waiting_firs, []
+        for chain in waiting:
+            self._send_fir_reply(desc.key, node, addr, chain)

@@ -1,0 +1,176 @@
+"""Mail addresses, aliases and locality descriptors (§4.1, §5).
+
+A mail address is a pair of real addresses ``(birthplace, address)``
+where *address* is the memory address of a **locality descriptor** on
+the birthplace node.  Aliases share the structure but their
+``birthplace`` is the node that *issued* the creation request, with the
+actual creation node encoded alongside.  Group-member addresses
+(``grpnew``) are a third flavour whose home node is computed from the
+group's deterministic placement.
+
+A locality descriptor records the actor's current locality:
+
+- **local**: a direct reference to the actor;
+- **remote**: the best-guess remote node, plus (once cached) the
+  memory address of the actor's descriptor on that node so the
+  receiving node can skip its own name-table hash;
+- **in transit / resolving**: messages are deferred while a migration
+  or FIR chase is outstanding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any, List, Optional, TYPE_CHECKING
+
+from repro.errors import NameServiceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.actors.actor import Actor
+    from repro.actors.message import ActorMessage
+
+
+class AddrKind(IntEnum):
+    """Flavours of mail address."""
+
+    ORDINARY = 0  #: created locally; birthplace knows it from birth
+    ALIAS = 1     #: issued for a remote creation; actual node encoded
+    GROUP = 2     #: grpnew member; home computed from placement
+
+
+@dataclass(frozen=True)
+class MailAddress:
+    """A location-transparent actor name.  Hashable; used as the name
+    table key on every node."""
+
+    kind: AddrKind
+    #: ORDINARY: birthplace node.  ALIAS: issuing node.
+    #: GROUP: group-creator node.
+    node: int
+    #: ORDINARY/ALIAS: descriptor address on ``node``.
+    #: GROUP: group sequence number on the creator node.
+    addr: int
+    #: ALIAS: encoded actual creation node.  GROUP: member index.
+    aux: int = -1
+    #: GROUP only: the member's placement-computed home node.
+    home: int = -1
+
+    #: Marshalled size: kind + two real addresses + aux words.
+    WIRE_BYTES = 16
+
+    def home_node(self) -> int:
+        """First-guess node encoded in the address itself: where the
+        actor was actually created (§4.1, §5)."""
+        if self.kind is AddrKind.ORDINARY:
+            return self.node
+        if self.kind is AddrKind.ALIAS:
+            return self.aux
+        return self.home
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind is AddrKind.ORDINARY:
+            return f"@{self.node}:{self.addr}"
+        if self.kind is AddrKind.ALIAS:
+            return f"@alias{self.node}:{self.addr}->n{self.aux}"
+        return f"@grp{self.node}:{self.addr}[{self.aux}]->n{self.home}"
+
+
+@dataclass(frozen=True)
+class ActorRef:
+    """User-facing handle on an actor: just its mail address.
+
+    Refs are first-class values — they may be stored in actor state and
+    communicated in messages, giving the dynamic communication topology
+    of the Actor model (§2.1).
+    """
+
+    address: MailAddress
+
+    WIRE_BYTES = MailAddress.WIRE_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ActorRef({self.address!r})"
+
+
+class DescState(IntEnum):
+    """Lifecycle of a locality descriptor."""
+
+    LOCAL = 0       #: the actor lives on this node
+    REMOTE = 1      #: best-guess remote location (possibly stale)
+    RESOLVING = 2   #: FIR outstanding; messages deferred
+    IN_TRANSIT = 3  #: we initiated a migration; awaiting the ack
+    AWAITING_CREATION = 4  #: message raced ahead of the creation request
+
+
+class LocalityDescriptor:
+    """Per-node record of an actor's (believed) locality."""
+
+    __slots__ = (
+        "addr",
+        "key",
+        "state",
+        "actor",
+        "remote_node",
+        "remote_addr",
+        "deferred",
+        "waiting_firs",
+        "fir_retries",
+    )
+
+    def __init__(self, addr: int, key: Optional[MailAddress]) -> None:
+        #: This descriptor's "memory address" on its node.
+        self.addr = addr
+        #: The mail address this descriptor describes (None until bound).
+        self.key = key
+        self.state = DescState.REMOTE
+        self.actor: Optional["Actor"] = None
+        #: Best guess of the hosting node (meaningful unless LOCAL).
+        self.remote_node: int = -1
+        #: Cached descriptor address on ``remote_node`` (or -1).
+        self.remote_addr: int = -1
+        #: Messages parked while RESOLVING / IN_TRANSIT / AWAITING_CREATION.
+        self.deferred: List["ActorMessage"] = []
+        #: FIR chains parked here while the actor is in transit from us.
+        self.waiting_firs: List[tuple] = []
+        self.fir_retries: int = 0
+
+    # ------------------------------------------------------------------
+    def set_local(self, actor: "Actor") -> None:
+        self.state = DescState.LOCAL
+        self.actor = actor
+        self.remote_node = -1
+        self.remote_addr = -1
+
+    def set_remote(self, node: int, addr: int = -1) -> None:
+        if node < 0:
+            raise NameServiceError("remote node must be non-negative")
+        self.state = DescState.REMOTE
+        self.actor = None
+        self.remote_node = node
+        self.remote_addr = addr
+
+    def begin_transit(self, dest: int) -> None:
+        self.state = DescState.IN_TRANSIT
+        self.actor = None
+        self.remote_node = dest
+        self.remote_addr = -1
+
+    def begin_resolving(self) -> None:
+        self.state = DescState.RESOLVING
+
+    @property
+    def is_local(self) -> bool:
+        return self.state is DescState.LOCAL
+
+    @property
+    def has_cached_addr(self) -> bool:
+        return self.remote_addr >= 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        loc = (
+            "local" if self.is_local
+            else f"{self.state.name.lower()}->n{self.remote_node}"
+            + (f":{self.remote_addr}" if self.has_cached_addr else "")
+        )
+        return f"Desc({self.addr}, {self.key!r}, {loc})"

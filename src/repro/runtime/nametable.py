@@ -1,0 +1,79 @@
+"""The per-node (local) name table (§4.2).
+
+Each kernel maintains its own hash table of locality descriptors; name
+translation from a mail address to location information consults only
+this table — never another node.  Consistency across tables is
+deliberately relaxed: entries for remote actors are best guesses,
+corrected lazily by the delivery algorithm and the FIR protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Optional
+
+from repro.errors import NameServiceError
+from repro.runtime.names import LocalityDescriptor, MailAddress
+
+
+class NameTable:
+    """Hash table ``MailAddress -> LocalityDescriptor`` plus the node's
+    descriptor "memory" indexed by descriptor address."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._by_key: Dict[MailAddress, LocalityDescriptor] = {}
+        self._by_addr: Dict[int, LocalityDescriptor] = {}
+        self._next_addr = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def alloc(self, key: Optional[MailAddress] = None) -> LocalityDescriptor:
+        """Allocate a fresh descriptor, optionally bound to ``key``."""
+        addr = next(self._next_addr)
+        desc = LocalityDescriptor(addr, key)
+        self._by_addr[addr] = desc
+        if key is not None:
+            if key in self._by_key:
+                raise NameServiceError(
+                    f"node {self.node_id}: {key!r} already bound"
+                )
+            self._by_key[key] = desc
+        return desc
+
+    def bind(self, key: MailAddress, desc: LocalityDescriptor) -> None:
+        """Bind ``key`` to an existing descriptor (alias registration)."""
+        if key in self._by_key:
+            raise NameServiceError(f"node {self.node_id}: {key!r} already bound")
+        desc.key = key
+        self._by_key[key] = desc
+
+    # ------------------------------------------------------------------
+    def get(self, key: MailAddress) -> Optional[LocalityDescriptor]:
+        """Hash lookup (the caller charges ``nametable_hash_us``)."""
+        return self._by_key.get(key)
+
+    def by_addr(self, addr: int) -> LocalityDescriptor:
+        """Direct descriptor dereference via a cached memory address
+        (the caller charges ``descriptor_deref_us``)."""
+        try:
+            return self._by_addr[addr]
+        except KeyError:
+            raise NameServiceError(
+                f"node {self.node_id}: no descriptor at address {addr}"
+            ) from None
+
+    def has_addr(self, addr: int) -> bool:
+        return addr in self._by_addr
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_addr)
+
+    def __iter__(self) -> Iterator[LocalityDescriptor]:
+        return iter(self._by_addr.values())
+
+    def local_actors(self) -> Iterator:
+        """All actors currently resident on this node."""
+        for desc in self._by_addr.values():
+            if desc.actor is not None:
+                yield desc.actor

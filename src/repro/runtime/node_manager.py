@@ -1,0 +1,66 @@
+"""The node manager: the kernel's system (meta-level) actor (§3).
+
+The node manager delivers messages sent by remote actors to local
+actors, creates actors in response to remote creation requests, serves
+the FIR/migration protocols, answers steal polls, and dynamically
+links program images.  A request to a node manager arrives as an
+active message: the handler "steals the processor" from whatever actor
+is executing (our engine serialises them on the node's CPU), processes
+the request, and resumes — no context switch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.kernel import Kernel
+
+
+class NodeManager:
+    """Registers and owns every kernel-level active-message handler."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        ep = kernel.endpoint
+        # message delivery (§4)
+        ep.register("deliver_keyed", self._deliver_keyed)
+        ep.register("deliver_direct", self._deliver_direct)
+        ep.register("cache_addr", kernel.delivery.on_cache_addr)
+        # creation (§5)
+        ep.register("create_remote", kernel.creation.on_create_remote)
+        ep.register("create_request", kernel.creation.on_create_request)
+        ep.register("task_spawn", kernel.creation.on_task_spawn)
+        # call/return (§6.2)
+        ep.register("reply", kernel.reply_router.on_reply)
+        # migration + FIR (§4.3)
+        ep.register("fir", kernel.migration.on_fir)
+        ep.register("fir_reply", kernel.migration.on_fir_reply)
+        ep.register("migrate_arrive", kernel.migration.on_migrate_arrive)
+        ep.register("migrate_ack", kernel.migration.on_migrate_ack)
+        # load balancing (§7.2)
+        ep.register("steal_req", self._steal_req)
+        ep.register("steal_grant", kernel.balancer.on_steal_grant)
+        ep.register("steal_deny", kernel.balancer.on_steal_deny)
+        # groups (§6.4) — these arrive via the spanning tree
+        ep.register("grp_create", kernel.groups.on_grp_create)
+        ep.register("grp_bcast", kernel.groups.on_grp_bcast)
+        # program loading (§3)
+        ep.register("load_program", self._load_program)
+
+    # Thin adapters keep wire argument order explicit in one place.
+    def _deliver_keyed(self, src, key, selector, args, reply_to, origin):
+        self.kernel.delivery.on_deliver_keyed(
+            src, key, selector, args, reply_to, origin
+        )
+
+    def _deliver_direct(self, src, addr, selector, args, reply_to, origin):
+        self.kernel.delivery.on_deliver_direct(
+            src, addr, selector, args, reply_to, origin
+        )
+
+    def _steal_req(self, src):
+        self.kernel.balancer.on_steal_req(src)
+
+    def _load_program(self, src, program_name):
+        self.kernel.link_program(program_name)

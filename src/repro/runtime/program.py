@@ -1,0 +1,63 @@
+"""Program images (§3: dynamic loading of executables).
+
+A :class:`HalProgram` bundles the behaviours and task functions that
+form one executable.  The front-end loads programs into every kernel
+— the runtime supports concurrent execution of multiple programs on
+one partition, and kernels do not discriminate between actors from
+different programs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.actors.behavior import is_behavior_class
+from repro.errors import LoadError
+
+
+class HalProgram:
+    """A loadable executable: behaviours + tasks + optional entry."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise LoadError("program name must be non-empty")
+        self.name = name
+        self.behaviors: List[Type] = []
+        self.tasks: Dict[str, Callable] = {}
+        self.main: Optional[Callable] = None
+        #: Filled by the HAL compiler at load time.
+        self.compiled = None
+
+    # ------------------------------------------------------------------
+    def behavior(self, cls: Type) -> Type:
+        """Register a ``@behavior`` class (usable as a decorator)."""
+        if not is_behavior_class(cls):
+            raise LoadError(
+                f"{cls!r} must be decorated with @behavior before being "
+                "added to a program"
+            )
+        if cls not in self.behaviors:
+            self.behaviors.append(cls)
+        return cls
+
+    def task(self, name: Optional[str] = None):
+        """Register a task function (usable as ``@program.task()``)."""
+        def wrap(fn: Callable) -> Callable:
+            key = name or fn.__name__
+            if key in self.tasks and self.tasks[key] is not fn:
+                raise LoadError(f"duplicate task {key!r} in program {self.name}")
+            self.tasks[key] = fn
+            return fn
+        return wrap
+
+    def entry(self, fn: Callable) -> Callable:
+        """Register the program's main entry point (a driver that
+        receives the booted :class:`HalRuntime`)."""
+        self.main = fn
+        return fn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HalProgram({self.name}, behaviours="
+            f"{[c.__name__ for c in self.behaviors]}, tasks={sorted(self.tasks)})"
+        )

@@ -1,0 +1,262 @@
+"""The user-facing runtime facade.
+
+:class:`HalRuntime` boots a simulated partition, one kernel per
+processing element, the spanning-tree multicaster, and the front-end.
+External drivers (examples, tests, benchmarks) use it to load
+programs, spawn actors, send messages, perform synchronous calls and
+run the simulation to quiescence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Type, Union
+
+from repro.actors.behavior import behavior_of, is_behavior_class
+from repro.am.broadcast import TreeMulticaster
+from repro.am.cmam import Endpoint
+from repro.config import RuntimeConfig
+from repro.errors import DeliveryError, ReproError
+from repro.runtime.costmodel import CostModel
+from repro.runtime.frontend import FrontEnd
+from repro.runtime.kernel import Kernel
+from repro.runtime.names import ActorRef, DescState
+from repro.runtime.program import HalProgram
+from repro.sim.machine import Machine
+
+
+class HalRuntime:
+    """A booted HAL runtime on a simulated CM-5 partition."""
+
+    def __init__(
+        self,
+        config: Optional[RuntimeConfig] = None,
+        *,
+        costs: Optional[CostModel] = None,
+        trace: bool = False,
+    ) -> None:
+        self.config = config or RuntimeConfig()
+        self.costs = costs or CostModel()
+        self.machine = Machine(self.config, trace=trace)
+        self.endpoint_directory: Dict[int, Endpoint] = {}
+        self.frontend = FrontEnd(self)
+        self.kernels: List[Kernel] = [
+            Kernel(self, i) for i in range(self.config.num_nodes)
+        ]
+        self.multicaster = TreeMulticaster(
+            self.machine.topology, self.endpoint_directory
+        )
+        self.multicaster.install()
+        self._anon_programs = 0
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self.machine.now
+
+    @property
+    def stats(self):
+        return self.machine.stats
+
+    @property
+    def trace(self):
+        return self.machine.trace
+
+    def kernel(self, node: int) -> Kernel:
+        return self.kernels[node]
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load(self, program: HalProgram) -> None:
+        """Load (and HAL-compile) a program image on every node."""
+        self.frontend.load(program)
+
+    def load_behaviors(self, *classes: Type, tasks: Optional[Dict] = None) -> None:
+        """Convenience: wrap loose behaviours into an anonymous program
+        and load it."""
+        self._anon_programs += 1
+        program = HalProgram(f"__anon{self._anon_programs}__")
+        for cls in classes:
+            program.behavior(cls)
+        for name, fn in (tasks or {}).items():
+            program.tasks[name] = fn
+        self.load(program)
+
+    def _ensure_loaded(self, cls: Type) -> None:
+        if not is_behavior_class(cls):
+            raise ReproError(f"{cls!r} is not a @behavior class")
+        name = behavior_of(cls).name
+        if name not in self.kernels[0].behaviors:
+            self.load_behaviors(cls)
+
+    # ------------------------------------------------------------------
+    # external driver operations
+    # ------------------------------------------------------------------
+    def spawn(self, cls: Type, *args: Any, at: int = 0) -> ActorRef:
+        """Create an actor from outside the simulation (loads the
+        behaviour on demand)."""
+        self._ensure_loaded(cls)
+        kernel = self.kernels[at]
+        return kernel.node.bootstrap(
+            lambda: kernel.creation.create(cls, args, at=None)
+        )
+
+    def spawn_remote(self, cls: Type, *args: Any, at: int, issuing_node: int = 0) -> ActorRef:
+        """Issue a remote creation from ``issuing_node`` (exercises the
+        alias latency-hiding path)."""
+        self._ensure_loaded(cls)
+        kernel = self.kernels[issuing_node]
+        return kernel.node.bootstrap(
+            lambda: kernel.creation.create(cls, args, at=at)
+        )
+
+    def send(self, ref: ActorRef, selector: str, *args: Any, from_node: int = 0) -> None:
+        """Inject an asynchronous message from an external driver."""
+        kernel = self.kernels[from_node]
+        kernel.node.bootstrap(
+            lambda: kernel.delivery.send_message(ref, selector, args)
+        )
+
+    def grpnew(self, cls: Type, n: int, *args: Any, placement: str = "cyclic",
+               from_node: int = 0):
+        """Create an actor group from an external driver."""
+        self._ensure_loaded(cls)
+        kernel = self.kernels[from_node]
+        return kernel.node.bootstrap(
+            lambda: kernel.groups.grpnew(cls, n, args, placement=placement)
+        )
+
+    def broadcast(self, group, selector: str, *args: Any, from_node: int = 0) -> None:
+        kernel = self.kernels[from_node]
+        kernel.node.bootstrap(
+            lambda: kernel.groups.broadcast(group, selector, args)
+        )
+
+    def spawn_task(self, fn_name: str, *args: Any, at: int = 0) -> None:
+        kernel = self.kernels[at]
+        kernel.node.bootstrap(
+            lambda: kernel.creation.spawn_task(fn_name, args, at=None)
+        )
+
+    # ------------------------------------------------------------------
+    # synchronous call (external request/reply)
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        ref: ActorRef,
+        selector: str,
+        *args: Any,
+        from_node: int = 0,
+        timeout_us: Optional[float] = None,
+    ) -> Any:
+        """Send a request and run the simulation until the reply lands.
+
+        This is the external-driver analogue of HAL's ``request``: a
+        root join continuation with one slot is allocated on
+        ``from_node`` and the simulation advances until it fires.
+        """
+        kernel = self.kernels[from_node]
+        box: List[Any] = []
+
+        def make_request() -> None:
+            from repro.actors.message import ReplyTarget
+
+            def fire(cont) -> None:
+                box.append(cont.values()[0])
+                kernel.continuations.discard(cont.cont_id)
+
+            cont = kernel.continuations.new(1, fire, created_at=kernel.node.now)
+            target = ReplyTarget(kernel.node_id, cont.cont_id, 0)
+            kernel.delivery.send_message(ref, selector, args, reply_to=target)
+
+        kernel.node.bootstrap(make_request)
+        self.run(until=timeout_us, stop_when=lambda: bool(box))
+        if not box:
+            raise DeliveryError(
+                f"call {selector!r} did not complete "
+                + (f"within {timeout_us} us" if timeout_us else "(machine quiescent)")
+            )
+        return box[0]
+
+    def make_collector(self, from_node: int = 0):
+        """Allocate a one-slot root continuation for external drivers.
+
+        Returns ``(target, box)``: pass ``target`` wherever a
+        ReplyTarget is expected (task spawns, explicit CPS); the reply
+        value appears in ``box[0]`` once delivered.
+        """
+        kernel = self.kernels[from_node]
+        box: List[Any] = []
+
+        def mk():
+            from repro.actors.message import ReplyTarget
+
+            def fire(cont) -> None:
+                box.append(cont.values()[0])
+                kernel.continuations.discard(cont.cont_id)
+
+            cont = kernel.continuations.new(1, fire, created_at=kernel.node.now)
+            return ReplyTarget(kernel.node_id, cont.cont_id, 0)
+
+        return kernel.node.bootstrap(mk), box
+
+    # ------------------------------------------------------------------
+    # execution control
+    # ------------------------------------------------------------------
+    def run(self, *, until: Optional[float] = None, stop_when=None) -> float:
+        """Drain the event heap (to quiescence, a deadline, or a
+        predicate).  Returns the simulated time reached."""
+        if self.config.load_balance.enabled:
+            for kernel in self.kernels:
+                kernel.balancer.kick()
+        return self.machine.sim.run(until=until, stop_when=stop_when)
+
+    def quiescent(self) -> bool:
+        """True when no work remains anywhere: no in-flight messages
+        (steal-protocol chatter excluded) and every dispatcher empty."""
+        c = self.stats.counters
+        inflight = c.get("am.sends", 0) - c.get("am.delivered", 0)
+        steal_chatter = c.get("steal.proto_sent", 0) - c.get("steal.proto_recv", 0)
+        if inflight - steal_chatter > 0:
+            return False
+        return all(not k.dispatcher.ready for k in self.kernels)
+
+    def collect_garbage(self, roots=None):
+        """Run one distributed mark & sweep collection (the machine
+        must be quiescent).  ``roots`` are refs the environment still
+        holds; see :mod:`repro.runtime.gc`."""
+        from repro.runtime.gc import collect_garbage
+        return collect_garbage(self, roots)
+
+    # ------------------------------------------------------------------
+    # introspection (tests / benchmarks)
+    # ------------------------------------------------------------------
+    def locate(self, ref: ActorRef) -> int:
+        """Ground-truth location of an actor (white-box; scans every
+        node — not something a real node could do)."""
+        for kernel in self.kernels:
+            desc = kernel.table.get(ref.address)
+            if desc is not None and desc.is_local:
+                return kernel.node_id
+        raise DeliveryError(f"{ref!r} is not resident anywhere")
+
+    def actor_of(self, ref: ActorRef):
+        """Ground-truth actor object behind a ref (white-box)."""
+        return self.kernels[self.locate(ref)].table.get(ref.address).actor
+
+    def state_of(self, ref: ActorRef):
+        """Ground-truth state object behind a ref (white-box)."""
+        return self.actor_of(ref).state
+
+    def total_actors(self) -> int:
+        return sum(k.local_actor_count() for k in self.kernels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HalRuntime(P={self.num_nodes}, t={self.now:.1f}us)"

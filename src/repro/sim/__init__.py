@@ -1,0 +1,35 @@
+"""Discrete-event simulated multicomputer (the CM-5 substitute).
+
+This package provides the machine substrate everything else runs on:
+
+- :mod:`repro.sim.engine` — deterministic event heap and per-node
+  virtual clocks;
+- :mod:`repro.sim.topology` — fat-tree / hypercube coordinates and the
+  hypercube-like minimum spanning trees used for broadcast;
+- :mod:`repro.sim.network` — contention-aware interconnect model;
+- :mod:`repro.sim.machine` — partition manager + processing elements;
+- :mod:`repro.sim.rng` — named deterministic random substreams;
+- :mod:`repro.sim.stats` / :mod:`repro.sim.trace` — measurement.
+"""
+
+from repro.sim.engine import Event, Simulator, SimNode
+from repro.sim.machine import Machine
+from repro.sim.network import Network
+from repro.sim.rng import RngStreams
+from repro.sim.stats import StatsRegistry
+from repro.sim.topology import FatTreeTopology, HypercubeTopology, make_topology
+from repro.sim.trace import TraceLog
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimNode",
+    "Machine",
+    "Network",
+    "RngStreams",
+    "StatsRegistry",
+    "FatTreeTopology",
+    "HypercubeTopology",
+    "make_topology",
+    "TraceLog",
+]

@@ -1,0 +1,267 @@
+"""Deterministic discrete-event engine with per-node virtual clocks.
+
+The engine is a single global event heap ordered by ``(time, seq)``
+where ``seq`` is a monotonically increasing tie-breaker, so runs are
+bit-reproducible.  Compute nodes (:class:`SimNode`) model CPU occupancy
+with a *lazy charge* scheme: an event destined for a node begins
+executing at ``max(arrival_time, node.busy_until)`` and the handler
+advances the node clock by calling :meth:`SimNode.charge`.
+
+This is sound because nodes share no mutable state — all cross-node
+interaction flows through the network model, which only ever schedules
+events in each receiver's future.  Within one node, heap order equals
+arrival order, which gives the FIFO servicing a real CPU + NIC would.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import CausalityError, SimulationError
+
+#: Type of an event callback.  Callbacks take no arguments; closures
+#: carry whatever payload they need.
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    fn: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Global event heap plus the simulated wall clock.
+
+    Use :meth:`schedule` to post work and :meth:`run` to drain the
+    heap.  The engine never invents time: the clock only moves when an
+    event is popped.
+    """
+
+    def __init__(self, *, max_events: int = 200_000_000) -> None:
+        self.now: float = 0.0
+        self.max_events = max_events
+        self.events_executed: int = 0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, fn: Callback, *, label: str = "") -> Event:
+        """Schedule ``fn`` to run at simulated time ``time``.
+
+        Raises :class:`CausalityError` if ``time`` precedes the current
+        clock (events may be scheduled *at* the current time).
+        """
+        if time < self.now:
+            raise CausalityError(
+                f"cannot schedule event at t={time:.3f} before now={self.now:.3f}"
+            )
+        ev = Event(time=time, seq=next(self._seq), fn=fn, label=label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_after(self, delay: float, fn: Callback, *, label: str = "") -> Event:
+        """Schedule ``fn`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise CausalityError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, fn, label=label)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when idle."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            self.events_executed += 1
+            ev.fn()
+            return True
+        return False
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        until_idle: bool = True,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Drain the event heap.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the offending
+            event remains queued).
+        until_idle:
+            Run until no events remain (the default).
+        stop_when:
+            Optional predicate checked after every event.
+
+        Returns the simulated time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        try:
+            while self._heap:
+                if self.events_executed >= self.max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self.max_events}; "
+                        "likely a livelock in the simulated program"
+                    )
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    self.now = until
+                    break
+                self.step()
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class SimNode:
+    """A processing element with a virtual CPU clock.
+
+    ``busy_until`` tracks when the CPU frees up; :meth:`execute`
+    serialises work on the node.  During a handler, :attr:`now` is the
+    node-local simulated time and :meth:`charge` advances it.
+    """
+
+    __slots__ = ("node_id", "sim", "busy_until", "now", "_in_handler", "busy_us")
+
+    def __init__(self, node_id: int, sim: Simulator) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        #: Time at which the CPU becomes free.
+        self.busy_until: float = 0.0
+        #: Node-local clock, valid during a handler execution.
+        self.now: float = 0.0
+        #: Total microseconds of CPU time charged on this node.
+        self.busy_us: float = 0.0
+        self._in_handler = False
+
+    # ------------------------------------------------------------------
+    def execute(self, at: float, fn: Callback, *, label: str = "") -> Event:
+        """Run ``fn`` on this node's CPU no earlier than ``at``.
+
+        The handler starts at ``max(at, busy_until)``; any time it
+        charges extends ``busy_until``.
+        """
+        return self.sim.schedule(at, lambda: self._run(fn), label=label)
+
+    def execute_now(self, fn: Callback, *, label: str = "") -> Event:
+        """Run ``fn`` on this node as soon as the CPU is free."""
+        at = self.now if self._in_handler else self.sim.now
+        return self.execute(at, fn, label=label)
+
+    def _run(self, fn: Callback) -> None:
+        if self._in_handler:
+            # A node handler scheduled same-time work that popped while
+            # we were still inside another handler.  This cannot happen
+            # because handlers run synchronously within a single event.
+            raise SimulationError(f"re-entrant execution on node {self.node_id}")
+        start = max(self.sim.now, self.busy_until)
+        self.now = start
+        self._in_handler = True
+        try:
+            fn()
+        finally:
+            self._in_handler = False
+            self.busy_until = self.now
+
+    def execute_preempting(self, at: float, fn: Callback, *, label: str = "") -> Event:
+        """Run ``fn`` at ``at`` even if the CPU is busy — the paper's
+        node manager "steals the processor from the actor that is
+        currently executing, processes the request using that actor's
+        stack frame and subsequently resumes the actor's execution".
+        The handler's charged time pushes the victim's completion back.
+        """
+        return self.sim.schedule(at, lambda: self._run_preempting(fn), label=label)
+
+    def _run_preempting(self, fn: Callback) -> None:
+        if self._in_handler:
+            raise SimulationError(f"re-entrant execution on node {self.node_id}")
+        arrival = self.sim.now
+        victim_resume = self.busy_until
+        self.now = arrival
+        self._in_handler = True
+        try:
+            fn()
+        finally:
+            self._in_handler = False
+            stolen = self.now - arrival
+            if victim_resume > arrival:
+                # We interrupted someone: their completion slips by the
+                # cycles we stole.
+                self.busy_until = victim_resume + stolen
+            else:
+                self.busy_until = self.now
+
+    def bootstrap(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` on this node's CPU *synchronously*, outside the
+        event loop (used by the front-end and external drivers to issue
+        work into a idle or not-yet-running simulation).  The node
+        clock advances exactly as it would for a scheduled handler."""
+        if self._in_handler:
+            raise SimulationError(
+                f"bootstrap on node {self.node_id} during a handler; "
+                "use execute_now instead"
+            )
+        start = max(self.sim.now, self.busy_until)
+        self.now = start
+        self._in_handler = True
+        try:
+            return fn()
+        finally:
+            self._in_handler = False
+            self.busy_until = self.now
+
+    # ------------------------------------------------------------------
+    def charge(self, us: float) -> None:
+        """Consume ``us`` microseconds of CPU time on this node."""
+        if us < 0:
+            raise SimulationError(f"negative charge {us}")
+        self.now += us
+        self.busy_us += us
+
+    @property
+    def in_handler(self) -> bool:
+        """True while a handler is executing on this node."""
+        return self._in_handler
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimNode({self.node_id}, busy_until={self.busy_until:.2f})"

@@ -1,0 +1,180 @@
+"""Contention-aware interconnect model.
+
+The model captures exactly the phenomena the paper's communication
+module reasons about:
+
+- **sender injection**: each node's transmit NIC serialises outgoing
+  packets at ``inject_us_per_byte``;
+- **wire latency**: ``base_latency_us + hops * per_hop_us`` from the
+  topology;
+- **receiver drain**: the receive NIC serialises incoming packets, so
+  many concurrent senders to one node queue up;
+- **packet back-up**: bytes that arrive while more than
+  ``rx_buffer_bytes`` are already queued pay an extra
+  ``backup_penalty_us_per_byte``.  This is the congestion that the
+  paper's *minimal flow control* (one outstanding bulk transfer per
+  receiving node) is designed to avoid, and it is what makes the
+  flow-control ablation in Table 1 visible.
+
+All transmissions deliver by running a callback on the destination
+:class:`~repro.sim.engine.SimNode`, so CPU occupancy at the receiver is
+modelled by the engine itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.config import NetworkParams
+from repro.errors import NetworkError
+from repro.sim.engine import SimNode, Simulator
+from repro.sim.stats import StatsRegistry
+from repro.sim.topology import Topology
+
+
+class Network:
+    """Point-to-point transport between :class:`SimNode` instances."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        nodes: List[SimNode],
+        params: NetworkParams,
+        stats: StatsRegistry,
+    ) -> None:
+        if len(nodes) != topology.size:
+            raise NetworkError(
+                f"{len(nodes)} nodes but topology of size {topology.size}"
+            )
+        self.sim = sim
+        self.topology = topology
+        self.nodes = nodes
+        self.params = params
+        self.stats = stats
+        n = topology.size
+        self._tx_free = [0.0] * n
+        # Per-(src, dst) last drain_done: the CM-5 data network (and
+        # every protocol built here) delivers messages between one
+        # pair of nodes in injection order, so a later small message
+        # may not slip through a gap ahead of an earlier large one.
+        self._pair_last: dict[tuple[int, int], float] = {}
+        # (arrive, drain_start, drain_done, bytes) for messages
+        # scheduled on each rx NIC, kept sorted by drain_start.  The
+        # NIC serves packets in arrival order; a packet arriving while
+        # the NIC is idle drains immediately even if a later arrival
+        # has already reserved a future window (interval-gap
+        # scheduling).  Bytes count against the receive buffer only
+        # while a message is *waiting* — it has arrived but its drain
+        # has not begun; the transfer currently streaming through the
+        # NIC does not occupy buffer space.
+        self._rx_sched: List[List[tuple[float, float, int]]] = [[] for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    def wire_latency(self, src: int, dst: int) -> float:
+        """Pure wire latency between two nodes (no serialisation)."""
+        return (
+            self.params.base_latency_us
+            + self.topology.hops(src, dst) * self.params.per_hop_us
+        )
+
+    def rx_backlog_bytes(self, dst: int, at: float) -> int:
+        """Bytes *waiting* (scheduled but not yet draining) at ``dst``'s
+        receive NIC at time ``at``."""
+        sched = self._rx_sched[dst]
+        # Prune only windows that are past for *everyone*: a future
+        # send from another node may still arrive earlier than ``at``,
+        # and its slot search must see every window after sim.now —
+        # otherwise it could be booked over one and jump the queue.
+        horizon = self.sim.now
+        sched[:] = [e for e in sched if e[2] > horizon]
+        return sum(b for (arr, s, t, b) in sched if arr <= at < s)
+
+    def _rx_slot(self, dst: int, arrive: float, duration: float) -> float:
+        """Earliest start >= ``arrive`` of a gap of ``duration`` on the
+        destination NIC's schedule.  The schedule list stays sorted by
+        start time."""
+        t = arrive
+        for (_arr, s, e, _b) in self._rx_sched[dst]:
+            if e <= t:
+                continue
+            if s >= t + duration:
+                break  # the gap before this interval fits
+            t = max(t, e)
+        return t
+
+    # ------------------------------------------------------------------
+    def unicast(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        deliver: Callable[[], None],
+        *,
+        label: str = "",
+    ) -> float:
+        """Transmit ``nbytes`` from ``src`` to ``dst``.
+
+        ``deliver`` runs on the destination node's CPU once the message
+        has fully drained from the receive NIC.  Returns the time at
+        which the *sender's* NIC finishes injecting (the moment the
+        paper's alias scheme lets the sender resume).
+        """
+        if src == dst:
+            raise NetworkError("unicast requires distinct src/dst; local sends "
+                               "bypass the network")
+        if nbytes <= 0:
+            raise NetworkError(f"message size must be positive, got {nbytes}")
+        p = self.params
+        now = self.nodes[src].now if self.nodes[src].in_handler else self.sim.now
+
+        # Sender-side injection (serialised per node).
+        inject_start = max(now, self._tx_free[src])
+        inject_done = inject_start + nbytes * p.inject_us_per_byte
+        self._tx_free[src] = inject_done
+
+        # Wire.
+        arrive = inject_done + self.wire_latency(src, dst)
+
+        # Receiver-side drain (serialised per node) + back-pressure.
+        backlog = self.rx_backlog_bytes(dst, arrive)
+        drain_us = nbytes * p.drain_us_per_byte
+        # Back-pressure applies only to *converging* traffic: a single
+        # streamed transfer never overflows (sender and receiver move
+        # at matched rates), and the message currently draining flows
+        # through the NIC.  But bytes already parked waiting for the
+        # NIC fill the receive buffer; once they exceed its capacity,
+        # further arrivals pay the back-up (retry/packet-discard)
+        # penalty.  This is the congestion minimal flow control exists
+        # to avoid (§6.5).
+        overflow = max(0, backlog + nbytes - max(p.rx_buffer_bytes, nbytes))
+        if overflow:
+            drain_us += overflow * p.backup_penalty_us_per_byte
+            self.stats.incr("net.backup_events")
+            self.stats.incr("net.backup_bytes", overflow)
+        fifo_floor = self._pair_last.get((src, dst), 0.0)
+        drain_start = self._rx_slot(dst, max(arrive, fifo_floor), drain_us)
+        drain_done = drain_start + drain_us
+        self._pair_last[(src, dst)] = drain_done
+        sched = self._rx_sched[dst]
+        sched.append((arrive, drain_start, drain_done, nbytes))
+        sched.sort(key=lambda entry: entry[1])
+
+        self.stats.incr("net.messages")
+        self.stats.incr("net.bytes", nbytes)
+        self.stats.record_time("net.delivery_us", drain_done - now)
+
+        # Delivery handlers run preemptively: the receiving node
+        # manager steals the processor from whatever is executing (§3).
+        self.nodes[dst].execute_preempting(
+            drain_done, deliver, label=label or "net.deliver"
+        )
+        return inject_done
+
+    # ------------------------------------------------------------------
+    def reset_contention(self) -> None:
+        """Forget NIC occupancy (used between benchmark phases)."""
+        n = self.topology.size
+        self._tx_free = [0.0] * n
+        self._rx_sched = [[] for _ in range(n)]
+        self._pair_last.clear()

@@ -1,0 +1,92 @@
+"""Counters and timing accumulators used across the runtime.
+
+A :class:`StatsRegistry` is shared by the machine, the AM layer and
+the runtime kernels.  Everything is plain dictionaries so tests and
+benchmark harnesses can assert on exact counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+
+@dataclass
+class TimerStat:
+    """Aggregate of a repeatedly measured duration (microseconds)."""
+
+    count: int = 0
+    total_us: float = 0.0
+    min_us: float = float("inf")
+    max_us: float = 0.0
+
+    def record(self, us: float) -> None:
+        self.count += 1
+        self.total_us += us
+        if us < self.min_us:
+            self.min_us = us
+        if us > self.max_us:
+            self.max_us = us
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+class StatsRegistry:
+    """Hierarchical counters: ``stats.incr("am.sends")`` etc."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.timers: Dict[str, TimerStat] = defaultdict(TimerStat)
+        self.gauges: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def incr(self, name: str, by: int = 1) -> None:
+        self.counters[name] += by
+
+    def record_time(self, name: str, us: float) -> None:
+        self.timers[name].record(us)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def max_gauge(self, name: str, value: float) -> None:
+        if value > self.gauges.get(name, float("-inf")):
+            self.gauges[name] = value
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def timer(self, name: str) -> TimerStat:
+        return self.timers[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat snapshot suitable for printing or diffing in tests."""
+        out: Dict[str, float] = {}
+        for k, v in sorted(self.counters.items()):
+            out[f"counter.{k}"] = float(v)
+        for k, t in sorted(self.timers.items()):
+            out[f"timer.{k}.count"] = float(t.count)
+            out[f"timer.{k}.mean_us"] = t.mean_us
+        for k, v in sorted(self.gauges.items()):
+            out[f"gauge.{k}"] = v
+        return out
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+        self.gauges.clear()
+
+    def table(self, prefixes: Iterable[str] = ()) -> str:
+        """Render selected counters as an aligned text table."""
+        rows: list[Tuple[str, str]] = []
+        for k in sorted(self.counters):
+            if not prefixes or any(k.startswith(p) for p in prefixes):
+                rows.append((k, str(self.counters[k])))
+        if not rows:
+            return "(no counters)"
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)

@@ -1,0 +1,67 @@
+"""Structured event tracing for debugging and white-box tests.
+
+Tracing is off by default (zero overhead beyond a predicate check).
+Tests enable it to assert on protocol-level behaviour, e.g. that a
+forwarded message triggered exactly one FIR chase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    node: int
+    kind: str
+    detail: Tuple[Any, ...]
+
+    def __str__(self) -> str:
+        parts = " ".join(str(d) for d in self.detail)
+        return f"[{self.time:10.2f}us n{self.node}] {self.kind} {parts}"
+
+
+class TraceLog:
+    """An append-only in-memory trace with simple query helpers."""
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+
+    def emit(self, time: float, node: int, kind: str, *detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            return
+        self.records.append(TraceRecord(time, node, kind, detail))
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def where(self, pred: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        return [r for r in self.records if pred(r)]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def dump(self, limit: int = 200) -> str:
+        """Render up to ``limit`` records for debugging output."""
+        lines = [str(r) for r in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more)")
+        return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Shared fixtures and behaviours for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HalRuntime, RuntimeConfig, behavior, method, disable_when
+
+
+# ----------------------------------------------------------------------
+# reusable behaviours
+# ----------------------------------------------------------------------
+@behavior
+class Counter:
+    def __init__(self, start=0):
+        self.value = start
+
+    @method
+    def incr(self, ctx, by=1):
+        self.value += by
+
+    @method
+    def get(self, ctx):
+        return self.value
+
+
+@behavior
+class EchoServer:
+    def __init__(self):
+        self.calls = 0
+
+    @method
+    def echo(self, ctx, x):
+        self.calls += 1
+        return x
+
+    @method
+    def add(self, ctx, a, b):
+        self.calls += 1
+        return a + b
+
+
+@behavior
+class BoundedBuffer:
+    """The classic constraint example: put disabled when full, get
+    disabled when empty."""
+
+    def __init__(self, capacity):
+        self.items = []
+        self.capacity = capacity
+
+    @method
+    @disable_when(lambda self, msg: len(self.items) >= self.capacity)
+    def put(self, ctx, x):
+        self.items.append(x)
+
+    @method
+    @disable_when(lambda self, msg: not self.items)
+    def get(self, ctx):
+        return self.items.pop(0)
+
+
+@behavior
+class Hopper:
+    """Migrates on demand."""
+
+    def __init__(self):
+        self.trail = []
+
+    @method
+    def hop(self, ctx, to):
+        self.trail.append(ctx.node)
+        ctx.migrate(to)
+
+    @method
+    def whereami(self, ctx):
+        return ctx.node
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def rt4() -> HalRuntime:
+    """A small 4-node runtime with the common behaviours loaded."""
+    rt = HalRuntime(RuntimeConfig(num_nodes=4))
+    rt.load_behaviors(Counter, EchoServer, BoundedBuffer, Hopper)
+    return rt
+
+
+@pytest.fixture
+def rt8_traced() -> HalRuntime:
+    rt = HalRuntime(RuntimeConfig(num_nodes=8), trace=True)
+    rt.load_behaviors(Counter, EchoServer, BoundedBuffer, Hopper)
+    return rt
+
+
+def make_runtime(num_nodes=4, **cfg_kwargs) -> HalRuntime:
+    """Helper for tests that need custom configs."""
+    rt = HalRuntime(RuntimeConfig(num_nodes=num_nodes, **cfg_kwargs))
+    rt.load_behaviors(Counter, EchoServer, BoundedBuffer, Hopper)
+    return rt

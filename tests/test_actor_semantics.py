@@ -1,0 +1,175 @@
+"""Actor-model semantic laws (§2.1) the runtime must uphold:
+atomic message processing, become visibility, per-sender ordering,
+fairness, and reply-exactly-once — plus the reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HalRuntime, RuntimeConfig, behavior, method
+from repro.reporting import fmt_ms, fmt_s, fmt_us, render_table
+from tests.conftest import Counter, make_runtime
+
+
+class TestAtomicity:
+    def test_message_processing_is_atomic(self, rt4):
+        """No other message of the same actor interleaves mid-method."""
+        @behavior
+        class Atomic:
+            def __init__(self):
+                self.inside = False
+                self.violations = 0
+                self.runs = 0
+
+            @method
+            def work(self, ctx):
+                if self.inside:
+                    self.violations += 1
+                self.inside = True
+                ctx.charge(50.0)
+                self.runs += 1
+                self.inside = False
+
+        rt4.load_behaviors(Atomic)
+        ref = rt4.spawn(Atomic, at=0)
+        for src in range(4):
+            for _ in range(5):
+                rt4.send(ref, "work", from_node=src)
+        rt4.run()
+        state = rt4.state_of(ref)
+        assert state.runs == 20
+        assert state.violations == 0
+
+    def test_per_sender_order_preserved(self, rt4):
+        @behavior
+        class Recorder:
+            def __init__(self):
+                self.seen = []
+
+            @method
+            def note(self, ctx, sender, seq):
+                self.seen.append((sender, seq))
+
+        rt4.load_behaviors(Recorder)
+        ref = rt4.spawn(Recorder, at=2)
+        for seq in range(8):
+            for src in range(4):
+                rt4.send(ref, "note", src, seq, from_node=src)
+        rt4.run()
+        seen = rt4.state_of(ref).seen
+        assert len(seen) == 32
+        for src in range(4):
+            seqs = [q for s, q in seen if s == src]
+            assert seqs == sorted(seqs), f"sender {src} reordered"
+
+
+class TestBecomeVisibility:
+    def test_become_applies_before_next_message(self, rt4):
+        @behavior
+        class Phase1:
+            def __init__(self):
+                self.log = []
+
+            @method
+            def step(self, ctx):
+                self.log.append(1)
+                ctx.become(Phase2, self.log)
+
+        @behavior
+        class Phase2:
+            def __init__(self, log):
+                self.log = log
+
+            @method
+            def step(self, ctx):
+                self.log.append(2)
+
+        rt4.load_behaviors(Phase1, Phase2)
+        ref = rt4.spawn(Phase1, at=0)
+        # both messages queued before the first is processed
+        rt4.send(ref, "step")
+        rt4.send(ref, "step")
+        rt4.send(ref, "step")
+        rt4.run()
+        assert rt4.state_of(ref).log == [1, 2, 2]
+
+
+class TestFairness:
+    def test_no_actor_starves_under_load(self, rt4):
+        """A self-perpetuating actor cannot starve its node peers."""
+        @behavior
+        class Selfish:
+            def __init__(self):
+                self.rounds = 0
+
+            @method
+            def spin(self, ctx):
+                self.rounds += 1
+                if self.rounds < 50:
+                    ctx.send(ctx.me, "spin")
+
+        rt4.load_behaviors(Selfish)
+        spinner = rt4.spawn(Selfish, at=0)
+        peer = rt4.spawn(Counter, at=0)
+        rt4.send(spinner, "spin")
+        rt4.send(peer, "incr")
+        # run only a bounded window: the peer must have run long
+        # before the spinner finishes its 50 rounds
+        rt4.run(stop_when=lambda: rt4.state_of(peer).value == 1)
+        assert rt4.state_of(peer).value == 1
+        assert rt4.state_of(spinner).rounds < 50
+        rt4.run()
+        assert rt4.state_of(spinner).rounds == 50
+
+
+class TestReplyDiscipline:
+    def test_each_request_gets_exactly_one_reply(self, rt4):
+        from tests.conftest import EchoServer
+        server = rt4.spawn(EchoServer, at=1)
+        values = [rt4.call(server, "echo", i) for i in range(10)]
+        assert values == list(range(10))
+        # no stray continuations left behind
+        assert all(k.continuations.outstanding == 0 for k in rt4.kernels)
+
+    def test_dynamic_request_list(self, rt4):
+        """Yielding a *variable* holding requests works (dynamic join,
+        validated at runtime rather than compile time)."""
+        from tests.conftest import EchoServer
+
+        @behavior
+        class DynFan:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx, servers):
+                reqs = [ctx.request(s, "echo", i) for i, s in enumerate(servers)]
+                values = yield reqs
+                return sum(values)
+
+        rt4.load_behaviors(DynFan)
+        servers = [rt4.spawn(EchoServer, at=i) for i in range(4)]
+        fan = rt4.spawn(DynFan, at=0)
+        assert rt4.call(fan, "go", servers) == 0 + 1 + 2 + 3
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [("x", 1), ("yyy", 22)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+        assert "yyy" in lines[-1]
+
+    def test_render_table_empty_rows(self):
+        text = render_table("T", ["col"], [])
+        assert "col" in text
+
+    def test_note_appended(self):
+        text = render_table("T", ["c"], [("v",)], note="hello")
+        assert text.endswith("hello")
+
+    def test_formatters(self):
+        assert fmt_us(1.234) == "1.23"
+        assert fmt_ms(1500.0) == "1.50"
+        assert fmt_s(2_500_000.0) == "2.500"

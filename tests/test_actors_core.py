@@ -1,0 +1,294 @@
+"""Actor-core data structures: behaviours, mailboxes, constraints,
+join continuations, actors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.actors.actor import Actor
+from repro.actors.behavior import (
+    Behavior,
+    behavior,
+    behavior_of,
+    is_behavior_class,
+    method,
+)
+from repro.actors.constraints import ConstraintSet, conditions_of, disable_when
+from repro.actors.continuations import JoinContinuation
+from repro.actors.mailbox import Mailbox
+from repro.actors.message import ActorMessage, ReplyTarget
+from repro.errors import (
+    BehaviorError,
+    ConstraintError,
+    ContinuationError,
+    DeliveryError,
+    MigrationError,
+)
+
+
+@behavior
+class Sample:
+    def __init__(self, x=0):
+        self.x = x
+
+    @method
+    def bump(self, ctx):
+        self.x += 1
+
+    @method
+    @disable_when(lambda self, msg: self.x < 0)
+    def guarded(self, ctx):
+        pass
+
+    def helper(self):
+        return self.x
+
+
+class TestBehavior:
+    def test_methods_discovered(self):
+        beh = behavior_of(Sample)
+        assert set(beh.methods) == {"bump", "guarded"}
+        assert beh.name == "Sample"
+
+    def test_helpers_not_invocable(self):
+        beh = behavior_of(Sample)
+        with pytest.raises(BehaviorError, match="no method"):
+            beh.lookup("helper")
+
+    def test_is_behavior_class(self):
+        assert is_behavior_class(Sample)
+        assert not is_behavior_class(int)
+        assert not is_behavior_class(42)
+
+    def test_behavior_of_plain_class_rejected(self):
+        class Plain:
+            pass
+        with pytest.raises(BehaviorError):
+            behavior_of(Plain)
+
+    def test_decorating_methodless_class_rejected(self):
+        with pytest.raises(BehaviorError, match="no @method"):
+            @behavior
+            class Empty:
+                def __init__(self):
+                    pass
+
+    def test_decorating_non_class_rejected(self):
+        with pytest.raises(BehaviorError):
+            behavior(lambda: None)
+
+    def test_make_state(self):
+        beh = behavior_of(Sample)
+        state = beh.make_state((5,))
+        assert state.x == 5
+        with pytest.raises(BehaviorError, match="cannot construct"):
+            beh.make_state((1, 2, 3))
+
+    def test_inheritance_brings_parent_methods(self):
+        @behavior
+        class Child(Sample):
+            @method
+            def extra(self, ctx):
+                pass
+
+        beh = behavior_of(Child)
+        assert {"bump", "guarded", "extra"} <= set(beh.methods)
+        # parent keeps its own Behavior object
+        assert behavior_of(Sample) is not beh
+
+
+class TestMailbox:
+    def msg(self, sel="m"):
+        return ActorMessage(sel)
+
+    def test_fifo_order(self):
+        mb = Mailbox()
+        for i in range(3):
+            mb.enqueue(self.msg(f"m{i}"))
+        assert [mb.dequeue().selector for _ in range(3)] == ["m0", "m1", "m2"]
+
+    def test_dequeue_empty_raises(self):
+        with pytest.raises(DeliveryError):
+            Mailbox().dequeue()
+
+    def test_enqueue_front(self):
+        mb = Mailbox()
+        mb.enqueue(self.msg("a"))
+        mb.enqueue_front(self.msg("b"))
+        assert mb.dequeue().selector == "b"
+
+    def test_pending_queue_separate(self):
+        mb = Mailbox()
+        mb.enqueue(self.msg("a"))
+        mb.defer(self.msg("p"))
+        assert mb.ready_count == 1
+        assert mb.pending_count == 1
+        assert len(mb) == 2
+        assert bool(mb)
+
+    def test_defer_counts_each_message_once(self):
+        mb = Mailbox()
+        m = self.msg()
+        mb.defer(m)
+        taken = mb.take_pending()
+        mb.defer(taken.popleft())
+        assert mb.total_deferred == 1
+
+    def test_drain_empties_both_queues(self):
+        mb = Mailbox()
+        mb.enqueue(self.msg("a"))
+        mb.defer(self.msg("b"))
+        out = mb.drain()
+        assert [m.selector for m in out] == ["a", "b"]
+        assert not mb
+
+    def test_iteration_covers_both_queues(self):
+        mb = Mailbox()
+        mb.enqueue(self.msg("a"))
+        mb.defer(self.msg("b"))
+        assert [m.selector for m in mb] == ["a", "b"]
+
+
+class TestConstraints:
+    def test_conditions_attach(self):
+        fn = behavior_of(Sample).methods["guarded"]
+        assert len(conditions_of(fn)) == 1
+
+    def test_constraint_set_detects_disabled(self):
+        beh = behavior_of(Sample)
+        state = beh.make_state((0,))
+        msg = ActorMessage("guarded")
+        assert not beh.constraints.is_disabled("guarded", state, msg)
+        state.x = -1
+        assert beh.constraints.is_disabled("guarded", state, msg)
+
+    def test_unconstrained_selector(self):
+        beh = behavior_of(Sample)
+        assert not beh.constraints.has_constraints("bump")
+        assert beh.constraints.has_constraints("guarded")
+        assert beh.constraints.constrained_selectors == ["guarded"]
+
+    def test_raising_predicate_is_loud(self):
+        cs = ConstraintSet({"m": [lambda s, m: 1 / 0]})
+        with pytest.raises(ConstraintError, match="raised"):
+            cs.is_disabled("m", None, ActorMessage("m"))
+
+    def test_multiple_conditions_or_ed(self):
+        cs = ConstraintSet({"m": [lambda s, m: s == 1, lambda s, m: s == 2]})
+        msg = ActorMessage("m")
+        assert cs.is_disabled("m", 1, msg)
+        assert cs.is_disabled("m", 2, msg)
+        assert not cs.is_disabled("m", 3, msg)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ConstraintError):
+            disable_when("not callable")
+
+
+class TestJoinContinuation:
+    def test_fill_and_fire(self):
+        fired = []
+        c = JoinContinuation(1, 2, lambda cont: fired.append(cont.values()))
+        assert c.fill(0, "a") is False
+        assert c.fill(1, "b") is True
+        c.invoke()
+        assert fired == [[["a", "b"]][0]]
+        assert c.fired
+
+    def test_known_slots_prefilled(self):
+        c = JoinContinuation(1, 3, lambda cont: None, known={0: "k"})
+        assert c.counter == 2
+
+    def test_double_fill_rejected(self):
+        c = JoinContinuation(1, 1, lambda cont: None)
+        c.fill(0, 1)
+        with pytest.raises(ContinuationError, match="already fired|filled twice"):
+            c.fill(0, 2)
+
+    def test_out_of_range_slot(self):
+        c = JoinContinuation(1, 1, lambda cont: None)
+        with pytest.raises(ContinuationError, match="out of range"):
+            c.fill(5, 1)
+
+    def test_premature_invoke_rejected(self):
+        c = JoinContinuation(1, 2, lambda cont: None)
+        c.fill(0, 1)
+        with pytest.raises(ContinuationError, match="slots still empty"):
+            c.invoke()
+        with pytest.raises(ContinuationError):
+            c.values()
+
+    def test_double_invoke_rejected(self):
+        c = JoinContinuation(1, 0, lambda cont: None)
+        c.invoke()
+        with pytest.raises(ContinuationError, match="twice"):
+            c.invoke()
+
+    def test_none_is_a_valid_reply(self):
+        c = JoinContinuation(1, 1, lambda cont: None)
+        assert c.fill(0, None) is True
+        assert c.values() == [None]
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(0, 2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_property_counter_matches_unfilled(self, nslots, seed):
+        import random
+        rng = random.Random(seed)
+        c = JoinContinuation(1, nslots, lambda cont: None)
+        order = list(range(nslots))
+        rng.shuffle(order)
+        for i, slot in enumerate(order):
+            completed = c.fill(slot, slot)
+            assert c.counter == nslots - i - 1
+            assert completed == (i == nslots - 1)
+        assert c.values() == list(range(nslots))
+
+
+class TestActor:
+    def make(self):
+        beh = behavior_of(Sample)
+        return Actor(beh, beh.make_state((0,)), node_id=0)
+
+    def test_become_swaps_behavior_and_state(self):
+        a = self.make()
+
+        @behavior
+        class Other:
+            def __init__(self):
+                self.y = 9
+
+            @method
+            def m(self, ctx):
+                pass
+
+        a.mailbox.enqueue(ActorMessage("bump"))
+        a.become(behavior_of(Other), behavior_of(Other).make_state(()))
+        assert a.behavior.name == "Other"
+        assert a.state.y == 9
+        assert a.mailbox.ready_count == 1  # mail survives become
+
+    def test_become_requires_behavior(self):
+        with pytest.raises(BehaviorError):
+            self.make().become(None, None)
+
+    def test_pack_for_migration(self):
+        a = self.make()
+        a.mailbox.enqueue(ActorMessage("bump"))
+        a.mailbox.defer(ActorMessage("guarded"))
+        beh, state, mail = a.pack_for_migration()
+        assert beh.name == "Sample"
+        assert len(mail) == 2
+        assert not a.mailbox
+
+    def test_busy_actor_cannot_pack(self):
+        a = self.make()
+        a.busy = True
+        with pytest.raises(MigrationError):
+            a.pack_for_migration()
+
+    def test_ready_flag(self):
+        a = self.make()
+        assert not a.ready
+        a.mailbox.enqueue(ActorMessage("bump"))
+        assert a.ready

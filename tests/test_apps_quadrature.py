@@ -1,0 +1,91 @@
+"""Adaptive quadrature app + NOW platform preset."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NetworkParams, RuntimeConfig
+from repro.apps.quadrature import (
+    run_quadrature,
+    spiky,
+    spiky_integral,
+)
+
+
+class TestIntegrand:
+    def test_spike_dominates_near_center(self):
+        assert spiky(0.37) > 100 * abs(spiky(0.9))
+
+    @given(
+        a=st.floats(0.0, 0.5),
+        width=st.floats(1e-4, 1e-1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_closed_form_matches_numeric(self, a, width):
+        b = a + 0.25
+        # crude but independent numeric check
+        n = 20001
+        h = (b - a) / (n - 1)
+        xs = [a + i * h for i in range(n)]
+        trap = h * (sum(spiky(x, width=width) for x in xs)
+                    - 0.5 * (spiky(a, width=width) + spiky(b, width=width)))
+        exact = spiky_integral(a, b, width=width)
+        # the spike may or may not be inside [a, b]; tolerance scales
+        # with the integrand's magnitude
+        assert abs(trap - exact) < 1e-2 * max(1.0, abs(exact))
+
+
+class TestQuadrature:
+    def test_result_matches_closed_form(self):
+        r = run_quadrature(4, load_balance=True)
+        assert r.error < 1e-6
+
+    def test_static_placement_also_correct(self):
+        r = run_quadrature(4, load_balance=False)
+        assert r.error < 1e-6
+        assert r.steals == 0
+
+    def test_stealing_helps_the_irregular_tree(self):
+        static = run_quadrature(8, load_balance=False)
+        lb = run_quadrature(8, load_balance=True)
+        assert lb.elapsed_us < static.elapsed_us
+        assert lb.steals > 0
+
+    def test_tolerance_controls_work(self):
+        coarse = run_quadrature(2, tol=1e-4, load_balance=False)
+        fine = run_quadrature(2, tol=1e-9, load_balance=False)
+        assert fine.tasks > coarse.tasks
+        assert fine.error <= coarse.error * 10
+
+
+class TestNowPreset:
+    def test_preset_values(self):
+        now = NetworkParams.now_atm()
+        cm5 = NetworkParams.cm5()
+        assert now.base_latency_us > 5 * cm5.base_latency_us
+        assert now.inject_us_per_byte > cm5.inject_us_per_byte
+        assert cm5 == NetworkParams()
+
+    def test_workloads_run_on_now(self):
+        cfg = RuntimeConfig(num_nodes=4, network=NetworkParams.now_atm())
+        r = run_quadrature(4, load_balance=False, config=cfg)
+        assert r.error < 1e-6
+
+    def test_now_is_slower_for_chatty_work(self):
+        from tests.conftest import EchoServer
+        from repro.runtime.system import HalRuntime
+
+        def ping_time(net):
+            rt = HalRuntime(RuntimeConfig(num_nodes=2, network=net))
+            rt.load_behaviors(EchoServer)
+            server = rt.spawn(EchoServer, at=1)
+            rt.run()
+            t0 = rt.now
+            for i in range(10):
+                rt.call(server, "echo", i, from_node=0)
+            return rt.now - t0
+
+        assert ping_time(NetworkParams.now_atm()) > 2 * ping_time(NetworkParams.cm5())

@@ -1,0 +1,99 @@
+"""Configuration validation and cost-model consistency."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    LoadBalanceParams,
+    NetworkParams,
+    RuntimeConfig,
+    SchedulerParams,
+)
+from repro.runtime.costmodel import CostModel
+
+
+class TestRuntimeConfig:
+    def test_defaults_are_cm5_shaped(self):
+        cfg = RuntimeConfig()
+        assert cfg.num_nodes == 8
+        assert cfg.topology == "fattree"
+        assert cfg.alias_creation
+        assert cfg.descriptor_caching
+        assert cfg.flow_control
+        assert cfg.scheduler.static_dispatch
+        assert cfg.scheduler.stack_scheduling
+        assert not cfg.load_balance.enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(bulk_threshold_bytes=0)
+
+    def test_with_returns_modified_copy(self):
+        cfg = RuntimeConfig()
+        cfg2 = cfg.with_(num_nodes=32, flow_control=False)
+        assert cfg2.num_nodes == 32
+        assert not cfg2.flow_control
+        assert cfg.num_nodes == 8  # original untouched
+
+    def test_frozen(self):
+        cfg = RuntimeConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.num_nodes = 4  # type: ignore[misc]
+
+
+class TestCostModel:
+    def test_documented_sums(self):
+        c = CostModel()
+        # local creation ~ 12 us
+        assert c.create_local_total_us == pytest.approx(12.0)
+        # the paper's alias issue path: exactly 5.83 us
+        assert c.remote_create_issue_total_us == pytest.approx(5.83)
+        # locality check under a microsecond
+        assert c.locality_check_total_us < 1.0
+        # Table 3 static dispatch formula
+        assert c.static_dispatch_total_us == pytest.approx(
+            c.locality_check_total_us + c.invoke_us
+        )
+
+    def test_all_costs_non_negative(self):
+        c = CostModel()
+        for f in dataclasses.fields(c):
+            assert getattr(c, f.name) >= 0, f.name
+
+    def test_scaled(self):
+        c = CostModel().scaled(2.0)
+        assert c.dispatch_us == pytest.approx(2 * CostModel().dispatch_us)
+        assert c.remote_create_issue_total_us == pytest.approx(2 * 5.83)
+
+    def test_custom_costs_flow_into_runtime(self):
+        from repro import HalRuntime, RuntimeConfig
+        from tests.conftest import Counter
+        slow = CostModel().scaled(3.0)
+        rt_fast = HalRuntime(RuntimeConfig(num_nodes=1))
+        rt_slow = HalRuntime(RuntimeConfig(num_nodes=1), costs=slow)
+        for rt in (rt_fast, rt_slow):
+            rt.load_behaviors(Counter)
+            ref = rt.spawn(Counter, at=0)
+            for _ in range(10):
+                rt.send(ref, "incr")
+            rt.run()
+        assert rt_slow.now > 2 * rt_fast.now
+
+
+class TestSubConfigs:
+    def test_scheduler_params(self):
+        s = SchedulerParams(max_inline_depth=4, static_dispatch=False)
+        assert s.max_inline_depth == 4
+        assert s.collective_broadcast
+
+    def test_lb_params(self):
+        lb = LoadBalanceParams(enabled=True, poll_interval_us=5.0)
+        assert lb.enabled and lb.poll_interval_us == 5.0
+
+    def test_network_presets_distinct(self):
+        assert NetworkParams.now_atm() != NetworkParams.cm5()

@@ -1,0 +1,128 @@
+"""Dispatcher unit behaviour: queue disciplines, steal filtering,
+idle callbacks, schedulable kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HalRuntime, RuntimeConfig
+from repro.actors.continuations import JoinContinuation
+from repro.runtime.dispatcher import FireContinuation, GroupBatch, Task
+from tests.conftest import Counter, make_runtime
+
+
+def kernel_of(rt, node=0):
+    return rt.kernels[node]
+
+
+class TestQueueMechanics:
+    def test_actor_enqueue_idempotent(self, rt4):
+        k = kernel_of(rt4)
+        ref = rt4.spawn(Counter, at=0)
+        actor = rt4.actor_of(ref)
+        k.dispatcher.enqueue_actor(actor)
+        k.dispatcher.enqueue_actor(actor)
+        assert k.dispatcher.queue_length == 1
+
+    def test_migrating_actor_not_enqueued(self, rt4):
+        k = kernel_of(rt4)
+        ref = rt4.spawn(Counter, at=0)
+        actor = rt4.actor_of(ref)
+        actor.migrating = True
+        k.dispatcher.enqueue_actor(actor)
+        assert k.dispatcher.queue_length == 0
+
+    def test_idle_callback_fires_when_drained(self, rt4):
+        k = kernel_of(rt4)
+        idles = []
+        k.dispatcher.idle_callbacks.append(lambda: idles.append(rt4.now))
+        ref = rt4.spawn(Counter, at=0)
+        rt4.send(ref, "incr")
+        rt4.run()
+        assert idles  # drained at least once
+
+    def test_surplus_counts_only_stealable(self, rt4):
+        k = kernel_of(rt4)
+        k.dispatcher.enqueue(Task("t", ()))
+        cont = JoinContinuation(1, 0, lambda c: None)
+        k.dispatcher.enqueue(FireContinuation(cont))
+        assert k.dispatcher.surplus() == 1  # continuations never move
+
+    def test_steal_one_skips_unstealable(self, rt4):
+        k = kernel_of(rt4)
+        cont = JoinContinuation(1, 0, lambda c: None)
+        k.dispatcher.enqueue(FireContinuation(cont))
+        k.dispatcher.enqueue(Task("t", (1,)))
+        item = k.dispatcher.steal_one(from_tail=False)
+        assert isinstance(item, Task)
+        assert k.dispatcher.steal_one(from_tail=False) is None
+        assert k.dispatcher.queue_length == 1  # the continuation stayed
+
+    def test_busy_actor_not_stealable(self, rt4):
+        k = kernel_of(rt4)
+        ref = rt4.spawn(Counter, at=0)
+        actor = rt4.actor_of(ref)
+        actor.mailbox.enqueue(__import__("repro.actors.message",
+                                         fromlist=["ActorMessage"]).ActorMessage("incr"))
+        k.dispatcher.enqueue_actor(actor)
+        actor.busy = True
+        assert k.dispatcher.steal_one() is None
+        actor.busy = False
+        stolen = k.dispatcher.steal_one()
+        assert stolen is actor
+        assert not actor.scheduled
+
+
+class TestDisciplineOrder:
+    def make(self, stack: bool):
+        from repro.config import SchedulerParams
+        return make_runtime(
+            1, scheduler=SchedulerParams(stack_scheduling=stack)
+        )
+
+    def test_mixed_items_lifo(self):
+        rt = self.make(True)
+        order = []
+        rt.load_behaviors(tasks={
+            "a": lambda ctx: order.append("a"),
+            "b": lambda ctx: order.append("b"),
+        })
+        k = rt.kernels[0]
+        k.node.bootstrap(lambda: (
+            k.dispatcher.enqueue(Task("a", ())),
+            k.dispatcher.enqueue(Task("b", ())),
+        ))
+        rt.run()
+        assert order == ["b", "a"]
+
+    def test_mixed_items_fifo(self):
+        rt = self.make(False)
+        order = []
+        rt.load_behaviors(tasks={
+            "a": lambda ctx: order.append("a"),
+            "b": lambda ctx: order.append("b"),
+        })
+        k = rt.kernels[0]
+        k.node.bootstrap(lambda: (
+            k.dispatcher.enqueue(Task("a", ())),
+            k.dispatcher.enqueue(Task("b", ())),
+        ))
+        rt.run()
+        assert order == ["a", "b"]
+
+
+class TestGroupBatchExecution:
+    def test_batch_skips_none_and_processes_all(self, rt4):
+        g = rt4.grpnew(Counter, 6, 0)
+        rt4.run()
+        rt4.broadcast(g, "incr", 3)
+        rt4.run()
+        assert sum(rt4.state_of(g.member(i)).value for i in range(6)) == 18
+
+    def test_unknown_schedulable_rejected(self, rt4):
+        from repro.errors import SchedulingError
+        k = kernel_of(rt4)
+        k.dispatcher.ready.append(object())
+        k.dispatcher._ensure_slice()
+        with pytest.raises(SchedulingError, match="unknown schedulable"):
+            rt4.run()

@@ -1,0 +1,96 @@
+"""The examples and the command-line interface stay runnable."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "alice=60, bob=50" in out
+        assert "migrated to node 7" in out
+
+    def test_fibonacci(self):
+        out = run_example("fibonacci_loadbalance.py", "16", "4")
+        assert "dynamic load balancing" in out
+        assert "steals" in out
+
+    def test_cholesky(self):
+        out = run_example("cholesky_pipeline.py", "48", "4")
+        assert "local sync" in out and "global sync" in out
+        assert "faster than" in out
+
+    def test_systolic(self):
+        out = run_example("systolic_matmul.py", "64", "4")
+        assert "MFlops" in out
+
+    def test_migration_tour(self):
+        out = run_example("migration_tour.py", "4")
+        assert "FIR chases" in out
+        assert "migrations   : 3" in out
+
+    def test_adaptive_quadrature(self):
+        out = run_example("adaptive_quadrature.py", "4")
+        assert "closed form" in out
+        assert "faster" in out
+
+    def test_hal_language(self):
+        out = run_example("hal_language.py")
+        assert "pi(1000) = 168" in out
+        assert "static" in out  # the compiler report printed plans
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "5.83" in out and "20.83" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out and "generic" in out
+
+    def test_table4_small(self, capsys):
+        assert main(["table4", "--n", "12", "--partitions", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fibonacci(12)" in out
+
+    def test_table5_small(self, capsys):
+        assert main(["table5", "--n", "64", "--partitions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "MFlops" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--n", "32", "--partitions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Cholesky" in out and "Bcast" in out
+
+    def test_compile_report(self, capsys):
+        assert main(["compile-report"]) == 0
+        out = capsys.readouterr().out
+        assert "FibActor [functional]" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,326 @@
+"""The HAL compiler pipeline: type lattice, constraint-based inference,
+dependence analysis, dispatch-plan selection, static checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import behavior, method
+from repro.actors.behavior import behavior_of
+from repro.errors import CompileError, TypeInferenceError
+from repro.hal.compiler import compile_behaviors
+from repro.hal.dependence import analyze_continuations, analyze_purity
+from repro.hal.inference import infer_program
+from repro.hal.types import (
+    ANY,
+    BOTTOM,
+    GroupOf,
+    MAX_WIDTH,
+    RefOf,
+    SCALAR,
+    atom,
+    is_bottom,
+    join,
+    join_all,
+    ref_behaviors,
+)
+
+
+def compiled(*classes, strict=True):
+    return compile_behaviors(
+        {behavior_of(c).name: behavior_of(c) for c in classes}, strict=strict
+    )
+
+
+class TestTypeLattice:
+    def test_join_basics(self):
+        a, b = atom(RefOf("A")), atom(RefOf("B"))
+        assert join(a, b) == frozenset({RefOf("A"), RefOf("B")})
+        assert join(a, a) == a
+        assert join(a, ANY) is ANY
+        assert join(ANY, a) is ANY
+        assert join(a, BOTTOM) == a
+
+    def test_width_cap_collapses_to_any(self):
+        vals = [atom(RefOf(f"B{i}")) for i in range(MAX_WIDTH + 1)]
+        assert join_all(vals) is ANY
+
+    def test_ref_behaviors(self):
+        assert ref_behaviors(atom(RefOf("A"))) == frozenset({"A"})
+        assert ref_behaviors(ANY) is None
+        assert ref_behaviors(atom(SCALAR)) is None
+        assert ref_behaviors(atom(GroupOf("A"))) is None
+        assert ref_behaviors(BOTTOM) == frozenset()
+
+    def test_is_bottom(self):
+        assert is_bottom(BOTTOM)
+        assert not is_bottom(ANY)
+        assert not is_bottom(atom(SCALAR))
+
+
+@behavior
+class Leaf:
+    def __init__(self):
+        self.n = 0
+
+    @method
+    def poke(self, ctx, x):
+        self.n += x
+
+    @method
+    def value(self, ctx):
+        return self.n
+
+
+@behavior
+class Root:
+    def __init__(self):
+        self.kid = None
+
+    @method
+    def setup(self, ctx):
+        self.kid = ctx.new(Leaf)
+
+    @method
+    def fwd(self, ctx, x):
+        ctx.send(self.kid, "poke", x)
+
+    @method
+    def ask(self, ctx):
+        v = yield ctx.request(self.kid, "value")
+        return v
+
+
+class TestInference:
+    def test_new_assignment_types_attribute(self):
+        result = infer_program({"Leaf": behavior_of(Leaf), "Root": behavior_of(Root)})
+        sites = result.sites_of("Root", "fwd")
+        assert len(sites) == 1
+        assert sites[0].receivers == frozenset({"Leaf"})
+
+    def test_request_return_type_flows_back(self):
+        result = infer_program({"Leaf": behavior_of(Leaf), "Root": behavior_of(Root)})
+        req_sites = [s for s in result.sites_of("Root", "ask") if s.is_request]
+        assert req_sites and req_sites[0].receivers == frozenset({"Leaf"})
+
+    def test_me_reference_typed(self):
+        @behavior
+        class Selfish:
+            def __init__(self):
+                self.me2 = None
+
+            @method
+            def grab(self, ctx):
+                self.me2 = ctx.me
+
+            @method
+            def loop(self, ctx):
+                ctx.send(self.me2, "grab")
+
+        result = infer_program({"Selfish": behavior_of(Selfish)})
+        sites = result.sites_of("Selfish", "loop")
+        assert sites[0].receivers == frozenset({"Selfish"})
+
+    def test_param_flow_across_behaviors(self):
+        @behavior
+        class Producer:
+            def __init__(self):
+                pass
+
+            @method
+            def run(self, ctx, consumer):
+                ctx.send(consumer, "take", ctx.new(Leaf))
+
+        @behavior
+        class Consumer:
+            def __init__(self):
+                pass
+
+            @method
+            def take(self, ctx, thing):
+                ctx.send(thing, "poke", 1)
+
+        @behavior
+        class Wiring:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx):
+                p = ctx.new(Producer)
+                c = ctx.new(Consumer)
+                ctx.send(p, "run", c)
+
+        result = infer_program({
+            n: behavior_of(c)
+            for n, c in [("Leaf", Leaf), ("Producer", Producer),
+                         ("Consumer", Consumer), ("Wiring", Wiring)]
+        })
+        # `thing` in Consumer.take was fed from Producer's arg flow.
+        sites = result.sites_of("Consumer", "take")
+        assert sites[0].receivers == frozenset({"Leaf"})
+
+    def test_group_member_typed(self):
+        @behavior
+        class GroupUser:
+            def __init__(self):
+                self.g = None
+
+            @method
+            def setup(self, ctx):
+                self.g = ctx.grpnew(Leaf, 8)
+
+            @method
+            def hit(self, ctx, i):
+                ctx.send(self.g.member(i), "poke", 1)
+
+        result = infer_program({
+            "Leaf": behavior_of(Leaf), "GroupUser": behavior_of(GroupUser),
+        })
+        sites = result.sites_of("GroupUser", "hit")
+        assert sites[0].receivers == frozenset({"Leaf"})
+
+    def test_unknown_receiver_is_top(self):
+        @behavior
+        class Blind:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx, mystery):
+                ctx.send(mystery, "anything")
+
+        result = infer_program({"Blind": behavior_of(Blind)})
+        assert result.sites_of("Blind", "go")[0].receivers is None or \
+            result.sites_of("Blind", "go")[0].receivers == frozenset()
+
+
+class TestDependence:
+    def test_continuation_plan_counts_joins(self):
+        @behavior
+        class Joiner:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx, a, b):
+                x = yield ctx.request(a, "value")
+                y, z = yield [ctx.request(a, "value"), ctx.request(b, "value")]
+                return x + y + z
+
+        result = infer_program({"Joiner": behavior_of(Joiner)})
+        plan = analyze_continuations(result.methods[("Joiner", "go")])
+        assert plan.is_generator
+        assert plan.split_points == 2
+        assert [j.slots for j in plan.joins] == [1, 2]
+        assert [j.grouped for j in plan.joins] == [False, True]
+
+    def test_purity_detection(self):
+        result = infer_program({"Leaf": behavior_of(Leaf), "Root": behavior_of(Root)})
+        assert analyze_purity(result.methods[("Leaf", "poke")]).writes_state
+        assert not analyze_purity(result.methods[("Root", "fwd")]).writes_state
+
+    def test_container_mutation_counts_as_write(self):
+        @behavior
+        class Appender:
+            def __init__(self):
+                self.log = []
+
+            @method
+            def note(self, ctx, x):
+                self.log.append(x)
+
+        result = infer_program({"Appender": behavior_of(Appender)})
+        assert analyze_purity(result.methods[("Appender", "note")]).writes_state
+
+    def test_functional_behavior_detected(self):
+        from repro.apps.fibonacci import FibActor
+        cp = compiled(FibActor)
+        assert cp.behaviors["FibActor"].functional
+
+    def test_yield_from_rejected(self):
+        @behavior
+        class YF:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx, a):
+                yield from [ctx.request(a, "x")]
+
+        with pytest.raises(CompileError, match="yield from"):
+            compiled(YF)
+
+
+class TestPlans:
+    def test_static_plan_for_unique_type(self):
+        cp = compiled(Leaf, Root)
+        assert cp.behaviors["Root"].plan_for("fwd", "poke") == "static"
+        assert cp.static_site_count() >= 1
+
+    def test_generic_plan_when_unknown(self):
+        cp = compiled(Leaf, Root)
+        assert cp.behaviors["Root"].plan_for("nonexistent", "poke") == "generic"
+
+    def test_lookup_plan_for_union(self):
+        @behavior
+        class A1:
+            def __init__(self):
+                pass
+
+            @method
+            def hit(self, ctx):
+                pass
+
+        @behavior
+        class A2:
+            def __init__(self):
+                pass
+
+            @method
+            def hit(self, ctx):
+                pass
+
+        @behavior
+        class Chooser:
+            def __init__(self):
+                self.t = None
+
+            @method
+            def pick(self, ctx, which):
+                self.t = ctx.new(A1) if which else ctx.new(A2)
+
+            @method
+            def go(self, ctx):
+                ctx.send(self.t, "hit")
+
+        cp = compiled(A1, A2, Chooser)
+        assert cp.behaviors["Chooser"].plan_for("go", "hit") == "lookup"
+
+    def test_static_type_error_detected(self):
+        @behavior
+        class Oops:
+            def __init__(self):
+                self.kid = None
+
+            @method
+            def setup(self, ctx):
+                self.kid = ctx.new(Leaf)
+
+            @method
+            def bad(self, ctx):
+                ctx.send(self.kid, "no_such_method")
+
+        with pytest.raises(TypeInferenceError, match="no such method"):
+            compiled(Leaf, Oops)
+        # non-strict mode demotes to a warning + generic plan
+        cp = compiled(Leaf, Oops, strict=False)
+        assert cp.behaviors["Oops"].plan_for("bad", "no_such_method") == "generic"
+        assert any("warning" in d for d in cp.diagnostics)
+
+    def test_report_renders(self):
+        cp = compiled(Leaf, Root)
+        text = cp.report()
+        assert "behaviour Root" in text
+        assert "static" in text
+        assert "continuation split" in text

@@ -1,0 +1,250 @@
+"""The mini-HAL textual front-end: lexer, parser, code generation,
+end-to-end execution, and integration with the analysis pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HalRuntime, RuntimeConfig
+from repro.errors import CompileError
+from repro.hal.lang import compile_hal, generate_python, parse, tokenize
+from repro.hal.lang.codegen import mangle
+from repro.hal.lang.parser import read, Symbol
+
+
+class TestLexer:
+    def test_tokens(self):
+        toks = tokenize('(foo 1 2.5 "bar" :at)')
+        kinds = [t.kind for t in toks]
+        assert kinds == ["(", "symbol", "number", "number", "string",
+                         "keyword", ")"]
+        assert toks[2].value == 1
+        assert toks[3].value == 2.5
+        assert toks[4].value == "bar"
+
+    def test_comments_ignored(self):
+        toks = tokenize("(a) ; comment\n(b)")
+        assert [t.value for t in toks if t.kind == "symbol"] == ["a", "b"]
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\"b"')
+        assert toks[0].value == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_positions_tracked(self):
+        toks = tokenize("(a\n  b)")
+        b = [t for t in toks if t.value == "b"][0]
+        assert b.line == 2
+
+
+class TestReader:
+    def test_nesting(self):
+        forms = read("(a (b 1) (c (d)))")
+        assert len(forms) == 1
+        assert isinstance(forms[0][1][0], Symbol)
+
+    def test_unclosed_paren(self):
+        with pytest.raises(CompileError, match="unclosed"):
+            read("(a (b)")
+
+    def test_stray_close(self):
+        with pytest.raises(CompileError, match="unexpected"):
+            read(")")
+
+
+class TestParser:
+    def test_behavior_structure(self):
+        decls = parse("""
+            (defbehavior cell (v)
+              (method get () (reply v))
+              (method put (x)
+                (disable-when (not (= v nil)))
+                (set! v x)))
+        """)
+        assert len(decls) == 1
+        d = decls[0]
+        assert d.name == "cell"
+        assert d.state_vars == ["v"]
+        assert [m.name for m in d.methods] == ["get", "put"]
+        assert d.methods[1].disable_when is not None
+
+    def test_rejects_unknown_top_level(self):
+        with pytest.raises(CompileError, match="unknown top-level"):
+            parse("(define x 1)")
+
+    def test_rejects_methodless_behavior(self):
+        with pytest.raises(CompileError, match="no methods"):
+            parse("(defbehavior empty ())")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            parse("""
+                (defbehavior a () (method m () (reply 1)))
+                (defbehavior a () (method m () (reply 2)))
+            """)
+
+    def test_rejects_empty_program(self):
+        with pytest.raises(CompileError, match="empty"):
+            parse("  ; nothing\n")
+
+
+class TestCodegen:
+    def test_mangling(self):
+        assert mangle("bounded-buffer") == "bounded_buffer"
+        assert mangle("empty?") == "empty_p"
+        assert mangle("push!") == "push_x"
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(CompileError, match="unbound variable"):
+            generate_python(
+                "(defbehavior b () (method m () (reply mystery)))"
+            )
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(CompileError, match="unknown form"):
+            generate_python(
+                "(defbehavior b () (method m () (frobnicate 1)))"
+            )
+
+    def test_new_of_unknown_behavior_rejected(self):
+        with pytest.raises(CompileError, match="unknown behaviour"):
+            generate_python(
+                "(defbehavior b () (method m () (reply (new ghost))))"
+            )
+
+    def test_request_compiles_to_yield(self):
+        text = generate_python("""
+            (defbehavior asker ()
+              (method go (server)
+                (let ((v (request server get)))
+                  (reply v))))
+        """)
+        assert 'yield ctx.request(server, "get")' in text
+
+    def test_generated_source_is_valid_python(self):
+        text = generate_python("""
+            (defbehavior looper (total)
+              (method sum-squares (n)
+                (dotimes (i n)
+                  (set! total (+ total (* i i))))
+                (reply total)))
+        """)
+        compile(text, "<test>", "exec")
+
+
+class TestEndToEnd:
+    BANK = """
+    (defbehavior account (balance)
+      (method deposit (amount)
+        (set! balance (+ balance amount)))
+      (method withdraw (amount)
+        (disable-when (< balance (msg-arg 0)))
+        (set! balance (- balance amount))
+        (reply amount))
+      (method query ()
+        (reply balance)))
+
+    (defbehavior teller ()
+      (method transfer (src dst amount)
+        (let ((taken (request src withdraw amount)))
+          (send dst deposit taken)
+          (reply taken))))
+    """
+
+    def boot(self, src, nodes=4):
+        program = compile_hal(src, "test-program")
+        rt = HalRuntime(RuntimeConfig(num_nodes=nodes))
+        rt.load(program)
+        classes = {cls.__name__: cls for cls in program.behaviors}
+        return rt, classes, program
+
+    def test_bank_program_runs(self):
+        rt, classes, _ = self.boot(self.BANK)
+        alice = rt.spawn(classes["account"], 100, at=1)
+        bob = rt.spawn(classes["account"], 0, at=2)
+        teller = rt.spawn(classes["teller"], at=3)
+        assert rt.call(teller, "transfer", alice, bob, 30) == 30
+        rt.run()
+        assert rt.call(alice, "query") == 70
+        assert rt.call(bob, "query") == 30
+
+    def test_constraint_guard_works(self):
+        rt, classes, _ = self.boot(self.BANK)
+        acct = rt.spawn(classes["account"], 10, at=0)
+        rt.send(acct, "withdraw", 50)  # parks: insufficient funds
+        rt.run()
+        assert rt.actor_of(acct).mailbox.pending_count == 1
+        rt.send(acct, "deposit", 100)
+        rt.run()
+        assert rt.call(acct, "query") == 60
+
+    def test_inference_runs_on_generated_code(self):
+        _, _, program = self.boot(self.BANK)
+        report = program.compiled.report()
+        # the teller's request to an account was typed via param flow?
+        # at minimum the pipeline ran and produced dispatch entries
+        assert "teller" in report
+        assert "continuation split" in report
+
+    def test_recursive_distributed_program(self):
+        src = """
+        (defbehavior tree-sum ()
+          (method compute (depth)
+            (if (= depth 0)
+                (reply 1)
+                (let ((l (new tree-sum :at (mod (+ node 1) num-nodes)))
+                      (r (new tree-sum :at (mod (+ node 2) num-nodes))))
+                  (let ((a (request l compute (- depth 1)))
+                        (b (request r compute (- depth 1))))
+                    (reply (+ a b 1)))))))
+        """
+        rt, classes, program = self.boot(src, nodes=4)
+        root = rt.spawn(classes["tree_sum"], at=0)
+        assert rt.call(root, "compute", 6) == 2 ** 7 - 1
+        # the compiler proved it functional and statically dispatched
+        from repro.actors.behavior import behavior_of
+        assert behavior_of(classes["tree_sum"]).functional
+
+    def test_groups_and_broadcast_from_hal(self):
+        src = """
+        (defbehavior cell (total index size)
+          (method bump (x)
+            (set! total (+ total x)))
+          (method get ()
+            (reply total)))
+
+        (defbehavior fanout ()
+          (method run (n)
+            (let ((g (grpnew cell n 0)))
+              (broadcast g bump 5)
+              (reply 1))))
+        """
+        rt, classes, _ = self.boot(src)
+        f = rt.spawn(classes["fanout"], at=0)
+        assert rt.call(f, "run", 8) == 1
+        rt.run()
+        cells = [
+            a for k in rt.kernels for a in k.table.local_actors()
+            if a.behavior.name == "cell"
+        ]
+        assert len(cells) == 8
+        assert sum(c.state.total for c in cells) == 40
+
+    def test_migration_from_hal(self):
+        src = """
+        (defbehavior wanderer (hops)
+          (method wander ()
+            (set! hops (+ hops 1))
+            (migrate (mod (+ node 1) num-nodes))
+            (reply node)))
+        """
+        rt, classes, _ = self.boot(src)
+        w = rt.spawn(classes["wanderer"], 0, at=0)
+        for expected_from in range(4):
+            assert rt.call(w, "wander") == expected_from % 4
+            rt.run()
+        assert rt.locate(w) == 0  # wrapped around the partition
+        assert rt.state_of(w).hops == 4

@@ -1,0 +1,216 @@
+"""Cross-module integration scenarios exercising several protocols at
+once: migration under traffic, location transparency end-to-end,
+request chains across moving actors, mixed workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HalRuntime, RuntimeConfig, behavior, disable_when, method
+from repro.config import LoadBalanceParams
+from tests.conftest import Counter, EchoServer, Hopper, make_runtime
+
+
+class TestLocationTransparencyEndToEnd:
+    def test_refs_work_identically_wherever_the_actor_is(self):
+        """The same ref is used before and after multiple migrations,
+        from senders that never learn about the moves."""
+        rt = make_runtime(8)
+        ref = rt.spawn(Counter, at=0)
+        rt.run()
+        total = 0
+        for dest in (2, 7, 1, 4, 0):
+            for src in range(8):
+                rt.send(ref, "incr", from_node=src)
+                total += 1
+            rt.run()
+            kernel = rt.kernels[rt.locate(ref)]
+            kernel.node.bootstrap(
+                lambda k=kernel: k.migration.start(rt.actor_of(ref), dest)
+            )
+            rt.run()
+            assert rt.locate(ref) == dest
+        assert rt.state_of(ref).value == total
+
+    def test_request_reply_to_a_moving_server(self):
+        rt = make_runtime(8)
+
+        @behavior
+        class MovingServer:
+            def __init__(self):
+                self.served = 0
+
+            @method
+            def serve(self, ctx, x):
+                self.served += 1
+                ctx.migrate((ctx.node + 3) % ctx.num_nodes)
+                return x * 2
+
+        rt.load_behaviors(MovingServer)
+        server = rt.spawn(MovingServer, at=0)
+        for i in range(10):
+            src = i % 8
+            assert rt.call(server, "serve", i, from_node=src) == 2 * i
+        rt.run()  # let the final migration land
+        assert rt.state_of(server).served == 10
+
+    def test_ref_passed_through_messages_stays_valid(self):
+        rt = make_runtime(4)
+
+        @behavior
+        class Registry:
+            def __init__(self):
+                self.entries = {}
+
+            @method
+            def register(self, ctx, name, ref):
+                self.entries[name] = ref
+
+            @method
+            def poke(self, ctx, name):
+                ctx.send(self.entries[name], "incr", 5)
+
+        rt.load_behaviors(Registry)
+        reg = rt.spawn(Registry, at=3)
+        c = rt.spawn(Counter, at=1)
+        rt.send(reg, "register", "c", c, from_node=0)
+        rt.run()
+        # move the counter; the registry's stale ref must still work
+        kernel = rt.kernels[1]
+        kernel.node.bootstrap(
+            lambda: kernel.migration.start(rt.actor_of(c), 2)
+        )
+        rt.run()
+        rt.send(reg, "poke", "c", from_node=0)
+        rt.run()
+        assert rt.state_of(c).value == 5
+
+
+class TestMixedWorkload:
+    def test_pipeline_with_constraints_and_requests(self):
+        """Producer -> bounded buffer -> consumer, with call/return
+        completion notification."""
+        rt = make_runtime(4)
+
+        @behavior
+        class Buf:
+            def __init__(self, cap):
+                self.items = []
+                self.cap = cap
+
+            @method
+            @disable_when(lambda self, msg: len(self.items) >= self.cap)
+            def put(self, ctx, x):
+                self.items.append(x)
+
+            @method
+            @disable_when(lambda self, msg: not self.items)
+            def take(self, ctx):
+                return self.items.pop(0)
+
+        @behavior
+        class Producer:
+            def __init__(self):
+                pass
+
+            @method
+            def produce(self, ctx, buf, n):
+                for i in range(n):
+                    ctx.send(buf, "put", i)
+
+        @behavior
+        class Consumer:
+            def __init__(self):
+                self.got = []
+
+            @method
+            def consume(self, ctx, buf, n):
+                for _ in range(n):
+                    v = yield ctx.request(buf, "take")
+                    self.got.append(v)
+                return self.got
+
+        rt.load_behaviors(Buf, Producer, Consumer)
+        buf = rt.spawn(Buf, 3, at=1)
+        producer = rt.spawn(Producer, at=0)
+        consumer = rt.spawn(Consumer, at=2)
+        rt.send(producer, "produce", buf, 10)
+        got = rt.call(consumer, "consume", buf, 10)
+        assert got == list(range(10))
+
+    def test_fan_out_fan_in_across_partition(self):
+        rt = make_runtime(8)
+
+        @behavior
+        class MapReduce:
+            def __init__(self):
+                pass
+
+            @method
+            def run(self, ctx, n):
+                workers = [
+                    ctx.new(EchoServer, at=i % ctx.num_nodes) for i in range(n)
+                ]
+                values = yield [
+                    ctx.request(w, "add", i, i) for i, w in enumerate(workers)
+                ]
+                return sum(values)
+
+        rt.load_behaviors(MapReduce)
+        mr = rt.spawn(MapReduce, at=0)
+        assert rt.call(mr, "run", 20) == sum(2 * i for i in range(20))
+
+    def test_load_balancing_with_mixed_actors_and_tasks(self):
+        rt = make_runtime(4, load_balance=LoadBalanceParams(enabled=True))
+        rt.load_behaviors(tasks={"burn": lambda ctx: ctx.charge(300.0)})
+        refs = [rt.spawn(Counter, at=0) for _ in range(6)]
+        for r in refs:
+            for _ in range(4):
+                rt.send(r, "incr", from_node=0)
+        for _ in range(20):
+            rt.spawn_task("burn", at=0)
+        rt.run()
+        assert sum(rt.state_of(r).value for r in refs) == 24
+        assert rt.quiescent()
+
+    def test_big_payloads_with_flow_control_end_to_end(self):
+        import numpy as np
+        rt = make_runtime(4)
+        servers = [rt.spawn(EchoServer, at=i) for i in range(4)]
+        rt.run()
+        block = np.ones(2048)
+        for s in servers[1:]:
+            got = rt.call(s, "echo", block, from_node=0)
+            assert isinstance(got, np.ndarray)
+        assert rt.stats.counter("bulk.completions") >= 3
+
+
+class TestStress:
+    def test_many_actors_many_messages(self):
+        rt = make_runtime(8)
+        refs = [rt.spawn(Counter, at=i % 8) for i in range(100)]
+        for k in range(5):
+            for i, r in enumerate(refs):
+                rt.send(r, "incr", from_node=(i + k) % 8)
+        rt.run()
+        assert sum(rt.state_of(r).value for r in refs) == 500
+
+    def test_deep_request_nesting(self):
+        rt = make_runtime(4)
+
+        @behavior
+        class Nest:
+            def __init__(self):
+                pass
+
+            @method
+            def descend(self, ctx, depth):
+                if depth == 0:
+                    return 0
+                child = ctx.new(Nest, at=(ctx.node + 1) % ctx.num_nodes)
+                v = yield ctx.request(child, "descend", depth - 1)
+                return v + 1
+
+        rt.load_behaviors(Nest)
+        root = rt.spawn(Nest, at=0)
+        assert rt.call(root, "descend", 40) == 40

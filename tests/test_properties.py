@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) over the runtime's core
+invariants:
+
+- exactly-once delivery under arbitrary migration/send interleavings;
+- name-table consistency convergence (all caches eventually point at
+  the true location once traffic flows);
+- determinism: identical seeds give identical simulated histories;
+- group placement partitions indices;
+- bounded-buffer linearisation under random put/get mixes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import HalRuntime, RuntimeConfig, behavior, method
+from repro.config import LoadBalanceParams
+from repro.runtime.groups import GroupRef, PLACEMENTS
+from tests.conftest import BoundedBuffer, Counter, make_runtime
+
+# Simulations are CPU-heavy for hypothesis defaults.
+SIM_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestExactlyOnceDelivery:
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("send"), st.integers(0, 7)),
+                st.tuples(st.just("move"), st.integers(0, 7)),
+                st.tuples(st.just("drain"), st.just(0)),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @SIM_SETTINGS
+    def test_every_send_increments_exactly_once(self, ops):
+        rt = make_runtime(8)
+        ref = rt.spawn(Counter, at=0)
+        rt.run()
+        sent = 0
+        for op, arg in ops:
+            if op == "send":
+                rt.send(ref, "incr", from_node=arg)
+                sent += 1
+            elif op == "move":
+                rt.run()
+                where = rt.locate(ref)
+                if where != arg:
+                    kernel = rt.kernels[where]
+                    kernel.node.bootstrap(
+                        lambda k=kernel: k.migration.start(rt.actor_of(ref), arg)
+                    )
+            else:
+                rt.run()
+        rt.run()
+        assert rt.state_of(ref).value == sent
+
+    @given(seed=st.integers(0, 2**16), n=st.integers(8, 14))
+    @SIM_SETTINGS
+    def test_fib_correct_under_any_seed(self, seed, n):
+        """Random steal interleavings never corrupt the computation."""
+        from repro.apps.fibonacci import fib_value, run_fib
+        r = run_fib(n, 4, load_balance=True, seed=seed)
+        assert r.value == fib_value(n)
+
+
+class TestConsistencyConvergence:
+    @given(moves=st.lists(st.integers(0, 7), min_size=1, max_size=6))
+    @SIM_SETTINGS
+    def test_caches_converge_after_traffic(self, moves):
+        """After migrations settle and every node sends one message,
+        every node's descriptor points at the actor's true location."""
+        rt = make_runtime(8)
+        ref = rt.spawn(Counter, at=0)
+        rt.run()
+        for dest in moves:
+            where = rt.locate(ref)
+            if where != dest:
+                kernel = rt.kernels[where]
+                kernel.node.bootstrap(
+                    lambda k=kernel: k.migration.start(rt.actor_of(ref), dest)
+                )
+                rt.run()
+        final = rt.locate(ref)
+        for src in range(8):
+            rt.send(ref, "incr", from_node=src)
+        rt.run()
+        assert rt.state_of(ref).value == 8
+        from repro.runtime.names import DescState
+        for kernel in rt.kernels:
+            desc = kernel.table.get(ref.address)
+            if desc is None:
+                continue
+            if desc.is_local:
+                assert kernel.node_id == final
+            elif desc.state is DescState.REMOTE:
+                # best guess must now be the truth
+                assert desc.remote_node == final
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 2**20))
+    @SIM_SETTINGS
+    def test_same_seed_same_history(self, seed):
+        from repro.apps.fibonacci import run_fib
+        a = run_fib(12, 4, load_balance=True, seed=seed)
+        b = run_fib(12, 4, load_balance=True, seed=seed)
+        assert (a.elapsed_us, a.steals) == (b.elapsed_us, b.steals)
+
+
+class TestGroupPlacement:
+    @given(
+        n=st.integers(1, 60),
+        p=st.integers(1, 16),
+        placement=st.sampled_from(sorted(PLACEMENTS)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_placement_partitions_indices(self, n, p, placement):
+        g = GroupRef((0, 1), n, placement, p)
+        buckets = [g.local_indices(node) for node in range(p)]
+        flat = [i for b in buckets for i in b]
+        assert sorted(flat) == list(range(n))
+        # balanced to within one member
+        sizes = [len(b) for b in buckets if b]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestConstraintLinearisation:
+    @given(
+        ops=st.lists(st.sampled_from(["put", "get"]), min_size=1, max_size=20),
+        cap=st.integers(1, 4),
+    )
+    @SIM_SETTINGS
+    def test_bounded_buffer_is_a_fifo(self, ops, cap):
+        """No matter the arrival mix, every completed get returns the
+        items in insertion order, and pending counts stay consistent."""
+        rt = make_runtime(2)
+        buf = rt.spawn(BoundedBuffer, cap, at=0)
+        puts = sum(1 for o in ops if o == "put")
+        gets = sum(1 for o in ops if o == "get")
+        results = []
+        next_item = 0
+        for op in ops:
+            if op == "put":
+                rt.send(buf, "put", next_item, from_node=1)
+                next_item += 1
+            else:
+                target, box = rt.make_collector(from_node=1)
+                kernel = rt.kernels[1]
+                kernel.node.bootstrap(
+                    lambda k=kernel, t=target: k.delivery.send_message(
+                        buf, "get", (), reply_to=t
+                    )
+                )
+                results.append(box)
+        rt.run()
+        completed = [b[0] for b in results if b]
+        assert completed == sorted(completed)
+        assert len(completed) == min(puts, gets)
+        state = rt.state_of(buf)
+        assert len(state.items) == max(0, min(puts, cap + len(completed)) - len(completed))

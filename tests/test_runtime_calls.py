@@ -1,0 +1,248 @@
+"""Call/return: join continuations, grouped requests, generator
+methods, explicit CPS (make_join / reply_to)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import behavior, method
+from repro.errors import ContinuationError, SchedulingError
+from repro.runtime.calls import ContinuationTable, Request, normalize_requests
+from repro.runtime.names import ActorRef, AddrKind, MailAddress
+from tests.conftest import EchoServer, make_runtime
+
+
+def ref():
+    return ActorRef(MailAddress(AddrKind.ORDINARY, 0, 1))
+
+
+class TestNormalize:
+    def test_single_request(self):
+        reqs, single = normalize_requests(Request(ref(), "m", ()))
+        assert single and len(reqs) == 1
+
+    def test_list_of_requests(self):
+        reqs, single = normalize_requests(
+            [Request(ref(), "a", ()), Request(ref(), "b", ())]
+        )
+        assert not single and len(reqs) == 2
+
+    def test_bad_yields_rejected(self):
+        for bad in (42, "x", [], [Request(ref(), "a", ()), 7]):
+            with pytest.raises(ContinuationError):
+                normalize_requests(bad)
+
+
+class TestContinuationTable:
+    def test_ids_unique_and_lookup(self):
+        t = ContinuationTable(0)
+        c1 = t.new(1, lambda c: None)
+        c2 = t.new(2, lambda c: None)
+        assert c1.cont_id != c2.cont_id
+        assert t.get(c1.cont_id) is c1
+        assert t.outstanding == 2
+        t.discard(c1.cont_id)
+        assert t.outstanding == 1
+
+    def test_unknown_continuation(self):
+        with pytest.raises(ContinuationError):
+            ContinuationTable(0).get(99)
+
+
+class TestGeneratorMethods:
+    def test_single_request_reply(self, rt4):
+        @behavior
+        class Client:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx, server):
+                v = yield ctx.request(server, "add", 1, 2)
+                return v * 10
+
+        rt4.load_behaviors(Client)
+        server = rt4.spawn(EchoServer, at=2)
+        client = rt4.spawn(Client, at=0)
+        assert rt4.call(client, "go", server) == 30
+
+    def test_grouped_requests_share_one_continuation(self, rt4):
+        @behavior
+        class Fan:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx, s1, s2, s3):
+                a, b, c = yield [
+                    ctx.request(s1, "echo", 1),
+                    ctx.request(s2, "echo", 2),
+                    ctx.request(s3, "echo", 3),
+                ]
+                return (a, b, c)
+
+        rt4.load_behaviors(Fan)
+        servers = [rt4.spawn(EchoServer, at=i) for i in (1, 2, 3)]
+        fan = rt4.spawn(Fan, at=0)
+        conts_before = rt4.kernels[0].continuations.created
+        assert rt4.call(fan, "go", *servers) == (1, 2, 3)
+        # one continuation for the group (plus the external call root)
+        assert rt4.kernels[0].continuations.created - conts_before == 2
+
+    def test_sequential_requests_chain(self, rt4):
+        @behavior
+        class Chain:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx, server):
+                total = 0
+                for i in range(4):
+                    v = yield ctx.request(server, "echo", i)
+                    total += v
+                return total
+
+        rt4.load_behaviors(Chain)
+        server = rt4.spawn(EchoServer, at=3)
+        c = rt4.spawn(Chain, at=1)
+        assert rt4.call(c, "go", server) == 6
+
+    def test_server_can_itself_be_a_generator(self, rt4):
+        @behavior
+        class Middle:
+            def __init__(self):
+                pass
+
+            @method
+            def relay(self, ctx, server, x):
+                v = yield ctx.request(server, "echo", x)
+                return v + 100
+
+        @behavior
+        class Top:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx, middle, server):
+                v = yield ctx.request(middle, "relay", server, 7)
+                return v
+
+        rt4.load_behaviors(Middle, Top)
+        server = rt4.spawn(EchoServer, at=1)
+        middle = rt4.spawn(Middle, at=2)
+        top = rt4.spawn(Top, at=3)
+        assert rt4.call(top, "go", middle, server) == 107
+
+    def test_actor_stays_responsive_while_waiting(self, rt4):
+        """The compiler-separated continuation frees the actor: other
+        messages process while a request is outstanding."""
+        @behavior
+        class Waiter:
+            def __init__(self):
+                self.pings = 0
+                self.result = None
+
+            @method
+            def go(self, ctx, server):
+                v = yield ctx.request(server, "echo", 5)
+                self.result = (v, self.pings)
+
+            @method
+            def ping(self, ctx):
+                self.pings += 1
+
+        rt4.load_behaviors(Waiter)
+        server = rt4.spawn(EchoServer, at=3)
+        w = rt4.spawn(Waiter, at=0)
+        rt4.send(w, "go", server)
+        for _ in range(3):
+            rt4.send(w, "ping")
+        rt4.run()
+        result, pings_at_resume = rt4.state_of(w).result
+        assert result == 5
+        assert pings_at_resume == 3  # pings processed during the wait
+
+    def test_yielding_garbage_is_an_error(self, rt4):
+        @behavior
+        class Bad:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx):
+                yield 42
+
+        # The static dependence analysis rejects it at load time.
+        from repro.errors import CompileError
+        with pytest.raises(CompileError):
+            rt4.load_behaviors(Bad)
+
+
+class TestExplicitCps:
+    def test_make_join_and_reply_to(self, rt4):
+        out = []
+        def fanin(ctx, target):
+            t1, t2 = ctx.make_join(2, lambda vals: ctx.reply_to(target, sum(vals)))
+            ctx.reply_to(t1, 30)
+            ctx.reply_to(t2, 12)
+        rt4.load_behaviors(tasks={"fanin": fanin})
+        target, box = rt4.make_collector(from_node=0)
+        rt4.spawn_task("fanin", target, at=2)
+        rt4.run()
+        assert box == [42]
+
+    def test_reply_outside_request_rejected(self, rt4):
+        @behavior
+        class Replier:
+            def __init__(self):
+                pass
+
+            @method
+            def m(self, ctx):
+                ctx.reply(1)
+
+        rt4.load_behaviors(Replier)
+        r = rt4.spawn(Replier, at=0)
+        rt4.send(r, "m")
+        with pytest.raises(SchedulingError, match="outside"):
+            rt4.run()
+
+    def test_double_reply_rejected(self, rt4):
+        @behavior
+        class Doubler:
+            def __init__(self):
+                pass
+
+            @method
+            def m(self, ctx):
+                ctx.reply(1)
+                ctx.reply(2)
+
+        rt4.load_behaviors(Doubler)
+        d = rt4.spawn(Doubler, at=0)
+        with pytest.raises(SchedulingError, match="twice"):
+            rt4.call(d, "m")
+
+    def test_explicit_reply_suppresses_auto_reply(self, rt4):
+        @behavior
+        class Explicit:
+            def __init__(self):
+                pass
+
+            @method
+            def m(self, ctx):
+                ctx.reply("explicit")
+                return "return-value-ignored"
+
+        rt4.load_behaviors(Explicit)
+        e = rt4.spawn(Explicit, at=1)
+        assert rt4.call(e, "m") == "explicit"
+
+    def test_none_return_means_no_reply(self, rt4):
+        from repro.errors import DeliveryError
+        from tests.conftest import Counter
+        c = rt4.spawn(Counter, at=0)
+        with pytest.raises(DeliveryError, match="did not complete"):
+            rt4.call(c, "incr")  # incr returns None -> no reply ever

@@ -1,0 +1,170 @@
+"""The Context API surface: identity, environment, error paths,
+simulated compute, console I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import behavior, method
+from repro.errors import BehaviorError, MigrationError, ReproError
+from tests.conftest import Counter, make_runtime
+
+
+class TestIdentityAndEnvironment:
+    def test_me_node_num_nodes_now(self, rt4):
+        seen = {}
+
+        @behavior
+        class Introspector:
+            def __init__(self):
+                pass
+
+            @method
+            def look(self, ctx):
+                seen["me"] = ctx.me
+                seen["node"] = ctx.node
+                seen["num_nodes"] = ctx.num_nodes
+                seen["now"] = ctx.now
+
+        rt4.load_behaviors(Introspector)
+        ref = rt4.spawn(Introspector, at=2)
+        rt4.send(ref, "look")
+        rt4.run()
+        assert seen["me"] == ref
+        assert seen["node"] == 2
+        assert seen["num_nodes"] == 4
+        assert seen["now"] > 0
+
+    def test_self_send_via_me(self, rt4):
+        @behavior
+        class SelfTalker:
+            def __init__(self):
+                self.count = 0
+
+            @method
+            def again(self, ctx, n):
+                self.count += 1
+                if n > 0:
+                    ctx.send(ctx.me, "again", n - 1)
+
+        rt4.load_behaviors(SelfTalker)
+        ref = rt4.spawn(SelfTalker, at=1)
+        rt4.send(ref, "again", 5)
+        rt4.run()
+        assert rt4.state_of(ref).count == 6
+
+    def test_task_context_has_no_self(self, rt4):
+        errors = []
+
+        def probe(ctx):
+            try:
+                _ = ctx.me
+            except BehaviorError as exc:
+                errors.append(str(exc))
+
+        rt4.load_behaviors(tasks={"probe": probe})
+        rt4.spawn_task("probe", at=0)
+        rt4.run()
+        assert errors and "task" in errors[0]
+
+
+class TestChargesAndIo:
+    def test_charge_advances_sim_clock(self, rt4):
+        @behavior
+        class Burner:
+            def __init__(self):
+                pass
+
+            @method
+            def burn(self, ctx):
+                ctx.charge(123.0)
+
+        rt4.load_behaviors(Burner)
+        ref = rt4.spawn(Burner, at=0)
+        before = rt4.kernels[0].node.busy_us
+        rt4.send(ref, "burn")
+        rt4.run()
+        assert rt4.kernels[0].node.busy_us - before > 123.0
+
+    def test_flops_use_cost_model_rate(self, rt4):
+        @behavior
+        class FlopBurner:
+            def __init__(self):
+                pass
+
+            @method
+            def burn(self, ctx):
+                ctx.flops(1000)
+
+        rt4.load_behaviors(FlopBurner)
+        ref = rt4.spawn(FlopBurner, at=1)
+        node = rt4.kernels[1].node
+        before = node.busy_us
+        rt4.send(ref, "burn", from_node=1)
+        rt4.run()
+        assert node.busy_us - before >= 1000 * rt4.costs.flop_us
+
+    def test_io_reaches_frontend_console(self, rt4):
+        @behavior
+        class Printer:
+            def __init__(self):
+                pass
+
+            @method
+            def p(self, ctx, text):
+                ctx.io(text)
+
+        rt4.load_behaviors(Printer)
+        ref = rt4.spawn(Printer, at=3)
+        rt4.send(ref, "p", "output line")
+        rt4.run()
+        assert "output line" in rt4.frontend.console_text()
+        assert rt4.frontend.console[0].node == 3
+
+
+class TestErrorPaths:
+    def test_migrate_to_bad_node(self, rt4):
+        @behavior
+        class BadMover:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx):
+                ctx.migrate(99)
+
+        rt4.load_behaviors(BadMover)
+        ref = rt4.spawn(BadMover, at=0)
+        rt4.send(ref, "go")
+        with pytest.raises(MigrationError, match="no such node"):
+            rt4.run()
+
+    def test_new_at_bad_node(self, rt4):
+        @behavior
+        class BadCreator:
+            def __init__(self):
+                pass
+
+            @method
+            def go(self, ctx):
+                ctx.new(Counter, at=42)
+
+        rt4.load_behaviors(BadCreator)
+        ref = rt4.spawn(BadCreator, at=0)
+        rt4.send(ref, "go")
+        with pytest.raises(ReproError, match="no such node"):
+            rt4.run()
+
+    def test_become_outside_actor(self, rt4):
+        errors = []
+
+        def tsk(ctx):
+            try:
+                ctx.become(Counter)
+            except BehaviorError:
+                errors.append(True)
+
+        rt4.load_behaviors(tasks={"tsk": tsk})
+        rt4.spawn_task("tsk", at=0)
+        rt4.run()
+        assert errors == [True]

@@ -1,0 +1,194 @@
+"""Creation: local, alias-based remote (latency hiding), split-phase,
+creation races, tasks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HalRuntime, RuntimeConfig, behavior, method
+from repro.errors import LoadError, ReproError
+from repro.runtime.names import AddrKind
+from tests.conftest import Counter, EchoServer, make_runtime
+
+
+class TestLocalCreation:
+    def test_spawn_registers_locally(self, rt4):
+        ref = rt4.spawn(Counter, 5, at=2)
+        assert ref.address.kind is AddrKind.ORDINARY
+        assert ref.address.node == 2
+        assert rt4.locate(ref) == 2
+        assert rt4.state_of(ref).value == 5
+
+    def test_each_creation_gets_fresh_address(self, rt4):
+        refs = {rt4.spawn(Counter, at=1).address for _ in range(10)}
+        assert len(refs) == 10
+
+    def test_creation_charges_calibrated_cost(self, rt4):
+        kernel = rt4.kernels[0]
+        before = kernel.node.busy_us
+        rt4.spawn(Counter, at=0)
+        assert kernel.node.busy_us - before == pytest.approx(
+            rt4.costs.create_local_total_us
+        )
+
+
+class TestAliasCreation:
+    def test_remote_creation_returns_alias_immediately(self, rt4):
+        ref = rt4.spawn_remote(Counter, at=3, issuing_node=0)
+        assert ref.address.kind is AddrKind.ALIAS
+        assert ref.address.node == 0          # issuing node
+        assert ref.address.home_node() == 3   # encoded actual node
+        # not yet created; the request is still in flight
+        rt4.run()
+        assert rt4.locate(ref) == 3
+
+    def test_alias_usable_before_creation_completes(self, rt4):
+        """Messages sent through the alias while the creation request
+        is still in flight must be delivered (FIFO per pair)."""
+        ref = rt4.spawn_remote(Counter, 0, at=2, issuing_node=0)
+        rt4.send(ref, "incr", 7)   # before rt4.run()!
+        rt4.run()
+        assert rt4.state_of(ref).value == 7
+
+    def test_descriptor_address_cached_back(self, rt4):
+        ref = rt4.spawn_remote(Counter, at=3, issuing_node=1)
+        rt4.run()
+        desc = rt4.kernels[1].table.get(ref.address)
+        assert desc.remote_node == 3
+        assert desc.has_cached_addr
+
+    def test_third_party_message_racing_creation(self):
+        """A node that learns the alias from a message can send to it
+        before the creation lands on the home node."""
+        rt = make_runtime(4)
+
+        @behavior
+        class Spreader:
+            def __init__(self):
+                pass
+
+            @method
+            def make_and_tell(self, ctx, messenger):
+                ref = ctx.new(Counter, at=3)
+                # Hand the alias to a third party immediately.
+                ctx.send(messenger, "poke", ref)
+
+        @behavior
+        class Messenger:
+            def __init__(self):
+                pass
+
+            @method
+            def poke(self, ctx, ref):
+                ctx.send(ref, "incr", 11)
+
+        rt.load_behaviors(Spreader, Messenger)
+        spreader = rt.spawn(Spreader, at=0)
+        messenger = rt.spawn(Messenger, at=2)
+        rt.send(spreader, "make_and_tell", messenger)
+        rt.run()
+        # exactly one Counter exists and received the increment
+        counters = [
+            a for k in rt.kernels for a in k.table.local_actors()
+            if a.behavior.name == "Counter"
+        ]
+        assert len(counters) == 1
+        assert counters[0].state.value == 11
+
+    def test_alias_disabled_raises_helpfully(self):
+        rt = make_runtime(4, alias_creation=False)
+        with pytest.raises(ReproError, match="split-phase"):
+            rt.spawn_remote(Counter, at=1, issuing_node=0)
+
+    def test_issue_cost_matches_paper(self):
+        from repro.apps.microbench import fresh_runtime, measure_remote_creation_issue
+        rt = fresh_runtime(2)
+        assert measure_remote_creation_issue(rt) == pytest.approx(5.83)
+
+
+class TestSplitPhaseCreation:
+    def test_request_create_returns_ordinary_ref(self):
+        rt = make_runtime(4, alias_creation=False)
+
+        @behavior
+        class Maker:
+            def __init__(self):
+                self.made = None
+
+            @method
+            def make(self, ctx):
+                ref = yield ctx.request_create(Counter, 3, at=2)
+                self.made = ref
+                value = yield ctx.request(ref, "get")
+                return value
+
+        rt.load_behaviors(Maker)
+        maker = rt.spawn(Maker, at=0)
+        assert rt.call(maker, "make") == 3
+        made = rt.state_of(maker).made
+        assert made.address.kind is AddrKind.ORDINARY
+        assert rt.locate(made) == 2
+
+    def test_request_create_local(self, rt4):
+        @behavior
+        class LocalMaker:
+            def __init__(self):
+                pass
+
+            @method
+            def make(self, ctx):
+                ref = yield ctx.request_create(Counter, 9, at=ctx.node)
+                v = yield ctx.request(ref, "get")
+                return v
+
+        rt4.load_behaviors(LocalMaker)
+        maker = rt4.spawn(LocalMaker, at=1)
+        assert rt4.call(maker, "make") == 9
+
+
+class TestTasks:
+    def test_spawn_task_runs(self, rt4):
+        hits = []
+        rt4.load_behaviors(tasks={"probe": lambda ctx, x: hits.append((ctx.node, x))})
+        rt4.spawn_task("probe", 42, at=0)
+        rt4.run()
+        assert hits == [(0, 42)]
+
+    def test_remote_task_spawn(self, rt4):
+        hits = []
+        rt4.load_behaviors(tasks={"probe2": lambda ctx: hits.append(ctx.node)})
+        kernel = rt4.kernels[0]
+        kernel.node.bootstrap(lambda: kernel.creation.spawn_task("probe2", (), at=3))
+        rt4.run()
+        assert hits == [3]
+
+    def test_unknown_task_rejected(self, rt4):
+        with pytest.raises(ReproError, match="not loaded"):
+            rt4.spawn_task("nope")
+
+
+class TestLoading:
+    def test_unloaded_behavior_rejected_in_ctx_new(self, rt4):
+        @behavior
+        class Unloaded:
+            def __init__(self):
+                pass
+
+            @method
+            def m(self, ctx):
+                pass
+
+        @behavior
+        class Maker2:
+            def __init__(self):
+                pass
+
+            @method
+            def make(self, ctx):
+                ctx.new(Unloaded)
+
+        rt4.load_behaviors(Maker2)  # Unloaded deliberately not loaded
+        maker = rt4.spawn(Maker2, at=0)
+        rt4.send(maker, "make")
+        with pytest.raises(LoadError, match="not loaded"):
+            rt4.run()

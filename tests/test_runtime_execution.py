@@ -1,0 +1,225 @@
+"""Execution engine: constraints + pending queue (§6.1), become,
+dispatcher disciplines, collective broadcast quanta."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import behavior, disable_when, method
+from repro.config import SchedulerParams
+from tests.conftest import BoundedBuffer, Counter, make_runtime
+
+
+class TestSynchronizationConstraints:
+    def test_disabled_message_parks_in_pending_queue(self, rt4):
+        buf = rt4.spawn(BoundedBuffer, 2, at=0)
+        rt4.send(buf, "get")  # empty: disabled
+        rt4.run()
+        actor = rt4.actor_of(buf)
+        assert actor.mailbox.pending_count == 1
+        assert rt4.stats.counter("exec.deferred") == 1
+
+    def test_pending_reexamined_after_each_execution(self, rt4):
+        buf = rt4.spawn(BoundedBuffer, 2, at=0)
+        target, box = rt4.make_collector(from_node=0)
+        # get before put: must still return the value once put lands
+        kernel = rt4.kernels[0]
+        from repro.actors.message import ReplyTarget
+        kernel.node.bootstrap(
+            lambda: kernel.delivery.send_message(buf, "get", (), reply_to=target)
+        )
+        rt4.run()
+        assert box == []
+        rt4.send(buf, "put", "x")
+        rt4.run()
+        assert box == ["x"]
+        assert rt4.actor_of(buf).mailbox.pending_count == 0
+
+    def test_bounded_buffer_full_cycle(self, rt4):
+        buf = rt4.spawn(BoundedBuffer, 1, at=0)
+        rt4.send(buf, "put", 1)
+        rt4.send(buf, "put", 2)   # disabled until a get
+        rt4.run()
+        assert rt4.state_of(buf).items == [1]
+        assert rt4.call(buf, "get") == 1
+        rt4.run()
+        # the parked put ran once space appeared
+        assert rt4.state_of(buf).items == [2]
+
+    def test_chained_enables_drain_in_one_slice(self, rt4):
+        """Processing one pending message may enable another; the
+        drain loops until no progress (the paper's 'one by one')."""
+        buf = rt4.spawn(BoundedBuffer, 10, at=0)
+        for _ in range(4):
+            rt4.send(buf, "get")
+        rt4.run()
+        assert rt4.actor_of(buf).mailbox.pending_count == 4
+        for i in range(4):
+            rt4.send(buf, "put", i)
+        rt4.run()
+        assert rt4.state_of(buf).items == []
+        assert rt4.stats.counter("exec.pending_dispatched") == 4
+
+    def test_constraint_predicate_sees_message(self, rt4):
+        @behavior
+        class StepGate:
+            def __init__(self):
+                self.step = 0
+
+            @method
+            @disable_when(lambda self, msg: msg.args[0] > self.step)
+            def advance(self, ctx, step):
+                assert step == self.step
+                self.step += 1
+
+        rt4.load_behaviors(StepGate)
+        g = rt4.spawn(StepGate, at=0)
+        # deliver out of order: 2, 1, 0
+        for s in (2, 1, 0):
+            rt4.send(g, "advance", s)
+        rt4.run()
+        assert rt4.state_of(g).step == 3
+
+
+class TestBecome:
+    def test_become_changes_interpretation(self, rt4):
+        @behavior
+        class Open:
+            def __init__(self):
+                self.log = []
+
+            @method
+            def use(self, ctx):
+                self.log.append("open")
+
+            @method
+            def close(self, ctx):
+                ctx.become(Closed)
+
+        @behavior
+        class Closed:
+            def __init__(self):
+                pass
+
+            @method
+            def use(self, ctx):
+                raise AssertionError("should not process while closed")
+
+            @method
+            def open_(self, ctx):
+                ctx.become(Open)
+
+        rt4.load_behaviors(Open, Closed)
+        door = rt4.spawn(Open, at=0)
+        rt4.send(door, "use")
+        rt4.run()
+        rt4.send(door, "close")
+        rt4.run()
+        assert rt4.actor_of(door).behavior.name == "Closed"
+        assert rt4.stats.counter("exec.becomes") == 1
+
+    def test_become_target_demotes_static_dispatch(self, rt4):
+        """Sends to a behaviour that uses become get a lookup plan."""
+        @behavior
+        class Chameleon:
+            def __init__(self):
+                pass
+
+            @method
+            def poke(self, ctx):
+                pass
+
+            @method
+            def morph(self, ctx):
+                ctx.become(Chameleon)
+
+        @behavior
+        class Keeper:
+            def __init__(self):
+                self.pet = None
+
+            @method
+            def setup(self, ctx):
+                self.pet = ctx.new(Chameleon)
+
+            @method
+            def touch(self, ctx):
+                ctx.send(self.pet, "poke")
+
+        rt4.load_behaviors(Chameleon, Keeper)
+        from repro.actors.behavior import behavior_of
+        plan = behavior_of(Keeper).compiled.plan_for("touch", "poke")
+        assert plan == "lookup"
+
+
+class TestSchedulingDisciplines:
+    def _chain_runtime(self, stack: bool):
+        return make_runtime(
+            1, scheduler=SchedulerParams(stack_scheduling=stack,
+                                         static_dispatch=False)
+        )
+
+    def test_lifo_runs_newest_first(self):
+        rt = self._chain_runtime(stack=True)
+        order = []
+        rt.load_behaviors(tasks={
+            "mark": lambda ctx, i: order.append(i),
+            "spawn_all": lambda ctx: [
+                ctx.spawn_task("mark", i) for i in range(3)
+            ],
+        })
+        rt.spawn_task("spawn_all", at=0)
+        rt.run()
+        assert order == [2, 1, 0]
+
+    def test_fifo_runs_oldest_first(self):
+        rt = self._chain_runtime(stack=False)
+        order = []
+        rt.load_behaviors(tasks={
+            "mark": lambda ctx, i: order.append(i),
+            "spawn_all": lambda ctx: [
+                ctx.spawn_task("mark", i) for i in range(3)
+            ],
+        })
+        rt.spawn_task("spawn_all", at=0)
+        rt.run()
+        assert order == [0, 1, 2]
+
+    def test_actor_round_robin_fairness(self, rt4):
+        """An actor processes one message per slice so peers interleave."""
+        a = rt4.spawn(Counter, at=0)
+        b = rt4.spawn(Counter, at=0)
+        for _ in range(3):
+            rt4.send(a, "incr")
+            rt4.send(b, "incr")
+        rt4.run()
+        assert rt4.state_of(a).value == 3
+        assert rt4.state_of(b).value == 3
+
+
+class TestCollectiveBroadcast:
+    def test_collective_quantum_charges_less(self):
+        from tests.conftest import Counter as C
+
+        def run(collective: bool) -> float:
+            rt = make_runtime(
+                2,
+                scheduler=SchedulerParams(collective_broadcast=collective),
+            )
+            g = rt.grpnew(C, 16, 0)
+            rt.run()
+            t0 = rt.now
+            rt.broadcast(g, "incr", 1)
+            rt.run()
+            assert all(rt.state_of(g.member(i)).value == 1 for i in range(16))
+            return rt.now - t0
+
+        assert run(collective=True) < run(collective=False)
+
+    def test_group_batch_counter(self, rt4):
+        g = rt4.grpnew(Counter, 8, 0)
+        rt4.run()
+        rt4.broadcast(g, "incr", 2)
+        rt4.run()
+        assert rt4.stats.counter("exec.group_batches") >= 1
+        assert sum(rt4.state_of(g.member(i)).value for i in range(8)) == 16

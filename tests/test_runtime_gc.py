@@ -1,0 +1,207 @@
+"""Distributed garbage collection (extension; §9 + locality-descriptor
+GC claim in the conclusions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HalRuntime, RuntimeConfig, behavior, method
+from repro.errors import ReproError, UnknownActorError
+from repro.runtime.gcscan import extract_refs
+from tests.conftest import Counter, EchoServer, make_runtime
+
+
+@behavior
+class Holder:
+    """Keeps references in assorted containers."""
+
+    def __init__(self):
+        self.direct = None
+        self.in_list = []
+        self.in_dict = {}
+        self.nested = {"deep": [(None,)]}
+
+    @method
+    def hold(self, ctx, ref, where):
+        if where == "direct":
+            self.direct = ref
+        elif where == "list":
+            self.in_list.append(ref)
+        elif where == "dict":
+            self.in_dict["x"] = ref
+        else:
+            self.nested["deep"].append([{"k": ref}])
+
+    @method
+    def drop_all(self, ctx):
+        self.direct = None
+        self.in_list.clear()
+        self.in_dict.clear()
+        self.nested = {}
+
+
+class TestRefScan:
+    def test_extract_from_containers(self, rt4):
+        refs = [rt4.spawn(Counter, at=0) for _ in range(4)]
+        obj = {"a": refs[0], "b": [refs[1], (refs[2],)], "c": {"d": {1: refs[3]}}}
+        actor_refs, group_refs = extract_refs(obj)
+        assert set(actor_refs) == set(refs)
+        assert group_refs == []
+
+    def test_extract_from_object_attrs(self, rt4):
+        ref = rt4.spawn(Counter, at=0)
+        class Box:
+            def __init__(self):
+                self.inner = [ref]
+        actor_refs, _ = extract_refs(Box())
+        assert actor_refs == [ref]
+
+    def test_extract_group_refs(self, rt4):
+        g = rt4.grpnew(Counter, 4, 0)
+        rt4.run()
+        actor_refs, group_refs = extract_refs({"g": g})
+        assert group_refs == [g]
+
+    def test_cycles_are_safe(self, rt4):
+        ref = rt4.spawn(Counter, at=0)
+        a = {}
+        a["self"] = a
+        a["ref"] = ref
+        actor_refs, _ = extract_refs(a)
+        assert actor_refs == [ref]
+
+    def test_numpy_state_skipped_cheaply(self):
+        import numpy as np
+        actor_refs, _ = extract_refs({"m": np.zeros((100, 100))})
+        assert actor_refs == []
+
+
+class TestCollection:
+    def test_unreferenced_actors_reclaimed(self, rt4):
+        keep = rt4.spawn(Counter, at=0)
+        for i in range(12):
+            rt4.spawn(Counter, at=i % 4)
+        rt4.run()
+        report = rt4.collect_garbage(roots=[keep])
+        assert report.reclaimed == 12
+        assert report.live == 1
+        assert rt4.total_actors() == 1
+
+    def test_state_held_refs_survive_across_nodes(self, rt4):
+        rt4.load_behaviors(Holder)
+        holder = rt4.spawn(Holder, at=0)
+        kept = [rt4.spawn(Counter, at=i) for i in range(4)]
+        for ref, where in zip(kept, ("direct", "list", "dict", "nested")):
+            rt4.send(holder, "hold", ref, where)
+        dropped = [rt4.spawn(Counter, at=i) for i in range(4)]
+        rt4.run()
+        report = rt4.collect_garbage(roots=[holder])
+        assert report.reclaimed == len(dropped)
+        assert rt4.total_actors() == 1 + len(kept)
+        assert report.mark_messages > 0  # cross-node marks happened
+
+    def test_cyclic_garbage_collected(self, rt4):
+        """Rings of actors referencing each other die together —
+        tracing beats reference counting."""
+        rt4.load_behaviors(Holder)
+        ring = [rt4.spawn(Holder, at=i % 4) for i in range(6)]
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            rt4.send(a, "hold", b, "direct")
+        rt4.run()
+        keep = rt4.spawn(Counter, at=0)
+        report = rt4.collect_garbage(roots=[keep])
+        assert report.reclaimed == 6
+        assert rt4.total_actors() == 1
+
+    def test_reachable_cycle_survives(self, rt4):
+        rt4.load_behaviors(Holder)
+        ring = [rt4.spawn(Holder, at=i % 4) for i in range(4)]
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            rt4.send(a, "hold", b, "direct")
+        rt4.run()
+        report = rt4.collect_garbage(roots=[ring[0]])
+        assert report.reclaimed == 0
+        assert rt4.total_actors() == 4
+
+    def test_actors_with_mail_are_roots(self, rt4):
+        buf = rt4.spawn(Counter, at=1)
+        rt4.run()
+        # park a constraint-disabled message? use BoundedBuffer instead:
+        from tests.conftest import BoundedBuffer
+        b = rt4.spawn(BoundedBuffer, 1, at=2)
+        rt4.send(b, "get")  # parks: buffer empty
+        rt4.run()
+        report = rt4.collect_garbage(roots=[])
+        # the buffer holds pending mail -> root; the counter is garbage
+        assert rt4.total_actors() == 1
+        assert rt4.actor_of(b).mailbox.pending_count == 1
+
+    def test_group_members_survive_via_groupref(self, rt4):
+        rt4.load_behaviors(Holder)
+        holder = rt4.spawn(Holder, at=0)
+        g = rt4.grpnew(Counter, 6, 0)
+        rt4.run()
+        rt4.send(holder, "hold", g, "direct")
+        rt4.run()
+        report = rt4.collect_garbage(roots=[holder])
+        assert report.reclaimed == 0
+        rt4.broadcast(g, "incr")
+        rt4.run()
+        assert sum(rt4.state_of(g.member(i)).value for i in range(6)) == 6
+
+    def test_send_to_reclaimed_actor_fails_loudly(self, rt4):
+        ghost = rt4.spawn(Counter, at=1)
+        rt4.run()
+        rt4.collect_garbage(roots=[])
+        # from the birth node the failure is synchronous ...
+        with pytest.raises(UnknownActorError):
+            rt4.send(ghost, "incr", from_node=1)
+        # ... from elsewhere it surfaces when the message arrives there
+        rt4.send(ghost, "incr", from_node=3)
+        with pytest.raises(UnknownActorError):
+            rt4.run()
+
+    def test_gc_requires_quiescence(self, rt4):
+        ref = rt4.spawn(Counter, at=3)
+        rt4.send(ref, "incr", from_node=0)
+        with pytest.raises(ReproError, match="quiescent"):
+            rt4.collect_garbage(roots=[ref])
+
+    def test_migrated_actor_marked_through_forwarding(self, rt4):
+        rt4.load_behaviors(Holder)
+        holder = rt4.spawn(Holder, at=0)
+        wanderer = rt4.spawn(Counter, at=1)
+        rt4.send(holder, "hold", wanderer, "direct")
+        rt4.run()
+        # move the wanderer; the holder's state still has the old ref
+        kernel = rt4.kernels[1]
+        kernel.node.bootstrap(
+            lambda: kernel.migration.start(rt4.actor_of(wanderer), 3)
+        )
+        rt4.run()
+        report = rt4.collect_garbage(roots=[holder])
+        assert report.reclaimed == 0
+        assert rt4.locate(wanderer) == 3
+
+    def test_repeated_collections(self, rt4):
+        keep = rt4.spawn(Counter, at=0)
+        rt4.run()
+        for round_ in range(3):
+            for i in range(5):
+                rt4.spawn(Counter, at=i % 4)
+            rt4.run()
+            report = rt4.collect_garbage(roots=[keep])
+            assert report.reclaimed == 5
+            assert report.epoch == round_ + 1
+        assert rt4.total_actors() == 1
+
+    def test_dropping_refs_makes_garbage(self, rt4):
+        rt4.load_behaviors(Holder)
+        holder = rt4.spawn(Holder, at=0)
+        victim = rt4.spawn(Counter, at=2)
+        rt4.send(holder, "hold", victim, "direct")
+        rt4.run()
+        assert rt4.collect_garbage(roots=[holder]).reclaimed == 0
+        rt4.send(holder, "drop_all")
+        rt4.run()
+        assert rt4.collect_garbage(roots=[holder]).reclaimed == 1

@@ -1,0 +1,179 @@
+"""grpnew, placements, member addressing, broadcast (§2.2, §6.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import behavior, method
+from repro.errors import GroupError
+from repro.runtime.groups import GroupRef, place_block, place_cyclic
+from repro.runtime.names import AddrKind
+from tests.conftest import Counter, make_runtime
+
+
+@behavior
+class Indexed:
+    def __init__(self, tag, index, size):
+        self.tag = tag
+        self.index = index
+        self.size = size
+        self.got = []
+
+    @method
+    def mark(self, ctx, x):
+        self.got.append(x)
+
+    @method
+    def coords(self, ctx):
+        return (self.index, self.size, ctx.node)
+
+
+class TestPlacements:
+    def test_cyclic(self):
+        assert [place_cyclic(i, 8, 4) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_block(self):
+        assert [place_block(i, 8, 4) for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_block_uneven(self):
+        homes = [place_block(i, 10, 4) for i in range(10)]
+        assert homes == sorted(homes)
+        assert set(homes) == {0, 1, 2, 3}
+
+    def test_group_ref_member_addresses(self):
+        g = GroupRef((0, 1), 6, "cyclic", 3)
+        m = g.member(4)
+        assert m.address.kind is AddrKind.GROUP
+        assert m.address.aux == 4
+        assert m.address.home == 1
+        with pytest.raises(GroupError):
+            g.member(6)
+
+    def test_local_indices(self):
+        g = GroupRef((0, 1), 8, "block", 4)
+        assert g.local_indices(1) == [2, 3]
+
+
+class TestGrpnew:
+    def test_members_created_on_placement_nodes(self):
+        rt = make_runtime(4)
+        rt.load_behaviors(Indexed)
+        g = rt.grpnew(Indexed, 8, "t", placement="cyclic")
+        rt.run()
+        for i in range(8):
+            idx, size, node = rt.call(g.member(i), "coords")
+            assert (idx, size) == (i, 8)
+            assert node == i % 4
+
+    def test_block_placement(self):
+        rt = make_runtime(4)
+        rt.load_behaviors(Indexed)
+        g = rt.grpnew(Indexed, 8, "t", placement="block")
+        rt.run()
+        assert rt.locate(g.member(0)) == 0
+        assert rt.locate(g.member(7)) == 3
+
+    def test_group_usable_before_creation_completes(self):
+        """Sends to members race the creation fan-out safely."""
+        rt = make_runtime(4)
+        rt.load_behaviors(Indexed)
+        g = rt.grpnew(Indexed, 4, "t")
+        # no rt.run() in between: fire immediately
+        for i in range(4):
+            rt.send(g.member(i), "mark", i * 10)
+        rt.run()
+        for i in range(4):
+            assert rt.state_of(g.member(i)).got == [i * 10]
+
+    def test_bad_parameters(self):
+        rt = make_runtime(4)
+        rt.load_behaviors(Indexed)
+        with pytest.raises(GroupError):
+            rt.grpnew(Indexed, 0, "t")
+        with pytest.raises(GroupError):
+            rt.grpnew(Indexed, 4, "t", placement="diagonal")
+
+    def test_groups_larger_than_partition(self):
+        rt = make_runtime(2)
+        rt.load_behaviors(Indexed)
+        g = rt.grpnew(Indexed, 10, "t")
+        rt.run()
+        assert rt.total_actors() == 10
+
+    def test_member_without_index_convention(self):
+        rt = make_runtime(2)
+        g = rt.grpnew(Counter, 4, 100)
+        rt.run()
+        assert all(rt.state_of(g.member(i)).value == 100 for i in range(4))
+
+
+class TestBroadcast:
+    def test_copy_delivered_to_every_member(self):
+        rt = make_runtime(4)
+        rt.load_behaviors(Indexed)
+        g = rt.grpnew(Indexed, 9, "t")
+        rt.run()
+        rt.broadcast(g, "mark", "hello")
+        rt.run()
+        for i in range(9):
+            assert rt.state_of(g.member(i)).got == ["hello"]
+
+    def test_broadcasts_from_member(self):
+        @behavior
+        class Gossip:
+            def __init__(self, index, size):
+                self.index = index
+                self.heard = 0
+
+            @method
+            def rumor(self, ctx):
+                self.heard += 1
+
+            @method
+            def spread(self, ctx):
+                ctx.broadcast(ctx.actor.group, "rumor")
+
+        rt = make_runtime(4)
+        rt.load_behaviors(Gossip)
+        g = rt.grpnew(Gossip, 6)
+        rt.run()
+        rt.send(g.member(2), "spread")
+        rt.run()
+        assert sum(rt.state_of(g.member(i)).heard for i in range(6)) == 6
+
+    def test_two_groups_do_not_interfere(self):
+        rt = make_runtime(4)
+        rt.load_behaviors(Indexed)
+        g1 = rt.grpnew(Indexed, 4, "a")
+        g2 = rt.grpnew(Indexed, 4, "b")
+        rt.run()
+        rt.broadcast(g1, "mark", 1)
+        rt.run()
+        assert all(rt.state_of(g1.member(i)).got == [1] for i in range(4))
+        assert all(rt.state_of(g2.member(i)).got == [] for i in range(4))
+
+    def test_migrated_member_still_gets_broadcasts(self):
+        @behavior
+        class Roamer:
+            def __init__(self, index, size):
+                self.index = index
+                self.got = 0
+
+            @method
+            def mv(self, ctx, to):
+                ctx.migrate(to)
+
+            @method
+            def tick(self, ctx):
+                self.got += 1
+
+        rt = make_runtime(4)
+        rt.load_behaviors(Roamer)
+        g = rt.grpnew(Roamer, 4)
+        rt.run()
+        rt.send(g.member(1), "mv", 3)
+        rt.run()
+        assert rt.locate(g.member(1)) == 3
+        rt.broadcast(g, "tick")
+        rt.run()
+        assert all(rt.state_of(g.member(i)).got == 1 for i in range(4))

@@ -1,0 +1,104 @@
+"""Receiver-initiated random-polling load balancing (§7.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LoadBalanceParams
+from tests.conftest import Counter, make_runtime
+
+
+def lb_runtime(num_nodes=4, **lb_kwargs):
+    return make_runtime(
+        num_nodes, load_balance=LoadBalanceParams(enabled=True, **lb_kwargs)
+    )
+
+
+class TestStealing:
+    def test_idle_nodes_steal_tasks(self):
+        rt = lb_runtime(4)
+        hits = []
+        def chunk(ctx, i):
+            ctx.charge(200.0)
+            hits.append((ctx.node, i))
+        rt.load_behaviors(tasks={"chunk": chunk})
+        for i in range(40):
+            rt.spawn_task("chunk", i, at=0)
+        rt.run()
+        assert len(hits) == 40
+        assert rt.stats.counter("steal.received") > 0
+        nodes_used = {n for n, _ in hits}
+        assert len(nodes_used) > 1
+
+    def test_disabled_lb_never_polls(self):
+        rt = make_runtime(4)
+        rt.load_behaviors(tasks={"chunk": lambda ctx, i: ctx.charge(200.0)})
+        for i in range(10):
+            rt.spawn_task("chunk", i, at=0)
+        rt.run()
+        assert rt.stats.counter("steal.polls") == 0
+
+    def test_single_node_never_polls(self):
+        rt = lb_runtime(1)
+        rt.load_behaviors(tasks={"t": lambda ctx: None})
+        rt.spawn_task("t", at=0)
+        rt.run()
+        assert rt.stats.counter("steal.polls") == 0
+
+    def test_balanced_nodes_deny_steals(self):
+        rt = lb_runtime(2, surplus_threshold=100)
+        rt.load_behaviors(tasks={"chunk": lambda ctx: ctx.charge(100.0)})
+        for _ in range(20):
+            rt.spawn_task("chunk", at=0)
+        rt.run()
+        assert rt.stats.counter("steal.received") == 0
+        # threshold too high: everything ran on node 0
+        assert rt.machine.nodes[1].busy_us < rt.machine.nodes[0].busy_us
+
+    def test_polls_terminate_when_quiescent(self):
+        """The simulation drains: no infinite poll loop."""
+        rt = lb_runtime(4, poll_interval_us=10.0)
+        rt.load_behaviors(tasks={"t": lambda ctx: ctx.charge(5.0)})
+        rt.spawn_task("t", at=0)
+        end = rt.run()
+        assert rt.quiescent()
+        assert end < 1e6  # finished, did not spin for ages
+
+    def test_speedup_from_load_balancing(self):
+        """The Table 4 effect in miniature: an imbalanced task pile
+        finishes faster with stealing enabled."""
+        def run(enabled):
+            rt = make_runtime(
+                4, load_balance=LoadBalanceParams(enabled=enabled)
+            )
+            rt.load_behaviors(tasks={"chunk": lambda ctx: ctx.charge(500.0)})
+            for _ in range(32):
+                rt.spawn_task("chunk", at=0)
+            return rt.run()
+
+        assert run(True) < 0.5 * run(False)
+
+
+class TestActorStealing:
+    def test_ready_actors_are_stolen_by_migration(self):
+        rt = lb_runtime(2, poll_interval_us=20.0)
+        refs = [rt.spawn(Counter, at=0) for _ in range(10)]
+        for r in refs:
+            for _ in range(10):
+                rt.send(r, "incr", from_node=0)
+        rt.run()
+        assert sum(rt.state_of(r).value for r in refs) == 100
+        assert rt.stats.counter("migration.arrived") > 0
+
+    def test_stolen_actor_remains_reachable(self):
+        rt = lb_runtime(2, poll_interval_us=20.0)
+        refs = [rt.spawn(Counter, at=0) for _ in range(10)]
+        for r in refs:
+            for _ in range(10):
+                rt.send(r, "incr", from_node=0)
+        rt.run()
+        # post-steal messages go to the new home
+        for r in refs:
+            rt.send(r, "incr", from_node=1)
+        rt.run()
+        assert sum(rt.state_of(r).value for r in refs) == 110

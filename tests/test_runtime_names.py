@@ -1,0 +1,120 @@
+"""Mail addresses, locality descriptors, the per-node name table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NameServiceError
+from repro.runtime.names import (
+    ActorRef,
+    AddrKind,
+    DescState,
+    LocalityDescriptor,
+    MailAddress,
+)
+from repro.runtime.nametable import NameTable
+
+
+class TestMailAddress:
+    def test_ordinary_home_is_birthplace(self):
+        a = MailAddress(AddrKind.ORDINARY, 3, 17)
+        assert a.home_node() == 3
+
+    def test_alias_home_is_encoded_creation_node(self):
+        a = MailAddress(AddrKind.ALIAS, 0, 5, aux=6)
+        assert a.home_node() == 6
+        assert a.node == 0  # issuing node
+
+    def test_group_home_is_placement(self):
+        a = MailAddress(AddrKind.GROUP, 1, 2, aux=4, home=7)
+        assert a.home_node() == 7
+
+    def test_hashable_and_distinct(self):
+        a = MailAddress(AddrKind.ORDINARY, 1, 2)
+        b = MailAddress(AddrKind.ORDINARY, 1, 2)
+        c = MailAddress(AddrKind.ALIAS, 1, 2, aux=3)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_refs_wrap_addresses(self):
+        a = MailAddress(AddrKind.ORDINARY, 1, 2)
+        assert ActorRef(a).address is a
+        assert ActorRef(a) == ActorRef(MailAddress(AddrKind.ORDINARY, 1, 2))
+
+
+class TestLocalityDescriptor:
+    def test_lifecycle(self):
+        d = LocalityDescriptor(1, None)
+        assert d.state is DescState.REMOTE
+        d.set_remote(4)
+        assert d.remote_node == 4 and not d.has_cached_addr
+        d.set_remote(4, 99)
+        assert d.has_cached_addr
+        d.set_local(object())
+        assert d.is_local and d.remote_node == -1
+
+    def test_transit_clears_actor(self):
+        d = LocalityDescriptor(1, None)
+        d.set_local(object())
+        d.begin_transit(2)
+        assert d.state is DescState.IN_TRANSIT
+        assert d.actor is None and d.remote_node == 2
+
+    def test_resolving_keeps_guess(self):
+        d = LocalityDescriptor(1, None)
+        d.set_remote(5, 10)
+        d.begin_resolving()
+        assert d.state is DescState.RESOLVING
+        assert d.remote_node == 5
+
+    def test_negative_remote_rejected(self):
+        with pytest.raises(NameServiceError):
+            LocalityDescriptor(1, None).set_remote(-1)
+
+
+class TestNameTable:
+    def test_alloc_assigns_unique_addresses(self):
+        t = NameTable(0)
+        d1, d2 = t.alloc(), t.alloc()
+        assert d1.addr != d2.addr
+        assert t.by_addr(d1.addr) is d1
+        assert len(t) == 2
+
+    def test_bind_and_get(self):
+        t = NameTable(0)
+        key = MailAddress(AddrKind.ORDINARY, 0, 1)
+        d = t.alloc()
+        t.bind(key, d)
+        assert t.get(key) is d
+        assert d.key == key
+
+    def test_alloc_with_key(self):
+        t = NameTable(0)
+        key = MailAddress(AddrKind.ALIAS, 0, 7, aux=2)
+        d = t.alloc(key)
+        assert t.get(key) is d
+
+    def test_double_bind_rejected(self):
+        t = NameTable(0)
+        key = MailAddress(AddrKind.ORDINARY, 0, 1)
+        t.alloc(key)
+        with pytest.raises(NameServiceError, match="already bound"):
+            t.alloc(key)
+        with pytest.raises(NameServiceError, match="already bound"):
+            t.bind(key, t.alloc())
+
+    def test_missing_lookups(self):
+        t = NameTable(0)
+        assert t.get(MailAddress(AddrKind.ORDINARY, 9, 9)) is None
+        with pytest.raises(NameServiceError, match="no descriptor"):
+            t.by_addr(1234)
+        assert not t.has_addr(1234)
+
+    def test_local_actors_iteration(self):
+        t = NameTable(0)
+        d = t.alloc()
+        assert list(t.local_actors()) == []
+        sentinel = object()
+        d.set_local(sentinel)
+        assert list(t.local_actors()) == [sentinel]

@@ -1,0 +1,194 @@
+"""HalRuntime facade, front-end program loading, console I/O,
+multi-program execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HalProgram, HalRuntime, RuntimeConfig, behavior, method
+from repro.errors import DeliveryError, LoadError
+from tests.conftest import Counter, EchoServer, make_runtime
+
+
+class TestRuntimeFacade:
+    def test_boot_shape(self):
+        rt = HalRuntime(RuntimeConfig(num_nodes=6))
+        assert rt.num_nodes == 6
+        assert len(rt.kernels) == 6
+        assert rt.now == 0.0
+
+    def test_call_roundtrip_and_timeout(self, rt4):
+        server = rt4.spawn(EchoServer, at=2)
+        assert rt4.call(server, "echo", "x") == "x"
+        with pytest.raises(DeliveryError):
+            rt4.call(server, "echo", "y", timeout_us=0.5)
+
+    def test_locate_unknown_ref_raises(self, rt4):
+        from repro.runtime.names import ActorRef, AddrKind, MailAddress
+        with pytest.raises(DeliveryError):
+            rt4.locate(ActorRef(MailAddress(AddrKind.ORDINARY, 0, 999)))
+
+    def test_total_actors(self, rt4):
+        assert rt4.total_actors() == 0
+        for i in range(4):
+            rt4.spawn(Counter, at=i)
+        assert rt4.total_actors() == 4
+
+    def test_quiescent_tracking(self, rt4):
+        assert rt4.quiescent()
+        ref = rt4.spawn(Counter, at=3)
+        rt4.send(ref, "incr", from_node=0)
+        assert not rt4.quiescent()
+        rt4.run()
+        assert rt4.quiescent()
+
+    def test_deterministic_across_runs(self):
+        """Identical configuration -> bit-identical simulated time."""
+        def run_once():
+            rt = make_runtime(4)
+            from repro.apps.fibonacci import fib_program
+            rt.load(fib_program())
+            target, box = rt.make_collector(0)
+            rt.spawn_task("fib", 12, target, 0, at=0)
+            rt.run()
+            return rt.now, box[0]
+
+        assert run_once() == run_once()
+
+    def test_make_collector(self, rt4):
+        target, box = rt4.make_collector(1)
+        rt4.kernels[1].node.bootstrap(
+            lambda: rt4.kernels[1].reply_router.send_reply(target, "done")
+        )
+        rt4.run()
+        assert box == ["done"]
+
+
+class TestFrontEnd:
+    def make_program(self):
+        program = HalProgram("demo")
+
+        @program.behavior
+        @behavior
+        class Talker:
+            def __init__(self):
+                pass
+
+            @method
+            def say(self, ctx, text):
+                ctx.io(text)
+
+        @program.task()
+        def shout(ctx, text):
+            ctx.io(text.upper())
+
+        @program.entry
+        def main(rt, text):
+            ref = rt.spawn(Talker, at=1)
+            rt.send(ref, "say", text)
+            rt.run()
+            return text
+
+        return program, Talker
+
+    def test_load_and_run_main(self):
+        rt = HalRuntime(RuntimeConfig(num_nodes=2))
+        program, Talker = self.make_program()
+        rt.load(program)
+        assert rt.frontend.loaded_programs == ["demo"]
+        assert rt.frontend.run_main("demo", "hello") == "hello"
+        assert "hello" in rt.frontend.console_text()
+        assert rt.frontend.console[0].node == 1
+
+    def test_tasks_loaded_with_program(self):
+        rt = HalRuntime(RuntimeConfig(num_nodes=2))
+        program, _ = self.make_program()
+        rt.load(program)
+        rt.spawn_task("shout", "quiet", at=0)
+        rt.run()
+        assert "QUIET" in rt.frontend.console_text()
+
+    def test_duplicate_program_rejected(self):
+        rt = HalRuntime(RuntimeConfig(num_nodes=2))
+        program, _ = self.make_program()
+        rt.load(program)
+        program2, _ = self.make_program()
+        with pytest.raises(LoadError, match="already loaded"):
+            rt.load(program2)
+
+    def test_missing_entry_rejected(self):
+        rt = HalRuntime(RuntimeConfig(num_nodes=2))
+        p = HalProgram("noentry")
+        p.behavior(Counter)
+        rt.load(p)
+        with pytest.raises(LoadError, match="entry"):
+            rt.frontend.run_main("noentry")
+
+    def test_unknown_program(self):
+        rt = HalRuntime(RuntimeConfig(num_nodes=2))
+        with pytest.raises(LoadError):
+            rt.frontend.program("ghost")
+
+    def test_load_charges_every_node(self):
+        rt = HalRuntime(RuntimeConfig(num_nodes=3))
+        program, _ = self.make_program()
+        busy_before = [k.node.busy_us for k in rt.kernels]
+        rt.load(program)
+        for k, before in zip(rt.kernels, busy_before):
+            assert k.node.busy_us > before
+
+    def test_program_validation(self):
+        p = HalProgram("x")
+        with pytest.raises(LoadError):
+            p.behavior(int)  # not a @behavior class
+        with pytest.raises(LoadError):
+            HalProgram("")
+
+    def test_concurrent_programs_share_the_partition(self):
+        """Two programs execute on one partition; kernels do not
+        discriminate between their actors (§3)."""
+        rt = HalRuntime(RuntimeConfig(num_nodes=2))
+        p1 = HalProgram("alpha")
+        p1.behavior(Counter)
+        p2 = HalProgram("beta")
+        p2.behavior(EchoServer)
+        rt.load(p1)
+        rt.load(p2)
+        c = rt.spawn(Counter, at=0)
+        e = rt.spawn(EchoServer, at=1)
+        rt.send(c, "incr", from_node=1)
+        assert rt.call(e, "echo", 5) == 5
+        rt.run()
+        assert rt.state_of(c).value == 1
+        assert rt.total_actors() == 2
+
+    def test_behavior_name_collision_across_programs(self):
+        rt = HalRuntime(RuntimeConfig(num_nodes=2))
+
+        @behavior
+        class Twin:
+            def __init__(self):
+                pass
+
+            @method
+            def m(self, ctx):
+                pass
+
+        first = Twin
+
+        @behavior
+        class Twin:  # noqa: F811 - deliberate redefinition
+            def __init__(self):
+                pass
+
+            @method
+            def m(self, ctx):
+                pass
+
+        p1 = HalProgram("p1")
+        p1.behavior(first)
+        p2 = HalProgram("p2")
+        p2.behavior(Twin)
+        rt.load(p1)
+        with pytest.raises(LoadError, match="collision"):
+            rt.load(p2)

@@ -1,0 +1,175 @@
+"""Unit tests for the discrete-event engine and node clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CausalityError, SimulationError
+from repro.sim.engine import Event, SimNode, Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(9.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(3.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(CausalityError):
+            sim.schedule(5.0, lambda: None)
+
+    def test_schedule_at_current_time_allowed(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(4.0, lambda: sim.schedule(4.0, lambda: hits.append(1)))
+        sim.run()
+        assert hits == [1]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(CausalityError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        hits = []
+        ev = sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(2.0, lambda: hits.append(2))
+        ev.cancel()
+        sim.run()
+        assert hits == [2]
+
+    def test_run_until_deadline(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(100.0, lambda: hits.append(2))
+        sim.run(until=50.0)
+        assert hits == [1]
+        assert sim.now == 50.0
+        sim.run()
+        assert hits == [1, 2]
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        hits = []
+        for t in range(1, 6):
+            sim.schedule(float(t), lambda t=t: hits.append(t))
+        sim.run(stop_when=lambda: len(hits) >= 3)
+        assert hits == [1, 2, 3]
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def loop():
+            sim.schedule_after(1.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run()
+
+    def test_pending_and_peek(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.schedule(7.0, lambda: None)
+        assert sim.pending == 1
+        assert sim.peek_time() == 7.0
+
+    def test_step_returns_false_when_idle(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+
+class TestSimNode:
+    def test_charge_advances_node_clock(self):
+        sim = Simulator()
+        node = SimNode(0, sim)
+        node.execute(1.0, lambda: node.charge(5.0))
+        sim.run()
+        assert node.busy_until == 6.0
+        assert node.busy_us == 5.0
+
+    def test_busy_node_serialises_handlers(self):
+        sim = Simulator()
+        node = SimNode(0, sim)
+        starts = []
+        node.execute(0.0, lambda: (starts.append(node.now), node.charge(10.0)))
+        node.execute(2.0, lambda: starts.append(node.now))
+        sim.run()
+        assert starts == [0.0, 10.0]
+
+    def test_negative_charge_rejected(self):
+        sim = Simulator()
+        node = SimNode(0, sim)
+        node.execute(0.0, lambda: node.charge(-1.0))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_preempting_handler_steals_cycles(self):
+        """A preempting handler runs at arrival and pushes the victim's
+        completion back by the stolen time (§3 processor stealing)."""
+        sim = Simulator()
+        node = SimNode(0, sim)
+        log = []
+        node.execute(0.0, lambda: (log.append(("victim", node.now)),
+                                   node.charge(100.0)))
+        node.execute_preempting(
+            30.0, lambda: (log.append(("thief", node.now)), node.charge(2.0))
+        )
+        sim.run()
+        assert log == [("victim", 0.0), ("thief", 30.0)]
+        # victim's 100us now completes at 102.
+        assert node.busy_until == 102.0
+
+    def test_preempting_on_idle_node_behaves_normally(self):
+        sim = Simulator()
+        node = SimNode(0, sim)
+        node.execute_preempting(5.0, lambda: node.charge(3.0))
+        sim.run()
+        assert node.busy_until == 8.0
+
+    def test_bootstrap_runs_outside_event_loop(self):
+        sim = Simulator()
+        node = SimNode(0, sim)
+        result = node.bootstrap(lambda: (node.charge(4.0), 42)[1])
+        assert result == 42
+        assert node.busy_until == 4.0
+        # A second bootstrap queues behind the first.
+        node.bootstrap(lambda: node.charge(1.0))
+        assert node.busy_until == 5.0
+
+    def test_bootstrap_inside_handler_rejected(self):
+        sim = Simulator()
+        node = SimNode(0, sim)
+        node.execute(0.0, lambda: node.bootstrap(lambda: None))
+        with pytest.raises(SimulationError, match="bootstrap"):
+            sim.run()
+
+    def test_execute_now_from_handler_queues_after_charges(self):
+        sim = Simulator()
+        node = SimNode(0, sim)
+        times = []
+
+        def first():
+            node.charge(10.0)
+            node.execute_now(lambda: times.append(node.now))
+
+        node.execute(0.0, first)
+        sim.run()
+        assert times == [10.0]
