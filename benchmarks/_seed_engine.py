@@ -1,0 +1,180 @@
+"""Faithful copy of the seed-revision discrete-event engine.
+
+This module preserves the pre-overhaul hot path — ``@dataclass(order=True)``
+events, closure-based node execution, O(n) ``pending`` — exactly as it
+shipped in the growth seed.  It exists for two reasons:
+
+1. ``bench_engine.py`` measures the overhauled engine *against* it, so
+   ``BENCH_engine.json`` carries honest before/after numbers from the
+   same interpreter on the same machine;
+2. ``tests/test_engine_order_property.py`` replays randomized
+   schedule/cancel workloads on both engines and asserts the firing
+   order is bit-identical (the overhaul's ordering contract).
+
+Do not "optimise" this file; it is a recorded baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import CausalityError, SimulationError
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class SeedEvent:
+    """A scheduled callback.  Ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    fn: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SeedSimulator:
+    """The seed engine: global event heap plus the simulated clock."""
+
+    def __init__(self, *, max_events: int = 200_000_000) -> None:
+        self.now: float = 0.0
+        self.max_events = max_events
+        self.events_executed: int = 0
+        self._heap: list[SeedEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    def schedule(self, time: float, fn: Callback, *, label: str = "") -> SeedEvent:
+        if time < self.now:
+            raise CausalityError(
+                f"cannot schedule event at t={time:.3f} before now={self.now:.3f}"
+            )
+        ev = SeedEvent(time=time, seq=next(self._seq), fn=fn, label=label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_after(self, delay: float, fn: Callback, *, label: str = "") -> SeedEvent:
+        if delay < 0:
+            raise CausalityError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, fn, label=label)
+
+    def step(self) -> bool:
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            self.events_executed += 1
+            ev.fn()
+            return True
+        return False
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        until_idle: bool = True,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        try:
+            while self._heap:
+                if self.events_executed >= self.max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self.max_events}; "
+                        "likely a livelock in the simulated program"
+                    )
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    self.now = until
+                    break
+                self.step()
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class SeedSimNode:
+    """The seed processing element (closure-based execution)."""
+
+    __slots__ = ("node_id", "sim", "busy_until", "now", "_in_handler", "busy_us")
+
+    def __init__(self, node_id: int, sim: SeedSimulator) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.busy_until: float = 0.0
+        self.now: float = 0.0
+        self.busy_us: float = 0.0
+        self._in_handler = False
+
+    def execute(self, at: float, fn: Callback, *, label: str = "") -> SeedEvent:
+        return self.sim.schedule(at, lambda: self._run(fn), label=label)
+
+    def execute_now(self, fn: Callback, *, label: str = "") -> SeedEvent:
+        at = self.now if self._in_handler else self.sim.now
+        return self.execute(at, fn, label=label)
+
+    def _run(self, fn: Callback) -> None:
+        if self._in_handler:
+            raise SimulationError(f"re-entrant execution on node {self.node_id}")
+        start = max(self.sim.now, self.busy_until)
+        self.now = start
+        self._in_handler = True
+        try:
+            fn()
+        finally:
+            self._in_handler = False
+            self.busy_until = self.now
+
+    def execute_preempting(self, at: float, fn: Callback, *, label: str = "") -> SeedEvent:
+        return self.sim.schedule(at, lambda: self._run_preempting(fn), label=label)
+
+    def _run_preempting(self, fn: Callback) -> None:
+        if self._in_handler:
+            raise SimulationError(f"re-entrant execution on node {self.node_id}")
+        arrival = self.sim.now
+        victim_resume = self.busy_until
+        self.now = arrival
+        self._in_handler = True
+        try:
+            fn()
+        finally:
+            self._in_handler = False
+            stolen = self.now - arrival
+            if victim_resume > arrival:
+                self.busy_until = victim_resume + stolen
+            else:
+                self.busy_until = self.now
+
+    def charge(self, us: float) -> None:
+        if us < 0:
+            raise SimulationError(f"negative charge {us}")
+        self.now += us
+        self.busy_us += us
+
+    @property
+    def in_handler(self) -> bool:
+        return self._in_handler

@@ -1,0 +1,305 @@
+#!/usr/bin/env python
+"""Engine throughput benchmark: host events/sec, before vs after.
+
+Two pure-engine microbenchmarks (ping-pong and fan-out) run on both the
+overhauled engine (:mod:`repro.sim.engine`) and the vendored seed
+engine (:mod:`_seed_engine`), so the reported speedup is measured in
+one process on one machine.  Two application workloads (fibonacci and
+systolic matmul) then time the full runtime stack on the current
+engine, tracking the whole-system events/sec trajectory from PR to PR.
+
+Results are written as JSON (default: ``BENCH_engine.json`` at the
+repo root) and printed as a table.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full run
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick    # smoke sizes
+
+The tier-1 suite never runs this module's timed loops; the pytest
+companion lives behind the ``bench`` marker (see pyproject.toml).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(_HERE)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+_SRC = os.path.join(_REPO_ROOT, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from _seed_engine import SeedSimNode, SeedSimulator  # noqa: E402
+
+from repro.sim.engine import SimNode, Simulator  # noqa: E402
+
+#: Bump when the JSON layout changes.
+SCHEMA = "bench_engine/v1"
+
+DEFAULT_OUT = os.path.join(_REPO_ROOT, "BENCH_engine.json")
+
+#: Simulated inter-hop latency for the microbenchmarks (value is
+#: irrelevant to throughput; it only spaces the virtual clock).
+HOP_US = 0.5
+
+
+# ----------------------------------------------------------------------
+# pure-engine microbenchmarks (seed vs current)
+# ----------------------------------------------------------------------
+def seed_pingpong(rounds: int) -> int:
+    """Two nodes volley one message; the seed engine's closure style."""
+    sim = SeedSimulator()
+    nodes = [SeedSimNode(0, sim), SeedSimNode(1, sim)]
+
+    def hop(me: int, peer: int, n: int) -> None:
+        nodes[me].charge(0.1)
+        if n > 0:
+            nodes[peer].execute_preempting(
+                sim.now + HOP_US, lambda: hop(peer, me, n - 1), label="pingpong"
+            )
+
+    sim.schedule(0.0, lambda: hop(0, 1, rounds), label="pingpong")
+    sim.run()
+    return sim.events_executed
+
+
+def new_pingpong(rounds: int) -> int:
+    """The same volley on the overhauled engine's args pass-through."""
+    sim = Simulator()
+    nodes = [SimNode(0, sim), SimNode(1, sim)]
+
+    def hop(me: int, peer: int, n: int) -> None:
+        nodes[me].charge(0.1)
+        if n > 0:
+            nodes[peer].post_preempting(sim.now + HOP_US, hop, (peer, me, n - 1))
+
+    nodes[0].post(0.0, hop, (0, 1, rounds))
+    sim.run()
+    return sim.events_executed
+
+
+def seed_fanout(total: int, width: int = 64) -> int:
+    """One generator scatters bursts over ``width`` nodes (seed style)."""
+    sim = SeedSimulator()
+    nodes = [SeedSimNode(i, sim) for i in range(width)]
+    burst = width
+    remaining = [total]
+
+    def spray() -> None:
+        n = min(burst, remaining[0])
+        remaining[0] -= n
+        t = sim.now + HOP_US
+        for i in range(n):
+            node = nodes[i % width]
+            node.execute(t, lambda node=node: node.charge(0.1), label="fan")
+        if remaining[0] > 0:
+            sim.schedule(t, spray, label="spray")
+
+    sim.schedule(0.0, spray, label="spray")
+    sim.run()
+    return sim.events_executed
+
+
+def new_fanout(total: int, width: int = 64) -> int:
+    """The same scatter on the overhauled engine."""
+    sim = Simulator()
+    nodes = [SimNode(i, sim) for i in range(width)]
+    burst = width
+    remaining = [total]
+
+    def spray() -> None:
+        n = min(burst, remaining[0])
+        remaining[0] -= n
+        t = sim.now + HOP_US
+        for i in range(n):
+            node = nodes[i % width]
+            node.post(t, node.charge, (0.1,))
+        if remaining[0] > 0:
+            sim.post(t, spray)
+
+    sim.post(0.0, spray)
+    sim.run()
+    return sim.events_executed
+
+
+def _time_best(fn: Callable[[], int], repeats: int) -> Tuple[int, float]:
+    """Run ``fn`` ``repeats`` times; return (events, best wall seconds)."""
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        events = fn()
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+    return events, best
+
+
+def run_micro(name: str, seed_fn, new_fn, size: int, repeats: int) -> Dict:
+    seed_events, seed_wall = _time_best(lambda: seed_fn(size), repeats)
+    new_events, new_wall = _time_best(lambda: new_fn(size), repeats)
+    if seed_events != new_events:
+        raise AssertionError(
+            f"{name}: engines disagree on event count "
+            f"(seed={seed_events}, current={new_events})"
+        )
+    seed_eps = seed_events / seed_wall if seed_wall > 0 else 0.0
+    new_eps = new_events / new_wall if new_wall > 0 else 0.0
+    return {
+        "events": new_events,
+        "seed": {"wall_s": round(seed_wall, 6), "events_per_sec": round(seed_eps)},
+        "current": {"wall_s": round(new_wall, 6), "events_per_sec": round(new_eps)},
+        "speedup": round(new_eps / seed_eps, 3) if seed_eps else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# full-stack application workloads (current engine only)
+# ----------------------------------------------------------------------
+def run_fib_app(n: int, num_nodes: int) -> Dict:
+    """fib(n) with dynamic load balancing — the §7.2 workload shape."""
+    from repro.apps.fibonacci import fib_program, fib_value
+    from repro.config import LoadBalanceParams, RuntimeConfig
+    from repro.runtime.system import HalRuntime
+
+    cfg = RuntimeConfig(num_nodes=num_nodes, seed=1995,
+                        load_balance=LoadBalanceParams(enabled=True))
+    t0 = time.perf_counter()
+    rt = HalRuntime(cfg)
+    rt.load(fib_program())
+    target, box = rt.make_collector(from_node=0)
+    rt.spawn_task("fib", n, target, 0, at=0)
+    rt.run()
+    wall = time.perf_counter() - t0
+    if not box or box[0] != fib_value(n):
+        raise AssertionError(f"fib({n}) benchmark produced a wrong result")
+    events = rt.machine.sim.events_executed
+    return {
+        "n": n,
+        "nodes": num_nodes,
+        "wall_s": round(wall, 6),
+        "sim_events": events,
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+        "sim_time_us": round(rt.now, 3),
+    }
+
+
+def run_systolic_app(n: int, num_nodes: int) -> Dict:
+    """Cannon matmul on a sqrt(P) x sqrt(P) grid — the §7.3 workload.
+
+    Mirrors :func:`repro.apps.systolic.run_systolic` but keeps the
+    runtime in hand for the event counter and skips the O(n^3) NumPy
+    verification (correctness is tier-1's job, not the benchmark's).
+    """
+    import math
+
+    from repro.apps.systolic import BlockActor, GridCoordinator, systolic_program
+    from repro.config import RuntimeConfig
+    from repro.runtime.system import HalRuntime
+
+    q = int(math.isqrt(num_nodes))
+    if q * q != num_nodes or n % q != 0:
+        raise ValueError(f"bad systolic geometry: n={n}, nodes={num_nodes}")
+    t0 = time.perf_counter()
+    rt = HalRuntime(RuntimeConfig(num_nodes=num_nodes, seed=11))
+    rt.load(systolic_program())
+    group = rt.grpnew(BlockActor, num_nodes, n, q, 11, placement="cyclic")
+    coord = rt.spawn(GridCoordinator, num_nodes, at=0)
+    rt.run()
+    sim_start = rt.now
+    rt.broadcast(group, "start", coord)
+    done = rt.call(coord, "run", 0)
+    rt.run()
+    wall = time.perf_counter() - t0
+    if done != num_nodes:
+        raise AssertionError(f"systolic finished {done}/{num_nodes} cells")
+    events = rt.machine.sim.events_executed
+    return {
+        "n": n,
+        "nodes": num_nodes,
+        "wall_s": round(wall, 6),
+        "sim_events": events,
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+        "sim_time_us": round(rt.now - sim_start, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def run_bench(*, quick: bool = False, repeats: int = 3,
+              skip_apps: bool = False) -> Dict:
+    if quick:
+        pp_rounds, fan_total, fib_n, sys_n, repeats = 2_000, 4_000, 10, 8, 1
+    else:
+        pp_rounds, fan_total, fib_n, sys_n = 150_000, 300_000, 18, 32
+        repeats = max(1, repeats)
+
+    results: Dict = {
+        "schema": SCHEMA,
+        "created_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "pingpong": run_micro("pingpong", seed_pingpong, new_pingpong,
+                              pp_rounds, repeats),
+        "fanout": run_micro("fanout", seed_fanout, new_fanout,
+                            fan_total, repeats),
+    }
+    if not skip_apps:
+        results["apps"] = {
+            "fibonacci": run_fib_app(fib_n, num_nodes=8),
+            "systolic": run_systolic_app(sys_n, num_nodes=16),
+        }
+    return results
+
+
+def render(results: Dict) -> str:
+    lines = ["engine throughput (host events/sec)",
+             "===================================="]
+    for name in ("pingpong", "fanout"):
+        r = results[name]
+        lines.append(
+            f"{name:<10} events={r['events']:>9,}  "
+            f"seed={r['seed']['events_per_sec']:>11,}/s  "
+            f"current={r['current']['events_per_sec']:>11,}/s  "
+            f"speedup={r['speedup']:.2f}x"
+        )
+    for name, r in results.get("apps", {}).items():
+        lines.append(
+            f"app:{name:<9} n={r['n']:<4} nodes={r['nodes']:<3} "
+            f"sim_events={r['sim_events']:>9,}  "
+            f"host={r['events_per_sec']:>11,} ev/s"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> Dict:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help="output JSON path (default: repo-root BENCH_engine.json)")
+    ap.add_argument("--quick", action="store_true",
+                    help="tiny sizes, one repeat (smoke-test mode)")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per microbenchmark (best-of)")
+    ap.add_argument("--skip-apps", action="store_true",
+                    help="microbenchmarks only")
+    args = ap.parse_args(argv)
+
+    results = run_bench(quick=args.quick, repeats=args.repeats,
+                        skip_apps=args.skip_apps)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(render(results))
+    print(f"\nwrote {args.out}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,13 @@ Endpoints of one machine share a *directory* (``dict[int, Endpoint]``)
 so a sender can hand delivery to the destination endpoint's handler
 table — the moral equivalent of all nodes running the same program
 image with the same handler indices.
+
+The send/deliver pair is the single hottest path in the repository
+(every actor message, FIR, steal and bulk phase crosses it), so it is
+written allocation-free when tracing is off: counter cells and the
+resolved handler table are bound once at construction, payloads ride
+the engine's ``args`` pass-through instead of a closure chain, and
+trace emission is guarded by one cached flag.
 """
 
 from __future__ import annotations
@@ -40,6 +47,8 @@ class Endpoint:
         send_overhead_us: float,
         receive_overhead_us: float,
     ) -> None:
+        if send_overhead_us < 0 or receive_overhead_us < 0:
+            raise NetworkError("endpoint overheads must be non-negative")
         self.node = node
         self.network = network
         self.directory = directory
@@ -53,6 +62,14 @@ class Endpoint:
         if node.node_id in directory:
             raise HandlerError(f"node {node.node_id} already has an endpoint")
         directory[node.node_id] = self
+        # Hot-path bindings: counter cells (no string hash per message),
+        # the registry's live name->fn table (no lookup() call per
+        # delivery), the cached trace flag, and the packet header size.
+        self._c_sends = stats.cell("am.sends")
+        self._c_delivered = stats.cell("am.delivered")
+        self._handler_table = self.handlers.resolved_table()
+        self._trace_on = bool(trace.enabled)
+        self._packet_bytes = network.params.packet_bytes
 
     # ------------------------------------------------------------------
     @property
@@ -79,7 +96,8 @@ class Endpoint:
         payload-size estimate (used by the bulk protocol, which sizes
         the data phase explicitly).
         """
-        if dst == self.node_id:
+        node = self.node
+        if dst == node.node_id:
             raise NetworkError(
                 "Endpoint.send is remote-only; local work runs directly"
             )
@@ -87,20 +105,16 @@ class Endpoint:
         if peer is None:
             raise NetworkError(f"no endpoint attached at node {dst}")
         if charge_sender:
-            self.node.charge(self.send_overhead_us)
+            # Inlined node.charge(self.send_overhead_us); the overhead
+            # was validated non-negative at construction.
+            node.now += self.send_overhead_us
+            node.busy_us += self.send_overhead_us
         size = nbytes if nbytes is not None else message_nbytes(
-            args, self.network.params.packet_bytes
+            args, self._packet_bytes
         )
-        src = self.node_id
-        self.stats.incr("am.sends")
-        self.trace.emit(self.node.now, src, "am.send", handler, dst, size)
-
-        def transmit() -> None:
-            self.network.unicast(
-                src, dst, size,
-                lambda: peer._deliver(src, handler, args),
-                label=f"am:{handler}",
-            )
+        self._c_sends.n += 1
+        if self._trace_on:
+            self.trace.emit(node.now, node.node_id, "am.send", handler, dst, size)
 
         # A long-running handler may issue this send with its virtual
         # clock far ahead of the global event clock.  Mutating the
@@ -108,19 +122,36 @@ class Endpoint:
         # other nodes' earlier (but not-yet-executed) messages.  Defer
         # the transmission to an event at its true simulated time so
         # network state is always touched in time order.
-        issue_at = self.node.now if self.node.in_handler else self.network.sim.now
-        if issue_at > self.network.sim.now:
-            self.network.sim.schedule(issue_at, transmit, label=f"am.tx:{handler}")
+        sim = self.network.sim
+        issue_at = node.now if node._in_handler else sim.now
+        if issue_at > sim.now:
+            sim.post(issue_at, self._transmit, (dst, peer, handler, args, size))
         else:
-            transmit()
+            self._transmit(dst, peer, handler, args, size)
+
+    def _transmit(
+        self, dst: int, peer: "Endpoint", handler: str, args: tuple, size: int
+    ) -> None:
+        self.network.unicast(
+            self.node.node_id, dst, size,
+            peer._deliver, (self.node.node_id, handler, args),
+        )
 
     def _deliver(self, src: int, handler: str, args: tuple) -> None:
         """Runs on this (destination) node's CPU, scheduled by the network."""
-        self.node.charge(self.receive_overhead_us)
+        node = self.node
+        # Inlined node.charge(self.receive_overhead_us).
+        node.now += self.receive_overhead_us
+        node.busy_us += self.receive_overhead_us
         self.delivered += 1
-        self.stats.incr("am.delivered")
-        self.trace.emit(self.node.now, self.node_id, "am.recv", handler, src)
-        self.handlers.lookup(handler)(src, *args)
+        self._c_delivered.n += 1
+        if self._trace_on:
+            self.trace.emit(node.now, node.node_id, "am.recv", handler, src)
+        fn = self._handler_table.get(handler)
+        if fn is None:
+            # Raises the canonical HandlerError for unknown names.
+            fn = self.handlers.lookup(handler)
+        fn(src, *args)
 
     # ------------------------------------------------------------------
     def run_local(self, handler: str, args: tuple = ()) -> None:

@@ -35,6 +35,14 @@ class HandlerRegistry:
             raise HandlerError(f"handler {name!r} already registered")
         self._handlers[name] = fn
 
+    def resolved_table(self) -> Dict[str, Handler]:
+        """The live name → handler dict, for delivery fast paths that
+        want a single ``dict.get`` per message.  The same dict object
+        is mutated by :meth:`register`, so a binding taken at boot sees
+        later (re-)registrations.  Callers must treat it as read-only.
+        """
+        return self._handlers
+
     def lookup(self, name: str) -> Handler:
         try:
             return self._handlers[name]

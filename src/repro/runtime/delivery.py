@@ -35,6 +35,21 @@ class DeliveryService:
 
     def __init__(self, kernel: "Kernel") -> None:
         self.kernel = kernel
+        # Hot-path bindings: every send crosses this service, so the
+        # node, name table, cost scalars and counter cells are resolved
+        # once here instead of per message.
+        self._node = kernel.node
+        self._table = kernel.table
+        costs = kernel.costs
+        self._hash_us = costs.nametable_hash_us
+        self._locality_us = costs.locality_check_us
+        self._lazy_alloc_us = costs.descriptor_alloc_us + costs.nametable_insert_us
+        self._marshal_us = costs.marshal_us
+        stats = kernel.stats
+        self._c_lazy_descriptors = stats.cell("names.lazy_descriptors")
+        self._c_local_generic = stats.cell("delivery.local_generic")
+        self._c_sent_direct = stats.cell("delivery.sent_direct")
+        self._c_sent_keyed = stats.cell("delivery.sent_keyed")
 
     # ==================================================================
     # sender side
@@ -45,16 +60,15 @@ class DeliveryService:
         descriptor, using only locally available information.  Returns
         ``(descriptor, is_local)``; the descriptor is lazily allocated
         with the best guess encoded in the address itself."""
-        k = self.kernel
-        costs = k.costs
-        k.node.charge(costs.nametable_hash_us)
-        desc = k.table.get(ref.address)
+        node = self._node
+        node.charge(self._hash_us)
+        desc = self._table.get(ref.address)
         if desc is None:
-            k.node.charge(costs.descriptor_alloc_us + costs.nametable_insert_us)
-            desc = k.table.alloc(ref.address)
+            node.charge(self._lazy_alloc_us)
+            desc = self._table.alloc(ref.address)
             desc.set_remote(ref.address.home_node())
-            k.stats.incr("names.lazy_descriptors")
-        k.node.charge(costs.locality_check_us)
+            self._c_lazy_descriptors.n += 1
+        node.charge(self._locality_us)
         return desc, desc.is_local
 
     def send_message(
@@ -82,7 +96,7 @@ class DeliveryService:
                 if k.execution.try_inline(actor, msg, plan_kind=plan_kind,
                                           depth=depth):
                     return
-            k.stats.incr("delivery.local_generic")
+            self._c_local_generic.n += 1
             k.execution.deliver_local(actor, msg)
             return
 
@@ -128,8 +142,7 @@ class DeliveryService:
     def transmit(self, desc: LocalityDescriptor, msg: ActorMessage) -> None:
         """Send to the descriptor's best-guess remote location."""
         k = self.kernel
-        costs = k.costs
-        k.node.charge(costs.marshal_us)
+        self._node.charge(self._marshal_us)
         dst = desc.remote_node
         key = desc.key
         use_cached = desc.has_cached_addr and k.config.descriptor_caching
@@ -137,12 +150,12 @@ class DeliveryService:
             handler = "deliver_direct"
             payload = (desc.remote_addr, msg.selector, msg.args, msg.reply_to,
                        msg.sender_node)
-            k.stats.incr("delivery.sent_direct")
+            self._c_sent_direct.n += 1
         else:
             handler = "deliver_keyed"
             payload = (key, msg.selector, msg.args, msg.reply_to,
                        msg.sender_node)
-            k.stats.incr("delivery.sent_keyed")
+            self._c_sent_keyed.n += 1
         nbytes = message_nbytes(payload, k.network_params.packet_bytes)
         if nbytes >= k.config.bulk_threshold_bytes:
             k.stats.incr("delivery.bulk")
@@ -163,10 +176,9 @@ class DeliveryService:
         origin: int,
     ) -> None:
         k = self.kernel
-        costs = k.costs
-        k.node.charge(costs.nametable_hash_us)
+        self._node.charge(self._hash_us)
         msg = ActorMessage(selector, args, reply_to, sender_node=origin)
-        desc = k.table.get(key)
+        desc = self._table.get(key)
         if desc is None:
             desc = self._admit_unknown_key(key)
             if desc is None:
@@ -194,8 +206,8 @@ class DeliveryService:
         origin: int,
     ) -> None:
         k = self.kernel
-        k.node.charge(k.costs.descriptor_deref_us)
-        desc = k.table.by_addr(addr)
+        self._node.charge(k.costs.descriptor_deref_us)
+        desc = self._table.by_addr(addr)
         msg = ActorMessage(selector, args, reply_to, sender_node=origin)
         if desc.is_local:
             self.deliver_here(desc, msg)

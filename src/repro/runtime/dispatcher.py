@@ -87,6 +87,10 @@ class Dispatcher:
         #: Called (once) each time the queue drains empty.
         self.idle_callbacks: List[Callable[[], None]] = []
         self.slices_run = 0
+        # Hot-path bindings (one slice event per ready item): the node
+        # and the scheduler params object, resolved once.
+        self._node = kernel.node
+        self._sched = kernel.config.scheduler
 
     # ------------------------------------------------------------------
     # enqueueing
@@ -113,7 +117,8 @@ class Dispatcher:
     def _ensure_slice(self) -> None:
         if not self._slice_pending:
             self._slice_pending = True
-            self.kernel.node.execute_now(self._slice, label="dispatch.slice")
+            # No-handle fast path: one heap entry, no closure/Event.
+            self._node.post_now(self._slice)
 
     def _slice(self) -> None:
         self._slice_pending = False
@@ -122,7 +127,7 @@ class Dispatcher:
             return
         # Stack-based scheduling runs the newest item (depth-first);
         # queue-based runs the oldest (breadth-first).
-        if self.kernel.config.scheduler.stack_scheduling:
+        if self._sched.stack_scheduling:
             item = self.ready.pop()
         else:
             item = self.ready.popleft()

@@ -35,6 +35,15 @@ class Execution:
         self.kernel = kernel
         #: Current compiler-controlled inline stack depth on this node.
         self.inline_depth = 0
+        # Hot-path bindings: every local delivery and invocation pays
+        # these, so resolve the node, cost scalars and counter cell once.
+        self._node = kernel.node
+        costs = kernel.costs
+        self._enqueue_us = costs.enqueue_us
+        self._dispatch_us = costs.dispatch_us
+        self._invoke_us = costs.invoke_us
+        self._method_lookup_us = costs.method_lookup_us
+        self._c_messages = kernel.stats.cell("exec.messages")
 
     # ------------------------------------------------------------------
     # local delivery (generic buffered path)
@@ -42,7 +51,7 @@ class Execution:
     def deliver_local(self, actor: Actor, msg: ActorMessage) -> None:
         """Buffer a message in the actor's mail queue and schedule it."""
         k = self.kernel
-        k.node.charge(k.costs.enqueue_us)
+        self._node.charge(self._enqueue_us)
         actor.mailbox.enqueue(msg)
         k.dispatcher.enqueue_actor(actor)
 
@@ -56,7 +65,7 @@ class Execution:
         if actor.migrating or actor.mailbox.ready_count == 0:
             return
         msg = actor.mailbox.dequeue()
-        k.node.charge(k.costs.dispatch_us)
+        self._node.charge(self._dispatch_us)
         self._dispatch(actor, msg, lookup=True)
         if actor.mailbox.ready_count and not actor.migrating:
             k.dispatcher.enqueue_actor(actor)
@@ -101,7 +110,7 @@ class Execution:
         """Find the method, enforce constraints, invoke."""
         k = self.kernel
         if lookup:
-            k.node.charge(k.costs.method_lookup_us)
+            self._node.charge(self._method_lookup_us)
         fn = actor.behavior.lookup(msg.selector)
         if self._is_disabled(actor, msg):
             k.node.charge(k.costs.pending_queue_us)
@@ -131,7 +140,7 @@ class Execution:
         message atomically).  Generator bodies are handed to the
         call/return driver; non-None returns auto-reply to requests."""
         k = self.kernel
-        k.node.charge(k.costs.invoke_us)
+        self._node.charge(self._invoke_us)
         ctx = Context(k, actor, msg, method_name=msg.selector, depth=depth)
         actor.busy = True
         try:
@@ -139,7 +148,7 @@ class Execution:
         finally:
             actor.busy = False
         actor.messages_processed += 1
-        k.stats.incr("exec.messages")
+        self._c_messages.n += 1
         if inspect.isgenerator(result):
             k.driver.start(actor, msg, result)
         elif (

@@ -39,25 +39,64 @@ class AddrKind(IntEnum):
     GROUP = 2     #: grpnew member; home computed from placement
 
 
-@dataclass(frozen=True)
 class MailAddress:
     """A location-transparent actor name.  Hashable; used as the name
-    table key on every node."""
+    table key on every node.
 
-    kind: AddrKind
-    #: ORDINARY: birthplace node.  ALIAS: issuing node.
-    #: GROUP: group-creator node.
-    node: int
-    #: ORDINARY/ALIAS: descriptor address on ``node``.
-    #: GROUP: group sequence number on the creator node.
-    addr: int
-    #: ALIAS: encoded actual creation node.  GROUP: member index.
-    aux: int = -1
-    #: GROUP only: the member's placement-computed home node.
-    home: int = -1
+    Immutable, with the hash precomputed at construction: the sender's
+    per-send ``NameTable.get`` is a hot-path dict probe, and a frozen
+    dataclass would rebuild and rehash the field tuple on every lookup.
+    Field meaning:
+
+    - ``kind`` — address flavour (:class:`AddrKind`);
+    - ``node`` — ORDINARY: birthplace node.  ALIAS: issuing node.
+      GROUP: group-creator node;
+    - ``addr`` — ORDINARY/ALIAS: descriptor address on ``node``.
+      GROUP: group sequence number on the creator node;
+    - ``aux`` — ALIAS: encoded actual creation node.  GROUP: member
+      index;
+    - ``home`` — GROUP only: the member's placement-computed home node.
+    """
+
+    __slots__ = ("kind", "node", "addr", "aux", "home", "_hash")
 
     #: Marshalled size: kind + two real addresses + aux words.
     WIRE_BYTES = 16
+
+    def __init__(
+        self,
+        kind: AddrKind,
+        node: int,
+        addr: int,
+        aux: int = -1,
+        home: int = -1,
+    ) -> None:
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "node", node)
+        object.__setattr__(self, "addr", addr)
+        object.__setattr__(self, "aux", aux)
+        object.__setattr__(self, "home", home)
+        object.__setattr__(self, "_hash", hash((kind, node, addr, aux, home)))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"MailAddress is immutable; cannot set {name!r}")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: Any) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, MailAddress):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.kind == other.kind
+            and self.node == other.node
+            and self.addr == other.addr
+            and self.aux == other.aux
+            and self.home == other.home
+        )
 
     def home_node(self) -> int:
         """First-guess node encoded in the address itself: where the

@@ -47,6 +47,13 @@ class HalRuntime:
         )
         self.multicaster.install()
         self._anon_programs = 0
+        # Quiescence-probe counter cells, bound once (the load balancer
+        # polls quiescent() repeatedly while the machine idles).
+        stats = self.machine.stats
+        self._c_am_sends = stats.cell("am.sends")
+        self._c_am_delivered = stats.cell("am.delivered")
+        self._c_steal_sent = stats.cell("steal.proto_sent")
+        self._c_steal_recv = stats.cell("steal.proto_recv")
 
     # ------------------------------------------------------------------
     # properties
@@ -221,9 +228,8 @@ class HalRuntime:
     def quiescent(self) -> bool:
         """True when no work remains anywhere: no in-flight messages
         (steal-protocol chatter excluded) and every dispatcher empty."""
-        c = self.stats.counters
-        inflight = c.get("am.sends", 0) - c.get("am.delivered", 0)
-        steal_chatter = c.get("steal.proto_sent", 0) - c.get("steal.proto_recv", 0)
+        inflight = self._c_am_sends.n - self._c_am_delivered.n
+        steal_chatter = self._c_steal_sent.n - self._c_steal_recv.n
         if inflight - steal_chatter > 0:
             return False
         return all(not k.dispatcher.ready for k in self.kernels)

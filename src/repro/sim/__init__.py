@@ -18,7 +18,7 @@ from repro.sim.network import Network
 from repro.sim.rng import RngStreams
 from repro.sim.stats import StatsRegistry
 from repro.sim.topology import FatTreeTopology, HypercubeTopology, make_topology
-from repro.sim.trace import TraceLog
+from repro.sim.trace import NullTraceLog, TraceLog
 
 __all__ = [
     "Event",
@@ -32,4 +32,5 @@ __all__ = [
     "HypercubeTopology",
     "make_topology",
     "TraceLog",
+    "NullTraceLog",
 ]

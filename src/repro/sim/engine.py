@@ -11,88 +11,166 @@ This is sound because nodes share no mutable state — all cross-node
 interaction flows through the network model, which only ever schedules
 events in each receiver's future.  Within one node, heap order equals
 arrival order, which gives the FIFO servicing a real CPU + NIC would.
+
+Hot-path representation
+-----------------------
+Every simulated message, dispatcher slice and NIC drain is one heap
+entry, so entry cost bounds whole-machine throughput.  Heap entries are
+therefore plain four-slot lists ``[time, seq, fn, args]``: heap
+comparisons stop at the unique ``seq`` (C-level float/int compares,
+never a Python ``__lt__``), firing is ``fn(*args)`` with no closure,
+and cancellation nulls slot 2 in place.  :class:`Event` is only a
+*handle* around an entry, allocated by :meth:`Simulator.schedule` for
+callers that may cancel; the no-handle :meth:`Simulator.post` path
+allocates nothing but the entry itself.  ``pending`` is derived O(1)
+from the heap length and a tombstone counter, and cancelled entries
+are compacted out of the heap once they outnumber live ones.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import CausalityError, SimulationError
 
-#: Type of an event callback.  Callbacks take no arguments; closures
-#: carry whatever payload they need.
-Callback = Callable[[], None]
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Type of an event callback.  Callbacks receive the ``args`` given at
+#: scheduling time (closures are still fine — they just cost more).
+Callback = Callable[..., None]
+
+#: Heap entries with fewer live (non-tombstone) entries than this are
+#: never compacted; below it a rebuild costs more than it saves.
+_COMPACT_MIN = 64
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Ordered by ``(time, seq)``."""
+    """Handle on a scheduled callback (ordered by ``(time, seq)``).
 
-    time: float
-    seq: int
-    fn: Callback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    The handle wraps the raw heap entry; cancelling nulls the entry's
+    callback slot in place, which the pop loop skips as a tombstone.
+    """
+
+    __slots__ = ("_sim", "_entry", "label")
+
+    def __init__(self, sim: "Simulator", entry: list, label: str = "") -> None:
+        self._sim = sim
+        self._entry = entry
+        self.label = label
+
+    @property
+    def time(self) -> float:
+        return self._entry[0]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[1]
+
+    @property
+    def fn(self) -> Optional[Callback]:
+        return self._entry[2]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[2] is None
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        """Prevent the event from firing.  Idempotent; a no-op once the
+        event has fired (fired entries are consumed the same way)."""
+        entry = self._entry
+        if entry[2] is None:
+            return
+        entry[2] = None
+        entry[3] = ()
+        sim = self._sim
+        sim._tombstones += 1
+        if sim._tombstones > _COMPACT_MIN and sim._tombstones * 2 > len(sim._heap):
+            sim._compact()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.3f}, seq={self.seq}, {state}, {self.label!r})"
 
 
 class Simulator:
     """Global event heap plus the simulated wall clock.
 
-    Use :meth:`schedule` to post work and :meth:`run` to drain the
-    heap.  The engine never invents time: the clock only moves when an
-    event is popped.
+    Use :meth:`schedule` to post work (returns a cancellable handle) or
+    :meth:`post` on hot paths (no handle, no per-event allocation
+    beyond the entry), and :meth:`run` to drain the heap.  The engine
+    never invents time: the clock only moves when an event is popped.
     """
 
     def __init__(self, *, max_events: int = 200_000_000) -> None:
         self.now: float = 0.0
         self.max_events = max_events
         self.events_executed: int = 0
-        self._heap: list[Event] = []
+        self._heap: list[list] = []
         self._seq = itertools.count()
         self._running = False
+        #: Cancelled entries still sitting in the heap.  The live count
+        #: is ``len(_heap) - _tombstones``, so pushes and pops need no
+        #: extra bookkeeping and ``pending`` stays O(1).
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule(self, time: float, fn: Callback, *, label: str = "") -> Event:
-        """Schedule ``fn`` to run at simulated time ``time``.
+    def post(self, time: float, fn: Callback, args: tuple = ()) -> list:
+        """No-handle fast path: schedule ``fn(*args)`` at ``time``.
 
-        Raises :class:`CausalityError` if ``time`` precedes the current
-        clock (events may be scheduled *at* the current time).
+        Returns the raw heap entry (treat it as opaque; use
+        :meth:`schedule` if you need to cancel).  Raises
+        :class:`CausalityError` if ``time`` precedes the current clock.
         """
         if time < self.now:
             raise CausalityError(
                 f"cannot schedule event at t={time:.3f} before now={self.now:.3f}"
             )
-        ev = Event(time=time, seq=next(self._seq), fn=fn, label=label)
-        heapq.heappush(self._heap, ev)
-        return ev
+        entry = [time, next(self._seq), fn, args]
+        _heappush(self._heap, entry)
+        return entry
 
-    def schedule_after(self, delay: float, fn: Callback, *, label: str = "") -> Event:
-        """Schedule ``fn`` to run ``delay`` microseconds from now."""
+    def schedule(
+        self, time: float, fn: Callback, *args: Any, label: str = ""
+    ) -> Event:
+        """Schedule ``fn(*args)`` at simulated time ``time``; returns a
+        cancellable :class:`Event` handle.
+
+        Raises :class:`CausalityError` if ``time`` precedes the current
+        clock (events may be scheduled *at* the current time).
+        """
+        return Event(self, self.post(time, fn, args), label)
+
+    def schedule_after(
+        self, delay: float, fn: Callback, *args: Any, label: str = ""
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` microseconds from now."""
         if delay < 0:
             raise CausalityError(f"negative delay {delay}")
-        return self.schedule(self.now + delay, fn, label=label)
+        return self.schedule(self.now + delay, fn, *args, label=label)
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when idle."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            fn = entry[2]
+            if fn is None:
+                self._tombstones -= 1
                 continue
-            self.now = ev.time
+            # Consume the entry so a late cancel() through a handle is
+            # a no-op rather than a counter corruption.
+            entry[2] = None
+            self.now = entry[0]
             self.events_executed += 1
-            ev.fn()
+            fn(*entry[3])
             return True
         return False
 
@@ -120,37 +198,89 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not re-entrant")
         self._running = True
+        heap = self._heap  # stable: _compact() mutates in place
+        pop = _heappop
+        max_events = self.max_events
         try:
-            while self._heap:
-                if self.events_executed >= self.max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={self.max_events}; "
-                        "likely a livelock in the simulated program"
-                    )
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and nxt.time > until:
-                    self.now = until
-                    break
-                self.step()
-                if stop_when is not None and stop_when():
-                    break
+            if until is None and stop_when is None:
+                # Hot loop: no deadline peeking, no predicate.  The
+                # executed-event count lives in a local and is written
+                # back in the finally block (handlers cannot observe it
+                # mid-run; nothing else reads it while running).
+                n_exec = self.events_executed
+                try:
+                    while heap:
+                        if n_exec >= max_events:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; "
+                                "likely a livelock in the simulated program"
+                            )
+                        entry = pop(heap)
+                        fn = entry[2]
+                        if fn is None:
+                            self._tombstones -= 1
+                            continue
+                        entry[2] = None
+                        self.now = entry[0]
+                        n_exec += 1
+                        fn(*entry[3])
+                finally:
+                    self.events_executed = n_exec
+            else:
+                while heap:
+                    if self.events_executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a livelock in the simulated program"
+                        )
+                    entry = heap[0]
+                    if entry[2] is None:
+                        pop(heap)
+                        self._tombstones -= 1
+                        continue
+                    if until is not None and entry[0] > until:
+                        self.now = until
+                        break
+                    pop(heap)
+                    fn = entry[2]
+                    entry[2] = None
+                    self.now = entry[0]
+                    self.events_executed += 1
+                    fn(*entry[3])
+                    if stop_when is not None and stop_when():
+                        break
         finally:
             self._running = False
         return self.now
 
+    # ------------------------------------------------------------------
+    # introspection / maintenance
+    # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of queued (non-cancelled) events.  O(1)."""
+        return len(self._heap) - self._tombstones
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None when idle."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
+            self._tombstones -= 1
+        return heap[0][0] if heap else None
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.  ``(time, seq)`` keys
+        are unique, so heapify preserves the execution order exactly.
+
+        Mutates the heap list *in place*: ``run`` and the node fast
+        paths hold direct references to it, so rebinding ``self._heap``
+        here would strand them on a stale list.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if e[2] is not None]
+        heapq.heapify(heap)
+        self._tombstones = 0
 
 
 class SimNode:
@@ -159,9 +289,17 @@ class SimNode:
     ``busy_until`` tracks when the CPU frees up; :meth:`execute`
     serialises work on the node.  During a handler, :attr:`now` is the
     node-local simulated time and :meth:`charge` advances it.
+
+    The ``post_*`` variants are the no-handle fast path used per
+    message by the network and dispatcher: the node's bound ``_run`` /
+    ``_run_preempting`` methods go straight into the heap entry with
+    ``(fn, args)`` as payload — no closure, no :class:`Event`.
     """
 
-    __slots__ = ("node_id", "sim", "busy_until", "now", "_in_handler", "busy_us")
+    __slots__ = (
+        "node_id", "sim", "busy_until", "now", "_in_handler", "busy_us",
+        "_run_cb", "_runp_cb",
+    )
 
     def __init__(self, node_id: int, sim: Simulator) -> None:
         self.node_id = node_id
@@ -173,6 +311,11 @@ class SimNode:
         #: Total microseconds of CPU time charged on this node.
         self.busy_us: float = 0.0
         self._in_handler = False
+        # Bound-method objects for the heap entry payload, created once
+        # instead of per post (a bound-method allocation per event is
+        # measurable at millions of events per run).
+        self._run_cb = self._run
+        self._runp_cb = self._run_preempting
 
     # ------------------------------------------------------------------
     def execute(self, at: float, fn: Callback, *, label: str = "") -> Event:
@@ -181,24 +324,48 @@ class SimNode:
         The handler starts at ``max(at, busy_until)``; any time it
         charges extends ``busy_until``.
         """
-        return self.sim.schedule(at, lambda: self._run(fn), label=label)
+        return self.sim.schedule(at, self._run, fn, label=label)
 
     def execute_now(self, fn: Callback, *, label: str = "") -> Event:
         """Run ``fn`` on this node as soon as the CPU is free."""
         at = self.now if self._in_handler else self.sim.now
         return self.execute(at, fn, label=label)
 
-    def _run(self, fn: Callback) -> None:
+    def post(self, at: float, fn: Callback, args: tuple = ()) -> None:
+        """Fast path of :meth:`execute`: no handle, args pass-through.
+
+        The push is inlined (rather than delegating to
+        :meth:`Simulator.post`) because this is the per-message entry
+        point for the dispatcher: one call frame per event matters.
+        """
+        sim = self.sim
+        if at < sim.now:
+            raise CausalityError(
+                f"cannot schedule event at t={at:.3f} before now={sim.now:.3f}"
+            )
+        _heappush(sim._heap, [at, next(sim._seq), self._run_cb, (fn, args)])
+
+    def post_now(self, fn: Callback, args: tuple = ()) -> None:
+        """Fast path of :meth:`execute_now`."""
+        sim = self.sim
+        at = self.now if self._in_handler else sim.now
+        if at < sim.now:
+            raise CausalityError(
+                f"cannot schedule event at t={at:.3f} before now={sim.now:.3f}"
+            )
+        _heappush(sim._heap, [at, next(sim._seq), self._run_cb, (fn, args)])
+
+    def _run(self, fn: Callback, args: tuple = ()) -> None:
         if self._in_handler:
             # A node handler scheduled same-time work that popped while
             # we were still inside another handler.  This cannot happen
             # because handlers run synchronously within a single event.
             raise SimulationError(f"re-entrant execution on node {self.node_id}")
-        start = max(self.sim.now, self.busy_until)
-        self.now = start
+        sim_now = self.sim.now
+        self.now = sim_now if sim_now > self.busy_until else self.busy_until
         self._in_handler = True
         try:
-            fn()
+            fn(*args)
         finally:
             self._in_handler = False
             self.busy_until = self.now
@@ -210,9 +377,19 @@ class SimNode:
         stack frame and subsequently resumes the actor's execution".
         The handler's charged time pushes the victim's completion back.
         """
-        return self.sim.schedule(at, lambda: self._run_preempting(fn), label=label)
+        return self.sim.schedule(at, self._run_preempting, fn, label=label)
 
-    def _run_preempting(self, fn: Callback) -> None:
+    def post_preempting(self, at: float, fn: Callback, args: tuple = ()) -> None:
+        """Fast path of :meth:`execute_preempting` (per-message use).
+        Inlined push, same as :meth:`post`."""
+        sim = self.sim
+        if at < sim.now:
+            raise CausalityError(
+                f"cannot schedule event at t={at:.3f} before now={sim.now:.3f}"
+            )
+        _heappush(sim._heap, [at, next(sim._seq), self._runp_cb, (fn, args)])
+
+    def _run_preempting(self, fn: Callback, args: tuple = ()) -> None:
         if self._in_handler:
             raise SimulationError(f"re-entrant execution on node {self.node_id}")
         arrival = self.sim.now
@@ -220,7 +397,7 @@ class SimNode:
         self.now = arrival
         self._in_handler = True
         try:
-            fn()
+            fn(*args)
         finally:
             self._in_handler = False
             stolen = self.now - arrival

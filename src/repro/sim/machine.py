@@ -17,7 +17,7 @@ from repro.sim.network import Network
 from repro.sim.rng import RngStreams
 from repro.sim.stats import StatsRegistry
 from repro.sim.topology import Topology, make_topology
-from repro.sim.trace import TraceLog
+from repro.sim.trace import NullTraceLog, TraceLog
 
 
 class Machine:
@@ -33,7 +33,9 @@ class Machine:
         self.config = config
         self.sim = Simulator(max_events=config.max_events)
         self.stats = StatsRegistry()
-        self.trace = TraceLog(enabled=trace)
+        # Untraced machines (the common case) get the inert null log so
+        # trace costs are exactly zero on the message hot path.
+        self.trace = TraceLog(enabled=True) if trace else NullTraceLog()
         self.rng = RngStreams(config.seed)
         self.topology: Topology = make_topology(config.topology, config.num_nodes)
         self.nodes: List[SimNode] = [

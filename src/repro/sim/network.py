@@ -52,6 +52,13 @@ class Network:
         self.nodes = nodes
         self.params = params
         self.stats = stats
+        # Hot-path bindings: one counter-cell / timer handle per stat,
+        # bound once so unicast never hashes a dotted name per message.
+        self._c_messages = stats.cell("net.messages")
+        self._c_bytes = stats.cell("net.bytes")
+        self._c_backup_events = stats.cell("net.backup_events")
+        self._c_backup_bytes = stats.cell("net.backup_bytes")
+        self._rec_delivery_us = stats.timer("net.delivery_us").record
         n = topology.size
         self._tx_free = [0.0] * n
         # Per-(src, dst) last drain_done: the CM-5 data network (and
@@ -109,16 +116,18 @@ class Network:
         src: int,
         dst: int,
         nbytes: int,
-        deliver: Callable[[], None],
+        deliver: Callable[..., None],
+        args: tuple = (),
         *,
         label: str = "",
     ) -> float:
         """Transmit ``nbytes`` from ``src`` to ``dst``.
 
-        ``deliver`` runs on the destination node's CPU once the message
-        has fully drained from the receive NIC.  Returns the time at
-        which the *sender's* NIC finishes injecting (the moment the
-        paper's alias scheme lets the sender resume).
+        ``deliver(*args)`` runs on the destination node's CPU once the
+        message has fully drained from the receive NIC (``args`` rides
+        the engine's pass-through — no closure needed per message).
+        Returns the time at which the *sender's* NIC finishes injecting
+        (the moment the paper's alias scheme lets the sender resume).
         """
         if src == dst:
             raise NetworkError("unicast requires distinct src/dst; local sends "
@@ -126,7 +135,8 @@ class Network:
         if nbytes <= 0:
             raise NetworkError(f"message size must be positive, got {nbytes}")
         p = self.params
-        now = self.nodes[src].now if self.nodes[src].in_handler else self.sim.now
+        sender = self.nodes[src]
+        now = sender.now if sender._in_handler else self.sim.now
 
         # Sender-side injection (serialised per node).
         inject_start = max(now, self._tx_free[src])
@@ -150,8 +160,8 @@ class Network:
         overflow = max(0, backlog + nbytes - max(p.rx_buffer_bytes, nbytes))
         if overflow:
             drain_us += overflow * p.backup_penalty_us_per_byte
-            self.stats.incr("net.backup_events")
-            self.stats.incr("net.backup_bytes", overflow)
+            self._c_backup_events.n += 1
+            self._c_backup_bytes.n += overflow
         fifo_floor = self._pair_last.get((src, dst), 0.0)
         drain_start = self._rx_slot(dst, max(arrive, fifo_floor), drain_us)
         drain_done = drain_start + drain_us
@@ -160,15 +170,13 @@ class Network:
         sched.append((arrive, drain_start, drain_done, nbytes))
         sched.sort(key=lambda entry: entry[1])
 
-        self.stats.incr("net.messages")
-        self.stats.incr("net.bytes", nbytes)
-        self.stats.record_time("net.delivery_us", drain_done - now)
+        self._c_messages.n += 1
+        self._c_bytes.n += nbytes
+        self._rec_delivery_us(drain_done - now)
 
         # Delivery handlers run preemptively: the receiving node
         # manager steals the processor from whatever is executing (§3).
-        self.nodes[dst].execute_preempting(
-            drain_done, deliver, label=label or "net.deliver"
-        )
+        self.nodes[dst].post_preempting(drain_done, deliver, args)
         return inject_done
 
     # ------------------------------------------------------------------

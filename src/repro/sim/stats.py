@@ -1,15 +1,31 @@
 """Counters and timing accumulators used across the runtime.
 
 A :class:`StatsRegistry` is shared by the machine, the AM layer and
-the runtime kernels.  Everything is plain dictionaries so tests and
-benchmark harnesses can assert on exact counts.
+the runtime kernels.
+
+Counters are mutable :class:`Counter` cells so hot paths can bind a
+cell once (``cell = stats.cell("am.sends")`` at construction) and then
+bump ``cell.n += 1`` per message — no dotted-string hashing, no method
+call.  :meth:`incr` remains for cold paths.  :meth:`reset` zeroes
+cells *in place* so bound handles stay live across benchmark phases.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Tuple
+
+
+class Counter:
+    """A single mutable counter cell; hot paths bump ``.n`` directly."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int = 0) -> None:
+        self.n = n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.n})"
 
 
 @dataclass
@@ -29,6 +45,13 @@ class TimerStat:
         if us > self.max_us:
             self.max_us = us
 
+    def _zero(self) -> None:
+        """In-place reset so cached handles survive a registry reset."""
+        self.count = 0
+        self.total_us = 0.0
+        self.min_us = float("inf")
+        self.max_us = 0.0
+
     @property
     def mean_us(self) -> float:
         return self.total_us / self.count if self.count else 0.0
@@ -38,16 +61,27 @@ class StatsRegistry:
     """Hierarchical counters: ``stats.incr("am.sends")`` etc."""
 
     def __init__(self) -> None:
-        self.counters: Dict[str, int] = defaultdict(int)
-        self.timers: Dict[str, TimerStat] = defaultdict(TimerStat)
+        self._cells: Dict[str, Counter] = {}
+        self.timers: Dict[str, TimerStat] = {}
         self.gauges: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
+    def cell(self, name: str) -> Counter:
+        """The mutable cell behind ``name``, created on first use.
+        Bind once, bump ``cell.n`` on the hot path."""
+        c = self._cells.get(name)
+        if c is None:
+            c = self._cells[name] = Counter()
+        return c
+
     def incr(self, name: str, by: int = 1) -> None:
-        self.counters[name] += by
+        c = self._cells.get(name)
+        if c is None:
+            c = self._cells[name] = Counter()
+        c.n += by
 
     def record_time(self, name: str, us: float) -> None:
-        self.timers[name].record(us)
+        self.timer(name).record(us)
 
     def set_gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
@@ -58,34 +92,54 @@ class StatsRegistry:
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> int:
-        return self.counters.get(name, 0)
+        c = self._cells.get(name)
+        return c.n if c is not None else 0
 
     def timer(self, name: str) -> TimerStat:
-        return self.timers[name]
+        """The (mutable) timer aggregate for ``name``; safe to cache."""
+        t = self.timers.get(name)
+        if t is None:
+            t = self.timers[name] = TimerStat()
+        return t
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Snapshot dict of nonzero counters (debugging convenience;
+        pre-bound but untouched cells are omitted)."""
+        return {k: c.n for k, c in self._cells.items() if c.n}
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat snapshot suitable for printing or diffing in tests."""
+        """Flat snapshot suitable for printing or diffing in tests.
+        Cells and timers that were bound but never bumped are omitted,
+        so pre-binding handles does not perturb snapshots."""
         out: Dict[str, float] = {}
-        for k, v in sorted(self.counters.items()):
-            out[f"counter.{k}"] = float(v)
+        for k, c in sorted(self._cells.items()):
+            if c.n:
+                out[f"counter.{k}"] = float(c.n)
         for k, t in sorted(self.timers.items()):
-            out[f"timer.{k}.count"] = float(t.count)
-            out[f"timer.{k}.mean_us"] = t.mean_us
+            if t.count:
+                out[f"timer.{k}.count"] = float(t.count)
+                out[f"timer.{k}.mean_us"] = t.mean_us
         for k, v in sorted(self.gauges.items()):
             out[f"gauge.{k}"] = v
         return out
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.timers.clear()
+        """Zero everything in place; cached cell/timer handles stay
+        bound (they read 0 afterwards)."""
+        for c in self._cells.values():
+            c.n = 0
+        for t in self.timers.values():
+            t._zero()
         self.gauges.clear()
 
     def table(self, prefixes: Iterable[str] = ()) -> str:
         """Render selected counters as an aligned text table."""
         rows: list[Tuple[str, str]] = []
-        for k in sorted(self.counters):
-            if not prefixes or any(k.startswith(p) for p in prefixes):
-                rows.append((k, str(self.counters[k])))
+        for k in sorted(self._cells):
+            n = self._cells[k].n
+            if n and (not prefixes or any(k.startswith(p) for p in prefixes)):
+                rows.append((k, str(n)))
         if not rows:
             return "(no counters)"
         width = max(len(k) for k, _ in rows)

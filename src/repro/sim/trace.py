@@ -1,8 +1,11 @@
 """Structured event tracing for debugging and white-box tests.
 
-Tracing is off by default (zero overhead beyond a predicate check).
-Tests enable it to assert on protocol-level behaviour, e.g. that a
-forwarded message triggered exactly one FIR chase.
+Tracing is off by default and free when off: untraced machines carry a
+:class:`NullTraceLog` whose ``emit`` is a no-op, and hot paths guard
+with a single cached ``enabled`` flag so no argument tuple is packed
+per message.  Tests enable tracing to assert on protocol-level
+behaviour, e.g. that a forwarded message triggered exactly one FIR
+chase.
 """
 
 from __future__ import annotations
@@ -65,3 +68,31 @@ class TraceLog:
         if len(self.records) > limit:
             lines.append(f"... ({len(self.records) - limit} more)")
         return "\n".join(lines)
+
+
+class NullTraceLog(TraceLog):
+    """The trace sink of an untraced machine: ``emit`` is a no-op and
+    ``enabled`` is pinned False.
+
+    Flipping ``enabled`` on a null log would silently record nothing,
+    so the setter raises instead — construct the machine/runtime with
+    ``trace=True`` to get a live :class:`TraceLog`.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        super().__init__(enabled=False, capacity=capacity)
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        if value:
+            raise ValueError(
+                "NullTraceLog cannot be enabled; build the machine with "
+                "trace=True to record a trace"
+            )
+
+    def emit(self, time: float, node: int, kind: str, *detail: Any) -> None:
+        return None

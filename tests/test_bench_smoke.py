@@ -1,0 +1,81 @@
+"""Smoke tests for the engine benchmark harness.
+
+The fast test proves ``benchmarks/bench_engine.py`` runs end to end in
+quick mode and emits valid, well-formed JSON; the ``bench``-marked
+companion runs the full-size microbenchmarks and asserts the ≥2×
+throughput target, and is excluded from tier-1 by the default
+``-m "not bench"`` in pyproject.toml (run it with ``pytest -m bench``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_BENCH_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "benchmarks", "bench_engine.py"
+)
+
+
+def _load_bench():
+    if "bench_engine" in sys.modules:
+        return sys.modules["bench_engine"]
+    spec = importlib.util.spec_from_file_location("bench_engine", _BENCH_PATH)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["bench_engine"] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_quick_bench_emits_valid_json(tmp_path):
+    bench = _load_bench()
+    out = tmp_path / "bench.json"
+    results = bench.main(["--quick", "--out", str(out)])
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == bench.SCHEMA
+    assert on_disk["quick"] is True
+    for micro in ("pingpong", "fanout"):
+        block = on_disk[micro]
+        assert block["events"] > 0
+        for side in ("seed", "current"):
+            assert block[side]["wall_s"] > 0
+            assert block[side]["events_per_sec"] > 0
+        assert block["speedup"] is not None
+    for app in ("fibonacci", "systolic"):
+        assert on_disk["apps"][app]["sim_events"] > 0
+    # main() returns what it wrote (modulo float round-tripping).
+    assert results["pingpong"]["events"] == on_disk["pingpong"]["events"]
+
+
+def test_skip_apps_flag(tmp_path):
+    bench = _load_bench()
+    out = tmp_path / "bench.json"
+    bench.main(["--quick", "--skip-apps", "--out", str(out)])
+    assert "apps" not in json.loads(out.read_text())
+
+
+def test_committed_bench_json_is_current_schema():
+    """The committed BENCH_engine.json must stay loadable and on the
+    current schema so the perf trajectory remains diffable."""
+    path = os.path.join(os.path.dirname(_BENCH_PATH), os.pardir, "BENCH_engine.json")
+    bench = _load_bench()
+    with open(path, encoding="utf-8") as fh:
+        committed = json.load(fh)
+    assert committed["schema"] == bench.SCHEMA
+    assert committed["quick"] is False
+    assert committed["pingpong"]["speedup"] >= 2.0
+
+
+@pytest.mark.bench
+def test_full_size_throughput_target():
+    """Full-size microbenchmarks must hold the ≥2× ping-pong target.
+    Timed run — excluded from tier-1 via the ``bench`` marker."""
+    bench = _load_bench()
+    results = bench.run_bench(quick=False, repeats=3, skip_apps=True)
+    assert results["pingpong"]["speedup"] >= 2.0
+    assert results["fanout"]["speedup"] >= 2.0
