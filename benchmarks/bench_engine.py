@@ -162,7 +162,7 @@ def run_micro(name: str, seed_fn, new_fn, size: int, repeats: int) -> Dict:
 # ----------------------------------------------------------------------
 # full-stack application workloads (current engine only)
 # ----------------------------------------------------------------------
-def run_fib_app(n: int, num_nodes: int) -> Dict:
+def run_fib_app(n: int, num_nodes: int, *, trace: bool = False) -> Dict:
     """fib(n) with dynamic load balancing — the §7.2 workload shape."""
     from repro.apps.fibonacci import fib_program, fib_value
     from repro.config import LoadBalanceParams, RuntimeConfig
@@ -171,7 +171,7 @@ def run_fib_app(n: int, num_nodes: int) -> Dict:
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=1995,
                         load_balance=LoadBalanceParams(enabled=True))
     t0 = time.perf_counter()
-    rt = HalRuntime(cfg)
+    rt = HalRuntime(cfg, trace=trace)
     rt.load(fib_program())
     target, box = rt.make_collector(from_node=0)
     rt.spawn_task("fib", n, target, 0, at=0)
@@ -230,6 +230,32 @@ def run_systolic_app(n: int, num_nodes: int) -> Dict:
     }
 
 
+def run_tracing_overhead(n: int, num_nodes: int) -> Dict:
+    """The same fib workload with causal tracing off vs on.
+
+    Tracing-off is the guarded hot path (null recorder + cached flag):
+    its cost must stay in the noise.  Tracing-on quantifies the full
+    price of span recording + histograms for users who opt in.
+    """
+    off = run_fib_app(n, num_nodes=num_nodes, trace=False)
+    on = run_fib_app(n, num_nodes=num_nodes, trace=True)
+    if off["sim_time_us"] != on["sim_time_us"]:
+        raise AssertionError(
+            "tracing perturbed the simulation: "
+            f"{off['sim_time_us']} != {on['sim_time_us']} simulated us"
+        )
+    overhead = (
+        (off["events_per_sec"] - on["events_per_sec"])
+        / off["events_per_sec"] * 100.0
+        if off["events_per_sec"] else 0.0
+    )
+    return {
+        "off": off,
+        "on": on,
+        "overhead_pct": round(overhead, 2),
+    }
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -256,6 +282,7 @@ def run_bench(*, quick: bool = False, repeats: int = 3,
             "fibonacci": run_fib_app(fib_n, num_nodes=8),
             "systolic": run_systolic_app(sys_n, num_nodes=16),
         }
+        results["tracing"] = run_tracing_overhead(fib_n, num_nodes=8)
     return results
 
 
@@ -275,6 +302,13 @@ def render(results: Dict) -> str:
             f"app:{name:<9} n={r['n']:<4} nodes={r['nodes']:<3} "
             f"sim_events={r['sim_events']:>9,}  "
             f"host={r['events_per_sec']:>11,} ev/s"
+        )
+    tr = results.get("tracing")
+    if tr:
+        lines.append(
+            f"tracing    off={tr['off']['events_per_sec']:>11,}/s  "
+            f"on={tr['on']['events_per_sec']:>11,}/s  "
+            f"overhead={tr['overhead_pct']:.1f}%"
         )
     return "\n".join(lines)
 

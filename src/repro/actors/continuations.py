@@ -22,7 +22,7 @@ class JoinContinuation:
     """Node-local join of one or more outstanding replies."""
 
     __slots__ = ("cont_id", "counter", "function", "creator", "slots", "fired",
-                 "created_at")
+                 "created_at", "trace_ctx")
 
     def __init__(
         self,
@@ -42,6 +42,9 @@ class JoinContinuation:
         self.slots: List[Any] = [_EMPTY] * nslots
         self.fired = False
         self.created_at = created_at
+        #: Causal context of the reply that completed the join (set by
+        #: the reply router so the continuation body can be traced).
+        self.trace_ctx = None
         # Slots whose values were already known at creation time are
         # pre-filled and do not count toward the join.
         if known:

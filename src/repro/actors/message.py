@@ -41,6 +41,11 @@ class ActorMessage:
     sender_node: int = -1
     #: Simulated time at which the send was issued.
     sent_at: float = 0.0
+    #: Causal trace identity (0 when untraced); never compared so that
+    #: tracing cannot change message-equality semantics.
+    trace_id: int = field(default=0, compare=False)
+    #: Span the next processing stage should attach to (0 = root).
+    span_id: int = field(default=0, compare=False)
     #: True once the message has been parked in the pending queue at
     #: least once (used to avoid re-counting deferrals).
     was_deferred: bool = field(default=False, compare=False)

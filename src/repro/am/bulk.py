@@ -55,12 +55,18 @@ class BulkManager:
     # ------------------------------------------------------------------
     # sender side
     # ------------------------------------------------------------------
-    def send_bulk(self, dst: int, handler: str, args: tuple, nbytes: int) -> int:
+    def send_bulk(self, dst: int, handler: str, args: tuple, nbytes: int,
+                  *, trace_ctx: tuple | None = None) -> int:
         """Start a bulk transfer of ``nbytes`` to ``dst``; ``handler``
         runs there with ``args`` when the data lands.  Returns the
-        transfer id (useful in tests)."""
+        transfer id (useful in tests).  ``trace_ctx`` rides the data
+        phase as a trailing argument; the phase is sized by the
+        explicit ``nbytes``, so causal context never changes wire
+        time."""
         if nbytes <= 0:
             raise FlowControlError(f"bulk transfer of {nbytes} bytes")
+        if trace_ctx is not None:
+            args = args + (trace_ctx,)
         tid = next(self._ids)
         self._outgoing[tid] = (dst, handler, args, nbytes)
         self.endpoint.stats.incr("bulk.requests")

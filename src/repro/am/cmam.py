@@ -88,13 +88,17 @@ class Endpoint:
         *,
         nbytes: Optional[int] = None,
         charge_sender: bool = True,
+        trace_ctx: Optional[tuple] = None,
     ) -> None:
         """Send an active message to node ``dst``.
 
         The sender's CPU is charged ``send_overhead_us``; the message
         is then injected into the network.  ``nbytes`` overrides the
         payload-size estimate (used by the bulk protocol, which sizes
-        the data phase explicitly).
+        the data phase explicitly).  ``trace_ctx`` (a
+        :class:`repro.sim.trace.TraceCtx`) rides as a trailing argument
+        appended *after* the wire size is computed, so causal tracing
+        never perturbs simulated network time.
         """
         node = self.node
         if dst == node.node_id:
@@ -115,6 +119,10 @@ class Endpoint:
         self._c_sends.n += 1
         if self._trace_on:
             self.trace.emit(node.now, node.node_id, "am.send", handler, dst, size)
+        if trace_ctx is not None:
+            # Out-of-band metadata: appended after sizing (and TraceCtx
+            # is defensively sized 0 in payload_nbytes anyway).
+            args = args + (trace_ctx,)
 
         # A long-running handler may issue this send with its virtual
         # clock far ahead of the global event clock.  Mutating the

@@ -15,6 +15,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.sim.trace import TraceCtx
+
 #: Bytes per scalar value (a 1995 machine word).
 WORD_BYTES = 4
 #: Fixed per-container overhead.
@@ -27,6 +29,10 @@ def payload_nbytes(value: Any, _depth: int = 0) -> int:
     """Estimate the wire size of ``value`` in bytes (at least one word)."""
     if _depth > _MAX_DEPTH:
         return WORD_BYTES
+    if isinstance(value, TraceCtx):
+        # Observability metadata is out-of-band: a NamedTuple, so it
+        # must be intercepted before the generic tuple branch below.
+        return TraceCtx.WIRE_BYTES
     if value is None or isinstance(value, (bool, int, float)):
         return WORD_BYTES
     if isinstance(value, str):

@@ -1,0 +1,192 @@
+"""Named, traceable scenarios for the observability CLI.
+
+Each scenario boots a runtime (with causal tracing on by default),
+drives a workload whose message journeys exercise the protocols the
+paper describes — buffered delivery, migration, FIR chases, name-table
+back-patching, join continuations, work stealing — and returns the
+runtime so callers can export its span log or inspect its latency
+histograms.
+
+::
+
+    python -m repro trace migration_tour --out tour.json
+    python -m repro stats fibonacci_loadbalance --n 14 --nodes 4
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.config import LoadBalanceParams, RuntimeConfig
+from repro.hal.dsl import behavior, method
+from repro.runtime.system import HalRuntime
+
+
+@behavior
+class Wanderer:
+    """An actor toured across the partition by ``visit`` messages.
+
+    Every visit is processed at the actor's *current* node and then
+    migrates it — former hosts keep forwarding pointers, so a later
+    send from a node with a stale cache must chase the actor through
+    the FIR protocol.
+    """
+
+    def __init__(self):
+        self.visits = 0
+
+    @method
+    def visit(self, ctx, hop_to):
+        self.visits += 1
+        if hop_to is not None and hop_to != ctx.node:
+            ctx.migrate(hop_to)
+
+    @method
+    def ping(self, ctx):
+        return self.visits
+
+
+@dataclass
+class ScenarioResult:
+    """What a scenario produced, plus the runtime for span export."""
+
+    name: str
+    runtime: HalRuntime
+    summary: Dict[str, object] = field(default_factory=dict)
+
+
+def run_migration_tour(
+    *,
+    num_nodes: int = 5,
+    n: int = 3,
+    trace: bool = True,
+    seed: int = 1995,
+) -> ScenarioResult:
+    """Tour one actor through ``n`` migrations, then probe it from a
+    node holding a stale cached address.
+
+    The probe's trace shows the full location-transparent journey: the
+    send, the network hop to the stale guess, the FIR chase along the
+    forwarding chain, the resolve + replies that repair every chain
+    member's table, the relayed delivery, the execution, and the
+    back-patch that teaches the sender the actor's real address.
+    """
+    if num_nodes < 3:
+        raise ValueError("migration_tour needs at least 3 nodes")
+    # Address caching off: every migration arrival would otherwise
+    # back-patch the birthplace, collapsing the forwarding trail to one
+    # hop.  Without it each former host keeps only its "the actor left
+    # me for X" pointer, so the probe's FIR walks the whole tour — and
+    # the chain repair (FIR replies back-patching every member's name
+    # table) is still visible in the trace.
+    cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed,
+                        descriptor_caching=False)
+    rt = HalRuntime(cfg, trace=trace)
+    rt.load_behaviors(Wanderer)
+
+    birth = 1
+    w = rt.spawn(Wanderer, at=birth)
+    # Teach node 0 the actor's address: the reply's back-patch caches
+    # ``@1`` in node 0's name table — the cache the tour then stales.
+    rt.call(w, "ping", from_node=0)
+
+    # Tour the actor over nodes 1..P-1 (never node 0, so the probe
+    # stays remote).  Each visit is sent from the actor's current node
+    # (a local send: no wire traffic that could re-teach node 0).
+    cur = birth
+    others = [i for i in range(1, num_nodes) if i != birth]
+    hops = [others[i % len(others)] if others[i % len(others)] != cur
+            else birth for i in range(n)]
+    for dest in hops:
+        rt.send(w, "visit", dest, from_node=cur)
+        rt.run()
+        cur = dest
+
+    # The traced probe: node 0 still believes ``@1``; the message is
+    # forwarded there and the FIR protocol chases the tour's trail.
+    visits = rt.call(w, "ping", from_node=0)
+    assert visits == len(hops), (visits, hops)
+    return ScenarioResult(
+        name="migration_tour",
+        runtime=rt,
+        summary={
+            "migrations": len(hops),
+            "final_node": rt.locate(w),
+            "visits": visits,
+            "fir_requests": rt.stats.counter("fir.initiated"),
+            "elapsed_us": rt.now,
+        },
+    )
+
+
+def run_fibonacci_loadbalance(
+    *,
+    num_nodes: int = 4,
+    n: int = 14,
+    trace: bool = True,
+    seed: int = 1995,
+) -> ScenarioResult:
+    """fib(n) under receiver-initiated work stealing, traced.
+
+    Stolen tasks carry their causal context across the wire, so the
+    trace shows the spawner's tree continuing on the thief's node.
+    """
+    from repro.apps.fibonacci import fib_program, fib_value
+
+    cfg = RuntimeConfig(
+        num_nodes=num_nodes,
+        seed=seed,
+        load_balance=LoadBalanceParams(enabled=True),
+    )
+    rt = HalRuntime(cfg, trace=trace)
+    rt.load(fib_program())
+    target, box = rt.make_collector(from_node=0)
+    rt.spawn_task("fib", n, target, 0, at=0)
+    rt.run()
+    if not box:
+        raise RuntimeError("fibonacci_loadbalance did not complete")
+    value = box[0]
+    assert value == fib_value(n), (value, fib_value(n))
+    return ScenarioResult(
+        name="fibonacci_loadbalance",
+        runtime=rt,
+        summary={
+            "n": n,
+            "value": value,
+            "tasks": rt.stats.counter("exec.tasks"),
+            "steals": rt.stats.counter("steal.received"),
+            "elapsed_us": rt.now,
+        },
+    )
+
+
+#: Scenario registry for the CLI.  Every entry accepts
+#: ``(num_nodes=..., n=..., trace=..., seed=...)`` keyword arguments.
+SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
+    "migration_tour": run_migration_tour,
+    "fibonacci_loadbalance": run_fibonacci_loadbalance,
+}
+
+
+def run_scenario(
+    name: str,
+    *,
+    num_nodes: Optional[int] = None,
+    n: Optional[int] = None,
+    trace: bool = True,
+    seed: int = 1995,
+) -> ScenarioResult:
+    """Run a registered scenario by name; None keeps its defaults."""
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    kwargs: Dict[str, object] = {"trace": trace, "seed": seed}
+    if num_nodes is not None:
+        kwargs["num_nodes"] = num_nodes
+    if n is not None:
+        kwargs["n"] = n
+    return fn(**kwargs)

@@ -1,5 +1,5 @@
-"""Command-line interface: regenerate the paper's tables and inspect
-the compiler.
+"""Command-line interface: regenerate the paper's tables, inspect the
+compiler, and export causal traces.
 
 ::
 
@@ -7,6 +7,8 @@ the compiler.
     python -m repro table2            # just the runtime primitives
     python -m repro table4 --n 22 --nodes 16
     python -m repro compile-report    # what the HAL compiler decided
+    python -m repro trace migration_tour --out tour.json
+    python -m repro stats fibonacci_loadbalance --json
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.reporting import fmt_ms, fmt_s, fmt_us, render_table
+from repro.reporting import fmt_ms, fmt_s, fmt_us, render_hists, render_table
 
 
 def _cmd_table1(args) -> None:
@@ -113,6 +115,62 @@ def _cmd_compile_report(args) -> None:
         print()
 
 
+def _run_scenario_for_cli(args):
+    from repro.apps.scenarios import run_scenario
+    try:
+        return run_scenario(args.app, num_nodes=args.nodes, n=args.n,
+                            seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _cmd_trace(args) -> None:
+    import json
+    from collections import Counter
+    from repro.sim.timeline import chrome_trace, spans_jsonl
+
+    res = _run_scenario_for_cli(args)
+    spans = res.runtime.spans.spans
+    if args.format == "chrome":
+        out = args.out or f"{args.app}_trace.json"
+        payload = json.dumps(chrome_trace(spans))
+    else:
+        out = args.out or f"{args.app}_spans.jsonl"
+        payload = spans_jsonl(spans)
+    with open(out, "w") as fh:
+        fh.write(payload)
+
+    kinds = Counter(s.kind for s in spans)
+    rows = [(k, str(v)) for k, v in sorted(res.summary.items())]
+    rows.append(("traces", len(res.runtime.spans.trace_ids())))
+    rows.append(("spans", len(spans)))
+    rows.extend((f"spans[{k}]", n) for k, n in sorted(kinds.items()))
+    print(render_table(
+        f"Trace — {args.app} (P={res.runtime.num_nodes})",
+        ["", "value"], rows,
+        note=f"wrote {out} "
+             + ("(load in Perfetto / chrome://tracing)"
+                if args.format == "chrome" else "(one span per line)"),
+    ))
+
+
+def _cmd_stats(args) -> None:
+    import json
+
+    res = _run_scenario_for_cli(args)
+    stats = res.runtime.stats
+    if args.json:
+        print(json.dumps(stats.as_dict(), indent=2, sort_keys=True))
+        return
+    rows = [(k, str(v)) for k, v in sorted(res.summary.items())]
+    print(render_table(
+        f"Scenario — {args.app} (P={res.runtime.num_nodes})",
+        ["", "value"], rows,
+    ))
+    print()
+    print(render_hists(stats))
+
+
 def _cmd_tables(args) -> None:
     for fn in (_cmd_table1, _cmd_table2, _cmd_table3, _cmd_table4, _cmd_table5):
         fn(args)
@@ -147,6 +205,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--partitions", type=_partitions, default=_partitions(default_p),
                        help="comma-separated node counts")
         p.set_defaults(fn=fn)
+
+    # Observability: run a traced scenario, export/inspect its spans.
+    p = sub.add_parser(
+        "trace",
+        help="run a scenario with causal tracing and export the span "
+             "timeline (migration_tour, fibonacci_loadbalance)",
+    )
+    p.add_argument("app", help="scenario name")
+    p.add_argument("--nodes", type=int, default=None, help="partition size")
+    p.add_argument("--n", type=int, default=None,
+                   help="problem size (scenario-specific)")
+    p.add_argument("--seed", type=int, default=1995)
+    p.add_argument("--out", default=None, help="output file path")
+    p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome",
+                   help="chrome: trace-event JSON for Perfetto; "
+                        "jsonl: one span per line")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a traced scenario and print its latency histograms",
+    )
+    p.add_argument("app", help="scenario name")
+    p.add_argument("--nodes", type=int, default=None, help="partition size")
+    p.add_argument("--n", type=int, default=None,
+                   help="problem size (scenario-specific)")
+    p.add_argument("--seed", type=int, default=1995)
+    p.add_argument("--json", action="store_true",
+                   help="dump the full stats registry as JSON")
+    p.set_defaults(fn=_cmd_stats)
 
     args = parser.parse_args(argv)
     if args.command == "tables":

@@ -30,6 +30,28 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_hists(stats, title: str = "Latency histograms (simulated us)") -> str:
+    """Render every populated histogram of a :class:`StatsRegistry`
+    (duck-typed: anything with a ``hists`` mapping of Histogram-like
+    objects) as one table row with its percentile estimates."""
+    rows = []
+    for name, h in sorted(stats.hists.items()):
+        if not h.count:
+            continue
+        rows.append((name, h.count, fmt_us(h.min), fmt_us(h.p50),
+                     fmt_us(h.p95), fmt_us(h.p99), fmt_us(h.max),
+                     fmt_us(h.mean)))
+    if not rows:
+        return f"{title}\n{'=' * len(title)}\n(no samples recorded)"
+    return render_table(
+        title,
+        ["histogram", "count", "min", "p50", "p95", "p99", "max", "mean"],
+        rows,
+        note="percentiles are estimated from power-of-two buckets, "
+             "clamped to the observed [min, max]",
+    )
+
+
 def fmt_us(us: float) -> str:
     return f"{us:.2f}"
 

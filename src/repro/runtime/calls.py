@@ -23,6 +23,7 @@ from repro.actors.continuations import JoinContinuation
 from repro.actors.message import ActorMessage, ReplyTarget
 from repro.errors import ContinuationError
 from repro.runtime.names import ActorRef
+from repro.sim.trace import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.actors.actor import Actor
@@ -120,6 +121,8 @@ class GeneratorDriver:
 
     def __init__(self, kernel: "Kernel") -> None:
         self.kernel = kernel
+        self._spans = kernel.spans
+        self._spans_on = bool(kernel.spans.enabled)
 
     # ------------------------------------------------------------------
     def start(self, actor: Optional["Actor"], msg: Optional[ActorMessage], gen) -> None:
@@ -163,9 +166,19 @@ class GeneratorDriver:
                         kernel.node_id, req.behavior_name, req.args, target
                     )
                 else:
+                    tctx = None
+                    if self._spans_on and kernel.trace_ctx is not None:
+                        tid, parent = kernel.trace_ctx
+                        sid = self._spans.span(
+                            tid, parent, f"create {req.behavior_name}",
+                            "create.issue", kernel.node_id,
+                            kernel.node.now, None, req.at,
+                        )
+                        tctx = TraceCtx(tid, sid, kernel.node.now)
                     kernel.endpoint.send(
                         req.at, "create_request",
                         (req.behavior_name, req.args, target),
+                        trace_ctx=tctx,
                     )
             else:
                 kernel.delivery.send_message(
@@ -180,32 +193,62 @@ class ReplyRouter:
 
     def __init__(self, kernel: "Kernel") -> None:
         self.kernel = kernel
+        self._spans = kernel.spans
+        self._spans_on = bool(kernel.spans.enabled)
 
-    def send_reply(self, target: ReplyTarget, value: Any) -> None:
+    def send_reply(self, target: ReplyTarget, value: Any,
+                   trace_ctx: Optional[tuple] = None) -> None:
         kernel = self.kernel
+        # Parent the reply to the execution we were called from (or an
+        # explicit override, e.g. a node-manager serving a creation).
+        parent = trace_ctx if trace_ctx is not None else kernel.trace_ctx
+        wire_ctx = None
+        if self._spans_on and parent is not None:
+            tid, psid = parent
+            sid = self._spans.span(
+                tid, psid, f"reply slot{target.slot}", "reply.send",
+                kernel.node_id, kernel.node.now, None, target.node,
+            )
+            wire_ctx = TraceCtx(tid, sid, kernel.node.now)
         if target.node == kernel.node_id:
             kernel.node.charge(kernel.costs.continuation_fill_us)
-            self.fill(target.cont_id, target.slot, value)
+            self.fill(target.cont_id, target.slot, value, trace_ctx=wire_ctx)
             return
         kernel.stats.incr("calls.remote_replies")
         payload = (target.cont_id, target.slot, value)
         from repro.am.messages import message_nbytes
         nbytes = message_nbytes(payload, kernel.network_params.packet_bytes)
         if nbytes >= kernel.config.bulk_threshold_bytes:
-            kernel.bulk.send_bulk(target.node, "reply", payload, nbytes)
+            kernel.bulk.send_bulk(target.node, "reply", payload, nbytes,
+                                  trace_ctx=wire_ctx)
         else:
-            kernel.endpoint.send(target.node, "reply", payload, nbytes=nbytes)
+            kernel.endpoint.send(target.node, "reply", payload, nbytes=nbytes,
+                                 trace_ctx=wire_ctx)
 
-    def fill(self, cont_id: int, slot: int, value: Any) -> None:
+    def fill(self, cont_id: int, slot: int, value: Any,
+             trace_ctx: Optional[TraceCtx] = None) -> None:
         """Fill a slot of a local continuation; schedule the fire when
         the join completes."""
         kernel = self.kernel
         cont = kernel.continuations.get(cont_id)
+        if trace_ctx is not None:
+            # The continuation body traces under the (last) reply that
+            # completed the join.
+            cont.trace_ctx = (trace_ctx.trace_id, trace_ctx.parent_span)
         if cont.fill(slot, value):
             from repro.runtime.dispatcher import FireContinuation
             kernel.dispatcher.enqueue(FireContinuation(cont))
 
     # AM handler: 'reply'
-    def on_reply(self, src: int, cont_id: int, slot: int, value: Any) -> None:
-        self.kernel.node.charge(self.kernel.costs.continuation_fill_us)
-        self.fill(cont_id, slot, value)
+    def on_reply(self, src: int, cont_id: int, slot: int, value: Any,
+                 trace_ctx: Optional[TraceCtx] = None) -> None:
+        kernel = self.kernel
+        kernel.node.charge(kernel.costs.continuation_fill_us)
+        if trace_ctx is not None and self._spans_on:
+            sid = self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"reply deliver cont{cont_id}", "reply.deliver",
+                kernel.node_id, trace_ctx.sent_at, kernel.node.now, src,
+            )
+            trace_ctx = TraceCtx(trace_ctx.trace_id, sid, kernel.node.now)
+        self.fill(cont_id, slot, value, trace_ctx=trace_ctx)

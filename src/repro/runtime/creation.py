@@ -20,6 +20,7 @@ from repro.actors.message import ReplyTarget
 from repro.errors import NameServiceError, ReproError
 from repro.runtime.dispatcher import Task
 from repro.runtime.names import ActorRef, AddrKind, DescState, MailAddress
+from repro.sim.trace import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.kernel import Kernel
@@ -30,6 +31,8 @@ class CreationService:
 
     def __init__(self, kernel: "Kernel") -> None:
         self.kernel = kernel
+        self._spans = kernel.spans
+        self._spans_on = bool(kernel.spans.enabled)
 
     # ------------------------------------------------------------------
     def create(self, cls: Type, args: tuple, at: Optional[int] = None) -> ActorRef:
@@ -83,7 +86,17 @@ class CreationService:
         desc.set_remote(dest)
         k.stats.incr("creation.remote_issued")
         k.trace.emit(k.node.now, k.node_id, "create.issue", key, dest)
-        k.endpoint.send(dest, "create_remote", (key, behavior.name, args))
+        tctx = None
+        if self._spans_on:
+            c = k.trace_ctx
+            tid, parent = c if c is not None else (self._spans.new_trace_id(), 0)
+            sid = self._spans.span(
+                tid, parent, f"create {behavior.name}", "create.issue",
+                k.node_id, k.node.now, None, dest,
+            )
+            tctx = TraceCtx(tid, sid, k.node.now)
+        k.endpoint.send(dest, "create_remote", (key, behavior.name, args),
+                        trace_ctx=tctx)
         # The creator resumes its continuation as soon as the request's
         # last packet is injected; the remaining bookkeeping (alias
         # continuation fix-up) happens after the send.
@@ -91,7 +104,8 @@ class CreationService:
         return ActorRef(key)
 
     def on_create_remote(
-        self, src: int, key: MailAddress, behavior_name: str, args: tuple
+        self, src: int, key: MailAddress, behavior_name: str, args: tuple,
+        trace_ctx: Optional[TraceCtx] = None,
     ) -> None:
         """Node-manager side of a remote creation request."""
         k = self.kernel
@@ -113,25 +127,47 @@ class CreationService:
         desc.set_local(actor)
         k.stats.incr("creation.remote_served")
         k.trace.emit(k.node.now, k.node_id, "create.serve", key, src)
+        serve_span = None
+        if trace_ctx is not None and self._spans_on:
+            serve_span = self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"create serve {behavior_name}", "create.serve", k.node_id,
+                trace_ctx.sent_at, k.node.now, src,
+            )
         # Messages (or FIRs) that used the alias before we registered it:
         k.delivery.flush_deferred(desc)
         k.migration._answer_waiting_firs(desc, k.node_id, desc.addr)
         # Background processing: return the descriptor address to cache.
         if k.config.descriptor_caching:
-            k.endpoint.send(src, "cache_addr", (key, k.node_id, desc.addr))
+            k.endpoint.send(
+                src, "cache_addr", (key, k.node_id, desc.addr),
+                trace_ctx=(
+                    TraceCtx(trace_ctx.trace_id, serve_span, k.node.now)
+                    if serve_span is not None else None
+                ),
+            )
 
     # ------------------------------------------------------------------
     # split-phase creation (request/reply form, the alias ablation)
     # ------------------------------------------------------------------
     def on_create_request(
-        self, src: int, behavior_name: str, args: tuple, reply_to: ReplyTarget
+        self, src: int, behavior_name: str, args: tuple, reply_to: ReplyTarget,
+        trace_ctx: Optional[TraceCtx] = None,
     ) -> None:
         """Create an ordinary actor and reply with its mail address."""
         k = self.kernel
         behavior = k.behavior_for(behavior_name)
         ref = self.create_local(behavior, args)
         k.stats.incr("creation.split_phase")
-        k.reply_router.send_reply(reply_to, ref)
+        reply_parent = None
+        if trace_ctx is not None and self._spans_on:
+            sid = self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"create serve {behavior_name}", "create.serve", k.node_id,
+                trace_ctx.sent_at, k.node.now, src,
+            )
+            reply_parent = (trace_ctx.trace_id, sid)
+        k.reply_router.send_reply(reply_to, ref, trace_ctx=reply_parent)
 
     # ------------------------------------------------------------------
     # lightweight tasks (creation elision, §7.2)
@@ -140,14 +176,30 @@ class CreationService:
         k = self.kernel
         if fn_name not in k.tasks:
             raise ReproError(f"task {fn_name!r} is not loaded")
+        ctx = k.trace_ctx if self._spans_on else None
         if at is None or at == k.node_id:
             k.node.charge(k.costs.enqueue_us)
-            k.dispatcher.enqueue(Task(fn_name, args))
+            k.dispatcher.enqueue(Task(fn_name, args, ctx))
         else:
-            k.endpoint.send(at, "task_spawn", (fn_name, args))
+            k.endpoint.send(
+                at, "task_spawn", (fn_name, args),
+                trace_ctx=(
+                    TraceCtx(ctx[0], ctx[1], k.node.now)
+                    if ctx is not None else None
+                ),
+            )
         k.stats.incr("creation.tasks")
 
-    def on_task_spawn(self, src: int, fn_name: str, args: tuple) -> None:
+    def on_task_spawn(self, src: int, fn_name: str, args: tuple,
+                      trace_ctx: Optional[TraceCtx] = None) -> None:
         k = self.kernel
         k.node.charge(k.costs.enqueue_us)
-        k.dispatcher.enqueue(Task(fn_name, args))
+        task_ctx = None
+        if trace_ctx is not None and self._spans_on:
+            sid = self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"hop task {fn_name}", "hop", k.node_id,
+                trace_ctx.sent_at, k.node.now, src,
+            )
+            task_ctx = (trace_ctx.trace_id, sid)
+        k.dispatcher.enqueue(Task(fn_name, args, task_ctx))

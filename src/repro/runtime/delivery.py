@@ -23,6 +23,7 @@ from repro.actors.message import ActorMessage, ReplyTarget
 from repro.am.messages import message_nbytes
 from repro.errors import UnknownActorError
 from repro.runtime.names import ActorRef, AddrKind, DescState, LocalityDescriptor, MailAddress
+from repro.sim.trace import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.actors.actor import Actor
@@ -50,6 +51,10 @@ class DeliveryService:
         self._c_local_generic = stats.cell("delivery.local_generic")
         self._c_sent_direct = stats.cell("delivery.sent_direct")
         self._c_sent_keyed = stats.cell("delivery.sent_keyed")
+        # Causal tracing: one cached flag on the hot path, spans only
+        # recorded on traced machines.
+        self._spans = kernel.spans
+        self._spans_on = bool(kernel.spans.enabled)
 
     # ==================================================================
     # sender side
@@ -86,10 +91,24 @@ class DeliveryService:
         # recipient is local (§4).
         desc, is_local = self.locality_check(ref)
 
+        msg = ActorMessage(selector, args, reply_to,
+                           sender_node=k.node_id, sent_at=k.node.now)
+        if self._spans_on:
+            # Root a new trace, or parent to the execution currently on
+            # this CPU (so request chains form one causal tree).
+            ctx = k.trace_ctx
+            if ctx is not None:
+                tid, parent = ctx
+            else:
+                tid, parent = self._spans.new_trace_id(), 0
+            msg.trace_id = tid
+            msg.span_id = self._spans.span(
+                tid, parent, f"send {selector}", "send", k.node_id,
+                k.node.now, None, str(ref.address),
+            )
+
         if is_local:
             actor = desc.actor
-            msg = ActorMessage(selector, args, reply_to,
-                               sender_node=k.node_id, sent_at=k.node.now)
             plan_kind = self._plan_kind(sender_ctx, selector)
             if plan_kind != "generic":
                 depth = sender_ctx.depth if sender_ctx is not None else 0
@@ -100,8 +119,6 @@ class DeliveryService:
             k.execution.deliver_local(actor, msg)
             return
 
-        msg = ActorMessage(selector, args, reply_to,
-                           sender_node=k.node_id, sent_at=k.node.now)
         if desc.state in (DescState.IN_TRANSIT, DescState.RESOLVING,
                           DescState.AWAITING_CREATION):
             desc.deferred.append(msg)
@@ -157,15 +174,35 @@ class DeliveryService:
                        msg.sender_node)
             self._c_sent_keyed.n += 1
         nbytes = message_nbytes(payload, k.network_params.packet_bytes)
+        tctx = (
+            TraceCtx(msg.trace_id, msg.span_id, self._node.now)
+            if self._spans_on and msg.trace_id else None
+        )
         if nbytes >= k.config.bulk_threshold_bytes:
             k.stats.incr("delivery.bulk")
-            k.bulk.send_bulk(dst, handler, payload, nbytes)
+            k.bulk.send_bulk(dst, handler, payload, nbytes, trace_ctx=tctx)
         else:
-            k.endpoint.send(dst, handler, payload, nbytes=nbytes)
+            k.endpoint.send(dst, handler, payload, nbytes=nbytes,
+                            trace_ctx=tctx)
 
     # ==================================================================
     # receiver side (node-manager role)
     # ==================================================================
+    def _adopt_ctx(self, msg: ActorMessage, selector: str, src: int,
+                   trace_ctx: Optional[TraceCtx]) -> None:
+        """Attach an arriving wire context to ``msg``: record the
+        network hop as a span and make it the parent of whatever this
+        node does with the message next."""
+        if trace_ctx is None or not self._spans_on:
+            return
+        k = self.kernel
+        msg.trace_id = trace_ctx.trace_id
+        msg.sent_at = trace_ctx.sent_at
+        msg.span_id = self._spans.span(
+            trace_ctx.trace_id, trace_ctx.parent_span, f"hop {selector}",
+            "hop", k.node_id, trace_ctx.sent_at, self._node.now, src,
+        )
+
     def on_deliver_keyed(
         self,
         src: int,
@@ -174,10 +211,12 @@ class DeliveryService:
         args: tuple,
         reply_to: Optional[ReplyTarget],
         origin: int,
+        trace_ctx: Optional[TraceCtx] = None,
     ) -> None:
         k = self.kernel
         self._node.charge(self._hash_us)
         msg = ActorMessage(selector, args, reply_to, sender_node=origin)
+        self._adopt_ctx(msg, selector, src, trace_ctx)
         desc = self._table.get(key)
         if desc is None:
             desc = self._admit_unknown_key(key)
@@ -192,7 +231,13 @@ class DeliveryService:
             ):
                 # Return the descriptor's memory address for caching;
                 # subsequent sends skip this node's hash lookup (§4.1).
-                k.endpoint.send(origin, "cache_addr", (key, k.node_id, desc.addr))
+                k.endpoint.send(
+                    origin, "cache_addr", (key, k.node_id, desc.addr),
+                    trace_ctx=(
+                        TraceCtx(msg.trace_id, msg.span_id, self._node.now)
+                        if msg.trace_id else None
+                    ),
+                )
             return
         self._route_nonlocal(desc, msg)
 
@@ -204,11 +249,13 @@ class DeliveryService:
         args: tuple,
         reply_to: Optional[ReplyTarget],
         origin: int,
+        trace_ctx: Optional[TraceCtx] = None,
     ) -> None:
         k = self.kernel
         self._node.charge(k.costs.descriptor_deref_us)
         desc = self._table.by_addr(addr)
         msg = ActorMessage(selector, args, reply_to, sender_node=origin)
+        self._adopt_ctx(msg, selector, src, trace_ctx)
         if desc.is_local:
             self.deliver_here(desc, msg)
             if (
@@ -219,8 +266,13 @@ class DeliveryService:
                 # The message was relayed here (FIR flush or forward):
                 # teach the *original* sender our descriptor address so
                 # its best guess converges to the truth.
-                k.endpoint.send(origin, "cache_addr",
-                                (desc.key, k.node_id, desc.addr))
+                k.endpoint.send(
+                    origin, "cache_addr", (desc.key, k.node_id, desc.addr),
+                    trace_ctx=(
+                        TraceCtx(msg.trace_id, msg.span_id, self._node.now)
+                        if msg.trace_id else None
+                    ),
+                )
             return
         self._route_nonlocal(desc, msg)
 
@@ -313,12 +365,19 @@ class DeliveryService:
                 desc.deferred.append(msg)
 
     # ------------------------------------------------------------------
-    def on_cache_addr(self, src: int, key: MailAddress, node: int, addr: int) -> None:
+    def on_cache_addr(self, src: int, key: MailAddress, node: int, addr: int,
+                      trace_ctx: Optional[TraceCtx] = None) -> None:
         """Install location information learned from another node —
         always treated as a best guess, never overriding local truth."""
         k = self.kernel
         if not k.config.descriptor_caching:
             return
+        if trace_ctx is not None and self._spans_on:
+            self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"backpatch {key}", "backpatch", k.node_id,
+                self._node.now, None, node,
+            )
         desc = k.table.get(key)
         if desc is None:
             k.node.charge(k.costs.descriptor_alloc_us + k.costs.nametable_insert_us)

@@ -50,12 +50,17 @@ class Task:
     makes tasks stealable across nodes).
     """
 
-    __slots__ = ("fn_name", "args")
+    __slots__ = ("fn_name", "args", "trace_ctx")
     stealable = True
 
-    def __init__(self, fn_name: str, args: tuple) -> None:
+    def __init__(self, fn_name: str, args: tuple,
+                 trace_ctx: Optional[tuple] = None) -> None:
         self.fn_name = fn_name
         self.args = args
+        #: Causal context the spawn was issued under (a
+        #: :class:`repro.sim.trace.TraceCtx`), carried so the stolen or
+        #: remotely spawned task parents to the spawning execution.
+        self.trace_ctx = trace_ctx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Task({self.fn_name}{self.args!r})"

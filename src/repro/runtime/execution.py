@@ -44,6 +44,14 @@ class Execution:
         self._invoke_us = costs.invoke_us
         self._method_lookup_us = costs.method_lookup_us
         self._c_messages = kernel.stats.cell("exec.messages")
+        # Causal tracing: one cached flag on the hot path; the latency
+        # histograms are only fed on traced machines, so untraced stats
+        # snapshots are byte-identical to the pre-tracing ones.
+        self._spans = kernel.spans
+        self._spans_on = bool(kernel.spans.enabled)
+        self._h_delivery = kernel.stats.hist("delivery_latency_us")
+        self._h_exec = kernel.stats.hist("execution_time_us")
+        self._h_mailbox = kernel.stats.hist("mailbox_depth")
 
     # ------------------------------------------------------------------
     # local delivery (generic buffered path)
@@ -53,6 +61,8 @@ class Execution:
         k = self.kernel
         self._node.charge(self._enqueue_us)
         actor.mailbox.enqueue(msg)
+        if self._spans_on:
+            self._h_mailbox.record(actor.mailbox.ready_count)
         k.dispatcher.enqueue_actor(actor)
 
     # ------------------------------------------------------------------
@@ -74,17 +84,60 @@ class Execution:
         k = self.kernel
         k.node.charge(k.costs.continuation_fire_us)
         k.stats.incr("exec.continuations_fired")
-        cont.invoke()
+        traced = self._spans_on and cont.trace_ctx is not None
+        if not traced:
+            cont.invoke()
+            return
+        tid, parent = cont.trace_ctx
+        prev_ctx = k.trace_ctx
+        sid = self._spans.new_span_id()
+        k.trace_ctx = (tid, sid)
+        t0 = self._node.now
+        try:
+            cont.invoke()
+        finally:
+            k.trace_ctx = prev_ctx
+            t1 = self._node.now
+            self._spans.record(
+                tid, sid, parent, f"continuation {cont.cont_id}",
+                "continuation", k.node_id, t0, t1,
+            )
+            self._h_exec.record(t1 - t0)
 
     def run_task(self, task: Task) -> None:
         k = self.kernel
         fn = k.task_fn(task.fn_name)
         k.node.charge(k.costs.invoke_us)
         k.stats.incr("exec.tasks")
-        ctx = Context(k, None, None, method_name=task.fn_name)
-        result = fn(ctx, *task.args)
-        if inspect.isgenerator(result):
-            k.driver.start(None, None, result)
+        if not self._spans_on:
+            ctx = Context(k, None, None, method_name=task.fn_name)
+            result = fn(ctx, *task.args)
+            if inspect.isgenerator(result):
+                k.driver.start(None, None, result)
+            return
+        # A spawned task either continues the trace of the execution
+        # that spawned it or roots a new trace (top-level spawns).
+        if task.trace_ctx is not None:
+            tid, parent = task.trace_ctx[0], task.trace_ctx[1]
+        else:
+            tid, parent = self._spans.new_trace_id(), 0
+        prev_ctx = k.trace_ctx
+        sid = self._spans.new_span_id()
+        k.trace_ctx = (tid, sid)
+        t0 = self._node.now
+        try:
+            ctx = Context(k, None, None, method_name=task.fn_name)
+            result = fn(ctx, *task.args)
+            if inspect.isgenerator(result):
+                k.driver.start(None, None, result)
+        finally:
+            k.trace_ctx = prev_ctx
+            t1 = self._node.now
+            self._spans.record(
+                tid, sid, parent, f"task {task.fn_name}", "task",
+                k.node_id, t0, t1,
+            )
+            self._h_exec.record(t1 - t0)
 
     def run_group_batch(self, batch: GroupBatch) -> None:
         """Collective scheduling of one broadcast message: the group's
@@ -141,26 +194,47 @@ class Execution:
         call/return driver; non-None returns auto-reply to requests."""
         k = self.kernel
         self._node.charge(self._invoke_us)
+        # Causal tracing: the execute span covers the method body *and*
+        # everything it triggers synchronously (replies, drained pending
+        # messages, a migration request), so those all parent here.
+        traced = self._spans_on and msg.trace_id != 0
+        if traced:
+            prev_ctx = k.trace_ctx
+            sid = self._spans.new_span_id()
+            k.trace_ctx = (msg.trace_id, sid)
+            t0 = self._node.now
         ctx = Context(k, actor, msg, method_name=msg.selector, depth=depth)
-        actor.busy = True
         try:
-            result = fn(actor.state, ctx, *msg.args)
+            actor.busy = True
+            try:
+                result = fn(actor.state, ctx, *msg.args)
+            finally:
+                actor.busy = False
+            actor.messages_processed += 1
+            self._c_messages.n += 1
+            if inspect.isgenerator(result):
+                k.driver.start(actor, msg, result)
+            elif (
+                msg.reply_to is not None
+                and not ctx._replied
+                and result is not None
+            ):
+                k.reply_router.send_reply(msg.reply_to, result)
+            if drain and actor.mailbox.pending_count and not actor.migrating:
+                self.drain_pending(actor)
+            if ctx._migrate_to is not None and ctx._migrate_to != k.node_id:
+                k.migration.start(actor, ctx._migrate_to)
         finally:
-            actor.busy = False
-        actor.messages_processed += 1
-        self._c_messages.n += 1
-        if inspect.isgenerator(result):
-            k.driver.start(actor, msg, result)
-        elif (
-            msg.reply_to is not None
-            and not ctx._replied
-            and result is not None
-        ):
-            k.reply_router.send_reply(msg.reply_to, result)
-        if drain and actor.mailbox.pending_count and not actor.migrating:
-            self.drain_pending(actor)
-        if ctx._migrate_to is not None and ctx._migrate_to != k.node_id:
-            k.migration.start(actor, ctx._migrate_to)
+            if traced:
+                k.trace_ctx = prev_ctx
+                t1 = self._node.now
+                self._spans.record(
+                    msg.trace_id, sid, msg.span_id,
+                    f"{actor.behavior.name}.{msg.selector}", "execute",
+                    k.node_id, t0, t1,
+                )
+                self._h_delivery.record(max(0.0, t0 - msg.sent_at))
+                self._h_exec.record(t1 - t0)
 
     # ------------------------------------------------------------------
     # pending queue re-examination (§6.1)

@@ -44,6 +44,12 @@ class Kernel:
         self.costs = runtime.costs
         self.stats = runtime.machine.stats
         self.trace = runtime.machine.trace
+        self.spans = runtime.machine.spans
+        #: Causal context of the execution currently on this node's
+        #: CPU: ``(trace_id, span_id)`` while a traced message, task or
+        #: continuation body runs, else None.  Sends issued from within
+        #: that body parent their spans here.
+        self.trace_ctx = None
         self.network_params = runtime.config.network
 
         # communication module (CMAM endpoint + bulk protocol)

@@ -16,6 +16,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.actors.actor import Actor
 from repro.runtime.dispatcher import Task
+from repro.sim.trace import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.kernel import Kernel
@@ -28,6 +29,8 @@ class LoadBalancer:
         self.kernel = kernel
         self.params = kernel.config.load_balance
         self.rng = kernel.runtime.machine.rng.node_stream("steal", kernel.node_id)
+        self._spans = kernel.spans
+        self._spans_on = bool(kernel.spans.enabled)
         self._poll_pending = False
         if self.params.enabled and kernel.runtime.num_nodes > 1:
             kernel.dispatcher.idle_callbacks.append(self.on_idle)
@@ -106,7 +109,17 @@ class LoadBalancer:
                     break
                 k.node.charge(k.costs.steal_pack_us)
                 if isinstance(item, Task):
-                    k.endpoint.send(src, "steal_grant", (item.fn_name, item.args))
+                    # Stolen tasks carry their causal context so the
+                    # thief's execution stays in the spawner's trace.
+                    tctx = (
+                        TraceCtx(item.trace_ctx[0], item.trace_ctx[1],
+                                 k.node.now)
+                        if self._spans_on and item.trace_ctx is not None
+                        else None
+                    )
+                    k.endpoint.send(src, "steal_grant",
+                                    (item.fn_name, item.args),
+                                    trace_ctx=tctx)
                 elif isinstance(item, Actor):
                     # Steal by migration: the thief becomes the actor's
                     # new home; senders with stale caches will be
@@ -125,10 +138,19 @@ class LoadBalancer:
     # ------------------------------------------------------------------
     # thief side: responses
     # ------------------------------------------------------------------
-    def on_steal_grant(self, src: int, fn_name: str, args: tuple) -> None:
+    def on_steal_grant(self, src: int, fn_name: str, args: tuple,
+                       trace_ctx: Optional[TraceCtx] = None) -> None:
         k = self.kernel
         k.stats.incr("steal.received")
-        k.dispatcher.enqueue(Task(fn_name, args))
+        task_ctx = None
+        if trace_ctx is not None and self._spans_on:
+            sid = self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"steal {fn_name}", "hop", k.node_id,
+                trace_ctx.sent_at, k.node.now, src,
+            )
+            task_ctx = (trace_ctx.trace_id, sid)
+        k.dispatcher.enqueue(Task(fn_name, args, task_ctx))
 
     def on_steal_deny(self, src: int) -> None:
         self.kernel.stats.incr("steal.proto_recv")

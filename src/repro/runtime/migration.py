@@ -22,6 +22,7 @@ from repro.actors.actor import Actor
 from repro.am.messages import message_nbytes, payload_nbytes
 from repro.errors import DeliveryError, MigrationError
 from repro.runtime.names import AddrKind, DescState, LocalityDescriptor, MailAddress
+from repro.sim.trace import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.kernel import Kernel
@@ -38,6 +39,12 @@ class MigrationService:
 
     def __init__(self, kernel: "Kernel") -> None:
         self.kernel = kernel
+        # Causal tracing (null-object recorder when the machine is
+        # untraced); FIR chain lengths feed a histogram so chase cost
+        # vs chain depth is measurable (§4.3's scaling claim).
+        self._spans = kernel.spans
+        self._spans_on = bool(kernel.spans.enabled)
+        self._h_chain = kernel.stats.hist("fir_chain_length")
 
     # ==================================================================
     # outbound migration
@@ -62,20 +69,39 @@ class MigrationService:
         desc.begin_transit(dest)
         k.stats.incr("migration.started")
         k.trace.emit(k.node.now, k.node_id, "migrate.out", actor.key, dest)
+        tctx = None
+        if self._spans_on:
+            c = k.trace_ctx
+            tid, parent = c if c is not None else (self._spans.new_trace_id(), 0)
+            sid = self._spans.span(
+                tid, parent, f"migrate {actor.key}", "migrate.out",
+                k.node_id, k.node.now, None, dest,
+            )
+            tctx = TraceCtx(tid, sid, k.node.now)
         payload = (actor.key, behavior.name, state, tuple(mail))
         nbytes = message_nbytes(payload, k.network_params.packet_bytes) + payload_nbytes(
             getattr(state, "__dict__", None)
         )
         if nbytes >= k.config.bulk_threshold_bytes:
-            k.bulk.send_bulk(dest, "migrate_arrive", payload, nbytes)
+            k.bulk.send_bulk(dest, "migrate_arrive", payload, nbytes,
+                             trace_ctx=tctx)
         else:
-            k.endpoint.send(dest, "migrate_arrive", payload, nbytes=nbytes)
+            k.endpoint.send(dest, "migrate_arrive", payload, nbytes=nbytes,
+                            trace_ctx=tctx)
 
     def on_migrate_arrive(
-        self, src: int, key: MailAddress, behavior_name: str, state, mail: tuple
+        self, src: int, key: MailAddress, behavior_name: str, state, mail: tuple,
+        trace_ctx: Optional[TraceCtx] = None,
     ) -> None:
         k = self.kernel
         k.node.charge(k.costs.migrate_unpack_us)
+        in_span = None
+        if trace_ctx is not None and self._spans_on:
+            in_span = self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"migrate arrive {key}", "migrate.in", k.node_id,
+                trace_ctx.sent_at, k.node.now, src,
+            )
         behavior = k.behavior_for(behavior_name)
         actor = Actor(behavior, state, k.node_id, key)
         desc = k.table.get(key)
@@ -95,18 +121,31 @@ class MigrationService:
         # FIR chains that were parked waiting on this arrival:
         self._answer_waiting_firs(desc, k.node_id, desc.addr)
         # Ack the old node with our descriptor address ...
-        k.endpoint.send(src, "migrate_ack", (key, desc.addr))
+        out_ctx = (
+            TraceCtx(trace_ctx.trace_id, in_span, k.node.now)
+            if in_span is not None else None
+        )
+        k.endpoint.send(src, "migrate_ack", (key, desc.addr),
+                        trace_ctx=out_ctx)
         # ... and cache it at the birthplace too (§4.3).
         birth = key.home_node()
         if birth not in (k.node_id, src):
-            k.endpoint.send(birth, "cache_addr", (key, k.node_id, desc.addr))
+            k.endpoint.send(birth, "cache_addr", (key, k.node_id, desc.addr),
+                            trace_ctx=out_ctx)
 
-    def on_migrate_ack(self, src: int, key: MailAddress, new_addr: int) -> None:
+    def on_migrate_ack(self, src: int, key: MailAddress, new_addr: int,
+                       trace_ctx: Optional[TraceCtx] = None) -> None:
         k = self.kernel
         desc = k.table.get(key)
         if desc is None or desc.state is not DescState.IN_TRANSIT:
             raise MigrationError(
                 f"node {k.node_id}: unexpected migrate_ack for {key!r}"
+            )
+        if trace_ctx is not None and self._spans_on:
+            self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"migrate ack {key}", "migrate.ack", k.node_id,
+                trace_ctx.sent_at, k.node.now, src,
             )
         desc.set_remote(src, new_addr)
         k.stats.incr("migration.acked")
@@ -123,15 +162,43 @@ class MigrationService:
         desc.deferred.append(msg)
         if desc.state is DescState.RESOLVING:
             k.stats.incr("fir.coalesced")
+            if self._spans_on and msg.trace_id:
+                # This journey piggybacks on an already-outstanding FIR.
+                self._spans.span(
+                    msg.trace_id, msg.span_id, f"fir coalesced {desc.key}",
+                    "fir.coalesced", k.node_id, k.node.now,
+                )
             return  # an FIR for this actor is already outstanding
         target = desc.remote_node
         desc.begin_resolving()
         k.stats.incr("fir.initiated")
         k.trace.emit(k.node.now, k.node_id, "fir.start", desc.key, target)
         k.node.charge(k.costs.fir_relay_us)
-        k.endpoint.send(target, "fir", (desc.key, (k.node_id,)))
+        tctx = None
+        if self._spans_on and msg.trace_id:
+            sid = self._spans.span(
+                msg.trace_id, msg.span_id, f"fir {desc.key}", "fir.start",
+                k.node_id, k.node.now, None, target,
+            )
+            tctx = TraceCtx(msg.trace_id, sid, k.node.now)
+        k.endpoint.send(target, "fir", (desc.key, (k.node_id,)),
+                        trace_ctx=tctx)
 
-    def on_fir(self, src: int, key: MailAddress, chain: Tuple[int, ...]) -> None:
+    def on_fir(self, src: int, key: MailAddress, chain: Tuple[int, ...],
+               trace_ctx: Optional[TraceCtx] = None) -> None:
+        if trace_ctx is not None and self._spans_on:
+            k = self.kernel
+            sid = self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span, f"fir hop {key}",
+                "fir.hop", k.node_id, trace_ctx.sent_at, k.node.now, src,
+            )
+            trace_ctx = TraceCtx(trace_ctx.trace_id, sid, k.node.now)
+        self._fir_step(src, key, chain, trace_ctx)
+
+    def _fir_step(self, src: int, key: MailAddress, chain: Tuple[int, ...],
+                  trace_ctx: Optional[TraceCtx]) -> None:
+        """One examination of an in-flight FIR on this node (re-entered
+        on retries without re-recording the arrival hop)."""
         k = self.kernel
         k.node.charge(k.costs.fir_relay_us)
         desc = k.table.get(key)
@@ -141,7 +208,7 @@ class MigrationService:
                 # Creation itself is still in flight; park the FIR.
                 desc = k.table.alloc(key)
                 desc.state = DescState.AWAITING_CREATION
-                desc.waiting_firs.append(chain)
+                desc.waiting_firs.append((chain, trace_ctx))
                 return
             if home == k.node_id:
                 raise DeliveryError(
@@ -153,17 +220,33 @@ class MigrationService:
             # Found the actor: propagate the location back along the
             # chain with the locality descriptor's memory address.
             k.stats.incr("fir.resolved")
-            self._send_fir_reply(key, k.node_id, desc.addr, chain)
+            if self._spans_on:
+                self._h_chain.record(len(chain))
+                if trace_ctx is not None:
+                    sid = self._spans.span(
+                        trace_ctx.trace_id, trace_ctx.parent_span,
+                        f"fir resolve {key}", "fir.resolve", k.node_id,
+                        k.node.now, None, len(chain),
+                    )
+                    trace_ctx = TraceCtx(trace_ctx.trace_id, sid, k.node.now)
+            self._send_fir_reply(key, k.node_id, desc.addr, chain, trace_ctx)
             return
         if desc.state in (DescState.IN_TRANSIT, DescState.AWAITING_CREATION,
                           DescState.RESOLVING):
             # We will learn the location shortly; answer then.
-            desc.waiting_firs.append(chain)
+            desc.waiting_firs.append((chain, trace_ctx))
             return
         nxt = desc.remote_node
-        if nxt == k.node_id or nxt in chain:
-            # Stale tables formed a transient cycle; retry after the
-            # in-flight migration has had time to repair them.
+        # A next hop already on the chain is NOT necessarily a cycle:
+        # the actor may have returned to a node after the FIR passed
+        # it, in which case that node's table is *correct* and will
+        # never change — waiting here would livelock.  Forwarding
+        # pointers advance along the actor's itinerary, so relaying
+        # terminates once in-flight migrations complete; the chain cap
+        # bounds the transient case (truly cyclic stale tables) by
+        # falling back to retry-and-wait.
+        if nxt == k.node_id or len(chain) > 2 * k.runtime.num_nodes + 8:
+            # Await repair by an in-flight migration's ack/back-patch.
             desc.fir_retries += 1
             if desc.fir_retries > MAX_FIR_RETRIES:
                 raise DeliveryError(
@@ -172,39 +255,65 @@ class MigrationService:
             k.stats.incr("fir.retries")
             k.node.execute(
                 k.node.now + k.costs.fir_retry_delay_us,
-                lambda: self.on_fir(src, key, chain),
+                lambda: self._fir_step(src, key, chain, trace_ctx),
                 label="fir.retry",
             )
             return
         k.stats.incr("fir.relayed")
-        k.endpoint.send(nxt, "fir", (key, chain + (k.node_id,)))
+        k.endpoint.send(
+            nxt, "fir", (key, chain + (k.node_id,)),
+            trace_ctx=(
+                TraceCtx(trace_ctx.trace_id, trace_ctx.parent_span, k.node.now)
+                if trace_ctx is not None else None
+            ),
+        )
 
     def _send_fir_reply(
-        self, key: MailAddress, node: int, addr: int, chain: Tuple[int, ...]
+        self, key: MailAddress, node: int, addr: int, chain: Tuple[int, ...],
+        trace_ctx: Optional[TraceCtx] = None,
     ) -> None:
         """Send the resolution one hop back along the chain."""
         if not chain:
             return
+        if trace_ctx is not None:
+            trace_ctx = TraceCtx(trace_ctx.trace_id, trace_ctx.parent_span,
+                                 self.kernel.node.now)
         self.kernel.endpoint.send(
-            chain[-1], "fir_reply", (key, node, addr, chain[:-1])
+            chain[-1], "fir_reply", (key, node, addr, chain[:-1]),
+            trace_ctx=trace_ctx,
         )
 
     def on_fir_reply(
         self, src: int, key: MailAddress, node: int, addr: int,
-        chain: Tuple[int, ...],
+        chain: Tuple[int, ...], trace_ctx: Optional[TraceCtx] = None,
     ) -> None:
         """A chain node learns the actor's location: update the table,
         release held messages, answer our own waiters, keep relaying."""
         k = self.kernel
         k.node.charge(k.costs.fir_relay_us)
+        if trace_ctx is not None and self._spans_on:
+            sid = self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"fir reply {key}", "fir.reply", k.node_id,
+                trace_ctx.sent_at, k.node.now, src,
+            )
+            trace_ctx = TraceCtx(trace_ctx.trace_id, sid, k.node.now)
         desc = k.table.get(key)
         if desc is not None and desc.state in (DescState.REMOTE, DescState.RESOLVING):
             desc.set_remote(node, addr)
             desc.fir_retries = 0
             k.stats.incr("fir.updated")
+            if trace_ctx is not None and self._spans_on:
+                # The chain node's name table is back-patched with the
+                # actor's real location (§4.3).
+                self._spans.span(
+                    trace_ctx.trace_id, trace_ctx.parent_span,
+                    f"backpatch {key}", "backpatch", k.node_id,
+                    k.node.now, None, node,
+                )
             k.delivery.flush_deferred(desc)
             self._answer_waiting_firs(desc, node, addr)
-        self._send_fir_reply(key, node, addr, chain)
+        self._send_fir_reply(key, node, addr, chain, trace_ctx)
 
     def _answer_waiting_firs(
         self, desc: LocalityDescriptor, node: int, addr: int
@@ -212,5 +321,5 @@ class MigrationService:
         if not desc.waiting_firs:
             return
         waiting, desc.waiting_firs = desc.waiting_firs, []
-        for chain in waiting:
-            self._send_fir_reply(desc.key, node, addr, chain)
+        for chain, tctx in waiting:
+            self._send_fir_reply(desc.key, node, addr, chain, tctx)

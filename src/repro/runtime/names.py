@@ -171,6 +171,9 @@ class LocalityDescriptor:
         #: Messages parked while RESOLVING / IN_TRANSIT / AWAITING_CREATION.
         self.deferred: List["ActorMessage"] = []
         #: FIR chains parked here while the actor is in transit from us.
+        #: Parked FIR chases awaiting resolution, as
+        #: ``(chain, trace_ctx)`` pairs (trace_ctx is None when
+        #: untraced); see MigrationService._answer_waiting_firs.
         self.waiting_firs: List[tuple] = []
         self.fir_retries: int = 0
 

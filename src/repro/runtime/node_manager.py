@@ -49,14 +49,18 @@ class NodeManager:
         ep.register("load_program", self._load_program)
 
     # Thin adapters keep wire argument order explicit in one place.
-    def _deliver_keyed(self, src, key, selector, args, reply_to, origin):
+    # ``trace_ctx`` is the optional trailing TraceCtx appended to the
+    # payload by Endpoint.send on traced machines.
+    def _deliver_keyed(self, src, key, selector, args, reply_to, origin,
+                       trace_ctx=None):
         self.kernel.delivery.on_deliver_keyed(
-            src, key, selector, args, reply_to, origin
+            src, key, selector, args, reply_to, origin, trace_ctx
         )
 
-    def _deliver_direct(self, src, addr, selector, args, reply_to, origin):
+    def _deliver_direct(self, src, addr, selector, args, reply_to, origin,
+                        trace_ctx=None):
         self.kernel.delivery.on_deliver_direct(
-            src, addr, selector, args, reply_to, origin
+            src, addr, selector, args, reply_to, origin, trace_ctx
         )
 
     def _steal_req(self, src):

@@ -75,6 +75,12 @@ class HalRuntime:
     def trace(self):
         return self.machine.trace
 
+    @property
+    def spans(self):
+        """The machine's causal span recorder (a null recorder unless
+        the runtime was built with ``trace=True``)."""
+        return self.machine.spans
+
     def kernel(self, node: int) -> Kernel:
         return self.kernels[node]
 

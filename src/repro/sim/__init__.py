@@ -16,9 +16,17 @@ from repro.sim.engine import Event, Simulator, SimNode
 from repro.sim.machine import Machine
 from repro.sim.network import Network
 from repro.sim.rng import RngStreams
-from repro.sim.stats import StatsRegistry
+from repro.sim.stats import Histogram, StatsRegistry
+from repro.sim.timeline import chrome_trace, spans_jsonl
 from repro.sim.topology import FatTreeTopology, HypercubeTopology, make_topology
-from repro.sim.trace import NullTraceLog, TraceLog
+from repro.sim.trace import (
+    NullSpanRecorder,
+    NullTraceLog,
+    Span,
+    SpanRecorder,
+    TraceCtx,
+    TraceLog,
+)
 
 __all__ = [
     "Event",
@@ -28,9 +36,16 @@ __all__ = [
     "Network",
     "RngStreams",
     "StatsRegistry",
+    "Histogram",
     "FatTreeTopology",
     "HypercubeTopology",
     "make_topology",
     "TraceLog",
     "NullTraceLog",
+    "TraceCtx",
+    "Span",
+    "SpanRecorder",
+    "NullSpanRecorder",
+    "chrome_trace",
+    "spans_jsonl",
 ]

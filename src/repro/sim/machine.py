@@ -17,7 +17,12 @@ from repro.sim.network import Network
 from repro.sim.rng import RngStreams
 from repro.sim.stats import StatsRegistry
 from repro.sim.topology import Topology, make_topology
-from repro.sim.trace import NullTraceLog, TraceLog
+from repro.sim.trace import (
+    NullSpanRecorder,
+    NullTraceLog,
+    SpanRecorder,
+    TraceLog,
+)
 
 
 class Machine:
@@ -34,8 +39,10 @@ class Machine:
         self.sim = Simulator(max_events=config.max_events)
         self.stats = StatsRegistry()
         # Untraced machines (the common case) get the inert null log so
-        # trace costs are exactly zero on the message hot path.
+        # trace costs are exactly zero on the message hot path.  The
+        # span recorder follows the same null-object pattern.
         self.trace = TraceLog(enabled=True) if trace else NullTraceLog()
+        self.spans = SpanRecorder(enabled=True) if trace else NullSpanRecorder()
         self.rng = RngStreams(config.seed)
         self.topology: Topology = make_topology(config.topology, config.num_nodes)
         self.nodes: List[SimNode] = [

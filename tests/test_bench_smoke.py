@@ -48,6 +48,10 @@ def test_quick_bench_emits_valid_json(tmp_path):
         assert block["speedup"] is not None
     for app in ("fibonacci", "systolic"):
         assert on_disk["apps"][app]["sim_events"] > 0
+    tracing = on_disk["tracing"]
+    # Tracing must never change the simulated schedule, only host cost.
+    assert tracing["off"]["sim_time_us"] == tracing["on"]["sim_time_us"]
+    assert tracing["off"]["sim_events"] == tracing["on"]["sim_events"]
     # main() returns what it wrote (modulo float round-tripping).
     assert results["pingpong"]["events"] == on_disk["pingpong"]["events"]
 
