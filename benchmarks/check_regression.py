@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Gate engine throughput against the committed baseline.
+
+Compares a fresh ``bench_engine.py`` result file against the
+repo-root ``BENCH_engine.json`` baseline and fails (exit 1) when
+either hot-path microbenchmark — ping-pong or fan-out — regresses by
+more than the threshold (default 20%) in ``current.events_per_sec``.
+
+Usage (what the nightly CI job runs)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --out /tmp/bench.json
+    python benchmarks/check_regression.py --current /tmp/bench.json
+
+Throughput above baseline is never an error; the gate is one-sided.
+Wall-clock noise on shared CI runners is the reason the threshold is
+generous — the gate exists to catch accidental hot-path pessimisation
+(a closure reintroduced per message, an uncached attribute probe), not
+two-percent jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(_HERE)
+
+DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "BENCH_engine.json")
+
+#: The benches the gate watches: hot-path engine microbenchmarks whose
+#: events/sec collapse whenever the per-message path grows an
+#: allocation or an uncached branch.
+GATED = ("pingpong", "fanout")
+
+
+def main(argv: List[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", required=True,
+                    help="JSON produced by a fresh bench_engine.py run")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="committed baseline JSON (default: repo root)")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max tolerated fractional drop (default 0.20)")
+    args = ap.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        base = json.load(fh)
+    with open(args.current) as fh:
+        cur = json.load(fh)
+
+    if base.get("schema") != cur.get("schema"):
+        print(f"schema mismatch: baseline {base.get('schema')!r} vs "
+              f"current {cur.get('schema')!r}", file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"{'bench':<10} {'baseline ev/s':>14} {'current ev/s':>14} "
+          f"{'delta':>8}")
+    for name in GATED:
+        b = base[name]["current"]["events_per_sec"]
+        c = cur[name]["current"]["events_per_sec"]
+        delta = (c - b) / b
+        print(f"{name:<10} {b:>14,} {c:>14,} {delta:>+7.1%}")
+        if delta < -args.threshold:
+            failures.append(
+                f"{name}: {c:,} ev/s is {-delta:.1%} below baseline "
+                f"{b:,} ev/s (threshold {args.threshold:.0%})"
+            )
+
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nwithin threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,12 +36,15 @@ from repro.config import (
     RuntimeConfig,
     SchedulerParams,
 )
-from repro.errors import ReproError
+from repro.config import ReliabilityParams
+from repro.errors import InvariantViolation, ReliabilityError, ReproError
 from repro.runtime.costmodel import CostModel
 from repro.runtime.groups import GroupRef
 from repro.runtime.names import ActorRef, MailAddress
 from repro.runtime.program import HalProgram
 from repro.runtime.system import HalRuntime
+from repro.sim.faults import FaultInjector, FaultPlan, FaultRule, NodeFault
+from repro.sim.invariants import check_invariants
 
 __version__ = "1.0.0"
 
@@ -51,6 +54,7 @@ __all__ = [
     "NetworkParams",
     "SchedulerParams",
     "LoadBalanceParams",
+    "ReliabilityParams",
     "CostModel",
     "HalProgram",
     "behavior",
@@ -60,5 +64,12 @@ __all__ = [
     "MailAddress",
     "GroupRef",
     "ReproError",
+    "ReliabilityError",
+    "InvariantViolation",
+    "FaultPlan",
+    "FaultRule",
+    "NodeFault",
+    "FaultInjector",
+    "check_invariants",
     "__version__",
 ]

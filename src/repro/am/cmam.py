@@ -70,14 +70,31 @@ class Endpoint:
         self._handler_table = self.handlers.resolved_table()
         self._trace_on = bool(trace.enabled)
         self._packet_bytes = network.params.packet_bytes
+        #: Reliable-delivery sublayer (attached by the kernel on faulty
+        #: machines; see :mod:`repro.am.reliable`).  ``None`` keeps the
+        #: bare fast path: one is-None test per send.
+        self._rel = None
+        # On a faulty network every packet must be labelled with its
+        # message kind or the injector's per-kind rules cannot see it —
+        # this matters when reliability is explicitly disabled (the
+        # envelope layer normally labels for us).  Cached boolean keeps
+        # the fault-free send path unchanged.
+        self._faulty_net = network._faults_on
 
     # ------------------------------------------------------------------
     @property
     def node_id(self) -> int:
         return self.node.node_id
 
-    def register(self, name: str, fn: Handler, *, replace: bool = False) -> None:
-        self.handlers.register(name, fn, replace=replace)
+    def register(
+        self,
+        name: str,
+        fn: Handler,
+        *,
+        replace: bool = False,
+        idempotent: bool = False,
+    ) -> None:
+        self.handlers.register(name, fn, replace=replace, idempotent=idempotent)
 
     # ------------------------------------------------------------------
     def send(
@@ -89,6 +106,7 @@ class Endpoint:
         nbytes: Optional[int] = None,
         charge_sender: bool = True,
         trace_ctx: Optional[tuple] = None,
+        expendable: bool = False,
     ) -> None:
         """Send an active message to node ``dst``.
 
@@ -98,8 +116,29 @@ class Endpoint:
         the data phase explicitly).  ``trace_ctx`` (a
         :class:`repro.sim.trace.TraceCtx`) rides as a trailing argument
         appended *after* the wire size is computed, so causal tracing
-        never perturbs simulated network time.
+        never perturbs simulated network time.  ``expendable`` marks a
+        fire-and-forget hint (e.g. a ``cache_addr`` back-patch) whose
+        loss is harmless: when the reliable sublayer is active such
+        sends skip the ack/retry machinery.
         """
+        rel = self._rel
+        if rel is not None:
+            rel.send(
+                dst, handler, args, nbytes=nbytes,
+                charge_sender=charge_sender, trace_ctx=trace_ctx,
+                expendable=expendable,
+            )
+            return
+        if self._faulty_net:
+            # Faulty machine without the reliable sublayer (reliability
+            # explicitly disabled): still label the wire packet so
+            # per-kind fault rules apply to it.
+            self.send_raw(
+                dst, handler, args, nbytes=nbytes,
+                charge_sender=charge_sender, trace_ctx=trace_ctx,
+                wire_kind=handler,
+            )
+            return
         node = self.node
         if dst == node.node_id:
             raise NetworkError(
@@ -143,6 +182,66 @@ class Endpoint:
         self.network.unicast(
             self.node.node_id, dst, size,
             peer._deliver, (self.node.node_id, handler, args),
+        )
+
+    # ------------------------------------------------------------------
+    def send_raw(
+        self,
+        dst: int,
+        handler: str,
+        args: tuple = (),
+        *,
+        nbytes: Optional[int] = None,
+        charge_sender: bool = True,
+        trace_ctx: Optional[tuple] = None,
+        wire_kind: Optional[str] = None,
+    ) -> None:
+        """Send bypassing the reliable sublayer.
+
+        Used by :class:`~repro.am.reliable.ReliableTransport` for its
+        envelopes, acks, retransmits and expendable sends.  The wire
+        packet is labelled ``wire_kind`` (defaulting to ``handler``) so
+        the fault injector targets the *logical* message kind even when
+        it travels inside a ``__rel__`` envelope.
+        """
+        node = self.node
+        if dst == node.node_id:
+            raise NetworkError(
+                "Endpoint.send_raw is remote-only; local work runs directly"
+            )
+        peer = self.directory.get(dst)
+        if peer is None:
+            raise NetworkError(f"no endpoint attached at node {dst}")
+        if charge_sender:
+            node.now += self.send_overhead_us
+            node.busy_us += self.send_overhead_us
+        size = nbytes if nbytes is not None else message_nbytes(
+            args, self._packet_bytes
+        )
+        self._c_sends.n += 1
+        if self._trace_on:
+            self.trace.emit(node.now, node.node_id, "am.send", handler, dst, size)
+        if trace_ctx is not None:
+            args = args + (trace_ctx,)
+        kind = wire_kind if wire_kind is not None else handler
+        sim = self.network.sim
+        issue_at = node.now if node._in_handler else sim.now
+        if issue_at > sim.now:
+            sim.post(
+                issue_at, self._transmit_kinded,
+                (dst, peer, handler, args, size, kind),
+            )
+        else:
+            self._transmit_kinded(dst, peer, handler, args, size, kind)
+
+    def _transmit_kinded(
+        self, dst: int, peer: "Endpoint", handler: str, args: tuple,
+        size: int, kind: str,
+    ) -> None:
+        self.network.unicast(
+            self.node.node_id, dst, size,
+            peer._deliver, (self.node.node_id, handler, args),
+            label=kind,
         )
 
     def _deliver(self, src: int, handler: str, args: tuple) -> None:

@@ -22,18 +22,35 @@ class HandlerRegistry:
 
     def __init__(self) -> None:
         self._handlers: Dict[str, Handler] = {}
+        self._idempotent: set[str] = set()
 
-    def register(self, name: str, fn: Handler, *, replace: bool = False) -> None:
+    def register(
+        self,
+        name: str,
+        fn: Handler,
+        *,
+        replace: bool = False,
+        idempotent: bool = False,
+    ) -> None:
         """Bind ``name`` to ``fn``.
 
         Re-registration without ``replace=True`` raises — a silent
         rebind is almost always a programming error in kernel boot.
+        ``idempotent=True`` declares that re-running the handler for a
+        duplicated packet is harmless; only such handlers may be the
+        target of an *expendable* (untracked, fire-and-forget) send
+        when the reliable sublayer is active.
         """
         if not name:
             raise HandlerError("handler name must be non-empty")
         if name in self._handlers and not replace:
             raise HandlerError(f"handler {name!r} already registered")
         self._handlers[name] = fn
+        if idempotent:
+            self._idempotent.add(name)
+
+    def is_idempotent(self, name: str) -> bool:
+        return name in self._idempotent
 
     def resolved_table(self) -> Dict[str, Handler]:
         """The live name → handler dict, for delivery fast paths that

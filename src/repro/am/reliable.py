@@ -1,0 +1,199 @@
+"""Reliable-delivery sublayer over the active-message endpoint.
+
+On the CM-5, CMAM gave the paper's protocols exactly-once, ordered
+delivery for free.  When the fault injector (:mod:`repro.sim.faults`)
+withdraws that guarantee, this layer restores it end-to-end without
+touching any protocol handler:
+
+- every outgoing AM is wrapped in a ``__rel__`` envelope carrying a
+  per-sender **sequence number** (8 bytes of wire overhead);
+- the receiver immediately acks the sequence number (``__rel_ack__``)
+  and runs the inner handler exactly once — duplicates are absorbed by
+  a ``(sender, seq)`` seen-set *before* dispatch;
+- the sender keeps the envelope until acked, retransmitting on timeout
+  with exponential backoff, and fails loudly with
+  :class:`~repro.errors.ReliabilityError` when the retry budget is
+  exhausted (a partitioned network, not a lossy one).
+
+Sends marked **expendable** skip the envelope entirely: they are
+fire-and-forget hints (the paper's ``cache_addr`` back-patches) whose
+loss only costs a later repair and whose duplication is harmless.  The
+layer refuses to send an expendable message to a handler that was not
+registered idempotent.
+
+The envelope preserves fault *targeting*: the wire packet is labelled
+with the inner handler's name, so a plan that drops 5% of ``fir``
+packets hits FIRs whether or not they travel inside envelopes.
+
+A :class:`ReliableTransport` is attached per endpoint by the kernel
+exactly when the machine has a fault plan (or ``config.reliability``
+forces it); fault-free machines keep the bare endpoint and pay one
+``is None`` test per send.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.am.messages import message_nbytes
+from repro.config import ReliabilityParams
+from repro.errors import HandlerError, ReliabilityError
+from repro.sim.stats import StatsRegistry
+
+#: Wire overhead of the envelope's sequence number.
+SEQ_BYTES = 8
+
+ENV_HANDLER = "__rel__"
+ACK_HANDLER = "__rel_ack__"
+
+
+class ReliableTransport:
+    """Per-endpoint at-least-once sender + exactly-once dispatcher."""
+
+    def __init__(
+        self,
+        endpoint,
+        params: ReliabilityParams,
+        stats: StatsRegistry,
+    ) -> None:
+        self.ep = endpoint
+        self.params = params
+        self.node = endpoint.node
+        self._seq = 0
+        #: seq -> [dst, handler, args, env_nbytes, attempts, timer]
+        self._pending: Dict[int, list] = {}
+        self._seen: Set[Tuple[int, int]] = set()
+        self._c_sent = stats.cell("rel.envelopes")
+        self._c_acks = stats.cell("rel.acks")
+        self._c_retries = stats.cell("rel.retries")
+        self._c_timeouts = stats.cell("rel.timeouts")
+        self._c_dup = stats.cell("rel.dup_absorbed")
+        self._c_expendable = stats.cell("rel.expendable_sends")
+        # Ack-packet flight accounting: acks ride am.sends/am.delivered
+        # like any packet, but they are pure control traffic — the
+        # quiescence probe must exclude them or idle nodes trading
+        # steal polls (whose acks are always briefly in flight) would
+        # never observe quiescence and poll forever.
+        self._c_ack_sent = stats.cell("rel.ack_sent")
+        self._c_ack_recv = stats.cell("rel.ack_recv")
+        self._rec_rtt = stats.timer("rel.ack_rtt_us").record
+        endpoint.register(ENV_HANDLER, self._on_env)
+        endpoint.register(ACK_HANDLER, self._on_ack)
+        endpoint._rel = self
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Unacked envelopes held by this sender (white-box for tests
+        and the invariant checker)."""
+        return len(self._pending)
+
+    def _now(self) -> float:
+        node = self.node
+        return node.now if node._in_handler else self.ep.network.sim.now
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        handler: str,
+        args: tuple = (),
+        *,
+        nbytes: Optional[int] = None,
+        charge_sender: bool = True,
+        trace_ctx: Optional[tuple] = None,
+        expendable: bool = False,
+    ) -> None:
+        if expendable:
+            if not self.ep.handlers.is_idempotent(handler):
+                raise HandlerError(
+                    f"expendable send to non-idempotent handler {handler!r}; "
+                    "register it with idempotent=True or use a tracked send"
+                )
+            self._c_expendable.n += 1
+            self.ep.send_raw(
+                dst, handler, args, nbytes=nbytes,
+                charge_sender=charge_sender, trace_ctx=trace_ctx,
+                wire_kind=handler,
+            )
+            return
+        seq = self._seq
+        self._seq = seq + 1
+        size = nbytes if nbytes is not None else message_nbytes(
+            args, self.ep._packet_bytes
+        )
+        if trace_ctx is not None:
+            # Same contract as the bare endpoint: sized before append.
+            args = args + (trace_ctx,)
+        entry = [dst, handler, args, size + SEQ_BYTES, 0, None, self._now()]
+        self._pending[seq] = entry
+        self._transmit_env(seq, entry, charge_sender)
+
+    def _transmit_env(self, seq: int, entry: list, charge_sender: bool) -> None:
+        dst, handler, args, env_nbytes = entry[0], entry[1], entry[2], entry[3]
+        self._c_sent.n += 1
+        self.ep.send_raw(
+            dst, ENV_HANDLER, (seq, handler, args), nbytes=env_nbytes,
+            charge_sender=charge_sender, wire_kind=handler,
+        )
+        p = self.params
+        timeout = min(
+            p.ack_timeout_us * (p.backoff_factor ** entry[4]), p.max_backoff_us
+        )
+        entry[5] = self.node.execute(
+            self._now() + timeout,
+            lambda: self._on_timeout(seq),
+            label="rel.timeout",
+        )
+
+    def _on_timeout(self, seq: int) -> None:
+        entry = self._pending.get(seq)
+        if entry is None:
+            return  # acked while the timer event was in flight
+        self._c_timeouts.n += 1
+        entry[4] += 1
+        if entry[4] > self.params.max_retries:
+            raise ReliabilityError(
+                f"node {self.ep.node_id}: no ack from node {entry[0]} for "
+                f"{entry[1]!r} (seq {seq}) after {self.params.max_retries} "
+                "retransmits — peer unreachable"
+            )
+        self._c_retries.n += 1
+        self._transmit_env(seq, entry, True)
+
+    def _on_ack(self, src: int, seq: int) -> None:
+        self._c_ack_recv.n += 1
+        entry = self._pending.pop(seq, None)
+        if entry is None:
+            return  # duplicate ack (retransmit raced the first ack)
+        self._c_acks.n += 1
+        timer = entry[5]
+        if timer is not None:
+            timer.cancel()
+        self._rec_rtt(self._now() - entry[6])
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+    def _on_env(self, src: int, seq: int, handler: str, args: tuple) -> None:
+        # Always ack, even a duplicate: the original ack may be the
+        # packet that was lost.
+        self._c_ack_sent.n += 1
+        self.ep.send_raw(src, ACK_HANDLER, (seq,), wire_kind=ACK_HANDLER)
+        key = (src, seq)
+        if key in self._seen:
+            self._c_dup.n += 1
+            return
+        self._seen.add(key)
+        ep = self.ep
+        fn = ep._handler_table.get(handler)
+        if fn is None:
+            fn = ep.handlers.lookup(handler)
+        fn(src, *args)
+
+    # ------------------------------------------------------------------
+    def unacked(self) -> List[Tuple[int, int, str]]:
+        """Outstanding (seq, dst, handler) triples, for diagnostics."""
+        return [(seq, e[0], e[1]) for seq, e in sorted(self._pending.items())]

@@ -62,6 +62,7 @@ def run_migration_tour(
     n: int = 3,
     trace: bool = True,
     seed: int = 1995,
+    faults=None,
 ) -> ScenarioResult:
     """Tour one actor through ``n`` migrations, then probe it from a
     node holding a stale cached address.
@@ -82,7 +83,7 @@ def run_migration_tour(
     # table) is still visible in the trace.
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed,
                         descriptor_caching=False)
-    rt = HalRuntime(cfg, trace=trace)
+    rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load_behaviors(Wanderer)
 
     birth = 1
@@ -126,6 +127,7 @@ def run_fibonacci_loadbalance(
     n: int = 14,
     trace: bool = True,
     seed: int = 1995,
+    faults=None,
 ) -> ScenarioResult:
     """fib(n) under receiver-initiated work stealing, traced.
 
@@ -139,7 +141,7 @@ def run_fibonacci_loadbalance(
         seed=seed,
         load_balance=LoadBalanceParams(enabled=True),
     )
-    rt = HalRuntime(cfg, trace=trace)
+    rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load(fib_program())
     target, box = rt.make_collector(from_node=0)
     rt.spawn_task("fib", n, target, 0, at=0)
@@ -162,7 +164,8 @@ def run_fibonacci_loadbalance(
 
 
 #: Scenario registry for the CLI.  Every entry accepts
-#: ``(num_nodes=..., n=..., trace=..., seed=...)`` keyword arguments.
+#: ``(num_nodes=..., n=..., trace=..., seed=..., faults=...)`` keyword
+#: arguments (``faults`` is an optional :class:`repro.sim.faults.FaultPlan`).
 SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
     "migration_tour": run_migration_tour,
     "fibonacci_loadbalance": run_fibonacci_loadbalance,
@@ -176,6 +179,7 @@ def run_scenario(
     n: Optional[int] = None,
     trace: bool = True,
     seed: int = 1995,
+    faults=None,
 ) -> ScenarioResult:
     """Run a registered scenario by name; None keeps its defaults."""
     try:
@@ -184,7 +188,7 @@ def run_scenario(
         raise ValueError(
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
         ) from None
-    kwargs: Dict[str, object] = {"trace": trace, "seed": seed}
+    kwargs: Dict[str, object] = {"trace": trace, "seed": seed, "faults": faults}
     if num_nodes is not None:
         kwargs["num_nodes"] = num_nodes
     if n is not None:

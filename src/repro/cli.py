@@ -9,6 +9,7 @@ compiler, and export causal traces.
     python -m repro compile-report    # what the HAL compiler decided
     python -m repro trace migration_tour --out tour.json
     python -m repro stats fibonacci_loadbalance --json
+    python -m repro faults migration_tour --seed 7 --drop 0.05 --dup 0.05
 """
 
 from __future__ import annotations
@@ -115,11 +116,27 @@ def _cmd_compile_report(args) -> None:
         print()
 
 
-def _run_scenario_for_cli(args):
+def _fault_plan(args):
+    """Build a FaultPlan from the shared fault flags, or None when no
+    fault rate was requested."""
+    drop = getattr(args, "drop", 0.0)
+    dup = getattr(args, "dup", 0.0)
+    delay = getattr(args, "delay", 0.0)
+    reorder = getattr(args, "reorder", 0.0)
+    if not (drop or dup or delay or reorder):
+        return None
+    from repro.sim.faults import FaultPlan
+    return FaultPlan.protocol_chaos(
+        seed=getattr(args, "faults_seed", None),
+        drop=drop, duplicate=dup, delay=delay, reorder=reorder,
+    )
+
+
+def _run_scenario_for_cli(args, faults=None):
     from repro.apps.scenarios import run_scenario
     try:
         return run_scenario(args.app, num_nodes=args.nodes, n=args.n,
-                            seed=args.seed)
+                            seed=args.seed, faults=faults)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
 
@@ -154,10 +171,16 @@ def _cmd_trace(args) -> None:
     ))
 
 
+#: Counter prefixes that tell the fault-injection / self-healing story:
+#: what was injected, what the reliable layer retried and absorbed, and
+#: which protocol watchdogs had to re-issue requests.
+FAULT_PREFIXES = ("faults.", "rel.", "fir.", "migration.", "creation.")
+
+
 def _cmd_stats(args) -> None:
     import json
 
-    res = _run_scenario_for_cli(args)
+    res = _run_scenario_for_cli(args, faults=_fault_plan(args))
     stats = res.runtime.stats
     if args.json:
         print(json.dumps(stats.as_dict(), indent=2, sort_keys=True))
@@ -168,7 +191,52 @@ def _cmd_stats(args) -> None:
         ["", "value"], rows,
     ))
     print()
+    fault_table = stats.table(prefixes=FAULT_PREFIXES)
+    if fault_table != "(no counters)":
+        print(fault_table)
+        print()
     print(render_hists(stats))
+
+
+def _cmd_faults(args) -> None:
+    """Run a scenario under an injected fault plan, then audit the
+    run's invariants and print the recovery counters."""
+    from repro.errors import InvariantViolation
+    from repro.sim.invariants import check_invariants
+
+    plan = _fault_plan(args)
+    res = _run_scenario_for_cli(args, faults=plan)
+    rt = res.runtime
+    try:
+        report = check_invariants(rt)
+    except InvariantViolation as exc:
+        print(f"FAIL — {exc}", file=sys.stderr)
+        print(
+            f"replay: python -m repro faults {args.app} --seed {args.seed}"
+            f" --drop {args.drop} --dup {args.dup} --delay {args.delay}"
+            + (f" --faults-seed {args.faults_seed}"
+               if args.faults_seed is not None else ""),
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+
+    rows = [(k, str(v)) for k, v in sorted(res.summary.items())]
+    pk = report["packets"]
+    rows.append(("packets", f"{pk['sends']} sent + {pk['duplicated']} dup "
+                            f"- {pk['dropped']} dropped = {pk['delivered']} "
+                            "delivered"))
+    rows.append(("forwarding chains", f"{report['chains_checked']} checked, "
+                                      f"max {report['max_chain_hops']} hops"))
+    rows.append(("invariants", "OK"))
+    print(render_table(
+        f"Faults — {args.app} (P={rt.num_nodes}, "
+        f"drop={args.drop} dup={args.dup} delay={args.delay})",
+        ["", "value"], rows,
+        note="packet conservation, chain convergence, quiescence, "
+             "birthplace back-patching all verified",
+    ))
+    print()
+    print(rt.stats.table(prefixes=FAULT_PREFIXES))
 
 
 def _cmd_tables(args) -> None:
@@ -223,6 +291,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "jsonl: one span per line")
     p.set_defaults(fn=_cmd_trace)
 
+    def add_fault_flags(p, *, drop=0.0, dup=0.0, delay=0.0):
+        p.add_argument("--drop", type=float, default=drop,
+                       help="per-packet drop probability for protocol kinds")
+        p.add_argument("--dup", type=float, default=dup,
+                       help="per-packet duplication probability")
+        p.add_argument("--delay", type=float, default=delay,
+                       help="per-packet extra-delay probability")
+        p.add_argument("--reorder", type=float, default=0.0,
+                       help="per-packet reorder probability")
+        p.add_argument("--faults-seed", type=int, default=None,
+                       help="fault RNG seed (default: derived from --seed)")
+
     p = sub.add_parser(
         "stats",
         help="run a traced scenario and print its latency histograms",
@@ -234,7 +314,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--seed", type=int, default=1995)
     p.add_argument("--json", action="store_true",
                    help="dump the full stats registry as JSON")
+    add_fault_flags(p)
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "faults",
+        help="run a scenario under deterministic fault injection and "
+             "audit the run's invariants (exit 1 on violation)",
+    )
+    p.add_argument("app", help="scenario name")
+    p.add_argument("--nodes", type=int, default=None, help="partition size")
+    p.add_argument("--n", type=int, default=None,
+                   help="problem size (scenario-specific)")
+    p.add_argument("--seed", type=int, default=1995)
+    add_fault_flags(p, drop=0.05, dup=0.05, delay=0.05)
+    p.set_defaults(fn=_cmd_faults)
 
     args = parser.parse_args(argv)
     if args.command == "tables":

@@ -8,7 +8,7 @@ active-message layer.  All times are **simulated microseconds**.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Literal
+from typing import Literal, Optional
 
 
 @dataclass(frozen=True)
@@ -99,6 +99,54 @@ class LoadBalanceParams:
 
 
 @dataclass(frozen=True)
+class ReliabilityParams:
+    """Reliable-delivery sublayer (acks + timeout/retry + dedupe).
+
+    The CM-5's CMAM layer delivered every packet exactly once, so the
+    paper's protocols assume a reliable substrate.  When fault
+    injection withdraws that guarantee (:mod:`repro.sim.faults`) this
+    sublayer restores it end-to-end: every AM carries a sequence
+    number, the receiver acks it and absorbs duplicates keyed by
+    ``(sender, seq)``, and the sender retransmits on timeout with
+    exponential backoff.  A second layer of protocol-level watchdogs
+    (FIR reissue, migration-handshake resend, alias-promotion retry)
+    guards the multi-message exchanges whose *replies* can be lost.
+
+    ``enabled=None`` (the default) means *automatic*: the sublayer is
+    attached exactly when a fault plan is installed, so the fault-free
+    fast path pays only one cached ``is None`` test per send.
+    """
+
+    #: None = attach iff faults are injected; True/False force it.
+    enabled: Optional[bool] = None
+    #: Time to wait for an ack before the first retransmit (us).
+    ack_timeout_us: float = 600.0
+    #: Multiplier applied to the timeout after each retransmit.
+    backoff_factor: float = 2.0
+    #: Ceiling on the per-attempt timeout (us).
+    max_backoff_us: float = 20_000.0
+    #: Retransmits before the sender gives up with ReliabilityError.
+    max_retries: int = 18
+    #: Protocol watchdogs: how long a FIR may sit unanswered before it
+    #: is reissued (us), and the analogous migration-handshake and
+    #: alias-promotion timeouts.  These run above the ack layer and
+    #: also back off exponentially.
+    fir_timeout_us: float = 3_000.0
+    handshake_timeout_us: float = 3_000.0
+    promotion_timeout_us: float = 4_000.0
+    #: Retry cap shared by the protocol watchdogs.
+    watchdog_max_retries: int = 12
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout_us <= 0:
+            raise ValueError("ack_timeout_us must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_retries < 0 or self.watchdog_max_retries < 0:
+            raise ValueError("retry caps must be >= 0")
+
+
+@dataclass(frozen=True)
 class RuntimeConfig:
     """Top-level configuration for a simulated HAL runtime instance."""
 
@@ -121,6 +169,7 @@ class RuntimeConfig:
     network: NetworkParams = field(default_factory=NetworkParams)
     scheduler: SchedulerParams = field(default_factory=SchedulerParams)
     load_balance: LoadBalanceParams = field(default_factory=LoadBalanceParams)
+    reliability: ReliabilityParams = field(default_factory=ReliabilityParams)
 
     #: Abort the simulation after this many events (safety valve).
     max_events: int = 200_000_000

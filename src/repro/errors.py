@@ -82,3 +82,11 @@ class LoadError(ReproError):
 
 class FlowControlError(ReproError):
     """The bulk-transfer flow-control protocol was violated."""
+
+
+class ReliabilityError(ReproError):
+    """The reliable-delivery sublayer exhausted its retry budget."""
+
+
+class InvariantViolation(ReproError):
+    """A post-run invariant check failed (see :mod:`repro.sim.invariants`)."""

@@ -33,6 +33,11 @@ class CreationService:
         self.kernel = kernel
         self._spans = kernel.spans
         self._spans_on = bool(kernel.spans.enabled)
+        # Under fault injection a creation request may be resent, so a
+        # duplicate arrival is re-confirmed instead of rejected, and
+        # the issuer arms an alias-promotion watchdog (the cached
+        # descriptor address coming back is the confirmation).
+        self._faults_on = kernel.runtime.machine.faults is not None
 
     # ------------------------------------------------------------------
     def create(self, cls: Type, args: tuple, at: Optional[int] = None) -> ActorRef:
@@ -101,7 +106,42 @@ class CreationService:
         # last packet is injected; the remaining bookkeeping (alias
         # continuation fix-up) happens after the send.
         k.node.charge(costs.remote_create_issue_fixed_us)
+        if self._faults_on and k.config.descriptor_caching:
+            self._arm_promotion(desc, key, behavior.name, args, dest)
         return ActorRef(key)
+
+    # ------------------------------------------------------------------
+    # alias-promotion watchdog (faulty machines only)
+    # ------------------------------------------------------------------
+    def _arm_promotion(self, desc, key: MailAddress, behavior_name: str,
+                       args: tuple, dest: int) -> None:
+        k = self.kernel
+        p = k.config.reliability
+        timeout = min(
+            p.promotion_timeout_us * (p.backoff_factor ** desc.retry_attempts),
+            p.max_backoff_us,
+        )
+        desc.retry_timer = k.node.execute(
+            k.node.now + timeout,
+            lambda: self._promotion_watchdog(desc, key, behavior_name, args, dest),
+            label="creation.watchdog",
+        )
+
+    def _promotion_watchdog(self, desc, key: MailAddress, behavior_name: str,
+                            args: tuple, dest: int) -> None:
+        desc.retry_timer = None
+        if desc.has_cached_addr or desc.is_local:
+            return  # creation confirmed (self-cleaning)
+        k = self.kernel
+        desc.retry_attempts += 1
+        if desc.retry_attempts > k.config.reliability.watchdog_max_retries:
+            raise NameServiceError(
+                f"node {k.node_id}: remote creation of {key!r} on node "
+                f"{dest} was never confirmed"
+            )
+        k.stats.incr("creation.reissued")
+        k.endpoint.send(dest, "create_remote", (key, behavior_name, args))
+        self._arm_promotion(desc, key, behavior_name, args, dest)
 
     def on_create_remote(
         self, src: int, key: MailAddress, behavior_name: str, args: tuple,
@@ -121,6 +161,17 @@ class CreationService:
         if desc is None:
             desc = k.table.alloc(key)
         elif desc.actor is not None:
+            if self._faults_on:
+                # A resent creation request whose original landed: the
+                # actor exists; just re-confirm so the issuer's alias
+                # promotes.  Never create a second actor.
+                k.stats.incr("creation.dup_requests")
+                if k.config.descriptor_caching:
+                    k.endpoint.send(
+                        src, "cache_addr", (key, k.node_id, desc.addr),
+                        expendable=True,
+                    )
+                return
             raise NameServiceError(f"duplicate creation for {key!r}")
         state = behavior.make_state(args)
         actor = Actor(behavior, state, k.node_id, key)
@@ -139,12 +190,15 @@ class CreationService:
         k.migration._answer_waiting_firs(desc, k.node_id, desc.addr)
         # Background processing: return the descriptor address to cache.
         if k.config.descriptor_caching:
+            # A pure hint (the issuer's promotion watchdog repairs its
+            # loss), so it skips the ack/retry machinery.
             k.endpoint.send(
                 src, "cache_addr", (key, k.node_id, desc.addr),
                 trace_ctx=(
                     TraceCtx(trace_ctx.trace_id, serve_span, k.node.now)
                     if serve_span is not None else None
                 ),
+                expendable=True,
             )
 
     # ------------------------------------------------------------------

@@ -237,6 +237,7 @@ class DeliveryService:
                         TraceCtx(msg.trace_id, msg.span_id, self._node.now)
                         if msg.trace_id else None
                     ),
+                    expendable=True,
                 )
             return
         self._route_nonlocal(desc, msg)
@@ -272,6 +273,7 @@ class DeliveryService:
                         TraceCtx(msg.trace_id, msg.span_id, self._node.now)
                         if msg.trace_id else None
                     ),
+                    expendable=True,
                 )
             return
         self._route_nonlocal(desc, msg)

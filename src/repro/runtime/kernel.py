@@ -16,6 +16,7 @@ from repro.actors.behavior import Behavior, behavior_of, is_behavior_class
 from repro.am.bulk import BulkManager
 from repro.am.cmam import Endpoint
 from repro.am.flowcontrol import AcceptAll, MinimalFlowControl
+from repro.am.reliable import ReliableTransport
 from repro.errors import LoadError
 from repro.runtime.calls import ContinuationTable, GeneratorDriver, ReplyRouter
 from repro.runtime.creation import CreationService
@@ -61,6 +62,20 @@ class Kernel:
             self.trace,
             send_overhead_us=self.costs.am_send_overhead_us,
             receive_overhead_us=self.costs.am_receive_overhead_us,
+        )
+        # Reliable-delivery sublayer: attached exactly when the machine
+        # injects faults (or config forces it), so fault-free runs keep
+        # the bare endpoint fast path.
+        rel_cfg = self.config.reliability
+        rel_on = (
+            rel_cfg.enabled
+            if rel_cfg.enabled is not None
+            else runtime.machine.faults is not None
+        )
+        self.reliable = (
+            ReliableTransport(self.endpoint, rel_cfg, self.stats)
+            if rel_on
+            else None
         )
         policy = (
             MinimalFlowControl(1) if self.config.flow_control else AcceptAll()

@@ -45,6 +45,16 @@ class MigrationService:
         self._spans = kernel.spans
         self._spans_on = bool(kernel.spans.enabled)
         self._h_chain = kernel.stats.hist("fir_chain_length")
+        # Fault hardening (armed only on faulty machines): outstanding
+        # migrate_arrive handshakes awaiting their ack, keyed by mail
+        # address as ``[dest, payload, nbytes, attempts, timer]``; and
+        # the receiver-side dedupe table mapping a migration's identity
+        # ``(old_node, mig_id)`` to the descriptor address we acked
+        # with, so a resent commit is re-acked, never re-applied.
+        self._faults_on = kernel.runtime.machine.faults is not None
+        self._mig_seq = 0
+        self._outstanding: dict = {}
+        self._arrived: dict = {}
 
     # ==================================================================
     # outbound migration
@@ -78,7 +88,9 @@ class MigrationService:
                 k.node_id, k.node.now, None, dest,
             )
             tctx = TraceCtx(tid, sid, k.node.now)
-        payload = (actor.key, behavior.name, state, tuple(mail))
+        self._mig_seq += 1
+        mig_id = self._mig_seq
+        payload = (actor.key, behavior.name, state, tuple(mail), mig_id)
         nbytes = message_nbytes(payload, k.network_params.packet_bytes) + payload_nbytes(
             getattr(state, "__dict__", None)
         )
@@ -88,12 +100,32 @@ class MigrationService:
         else:
             k.endpoint.send(dest, "migrate_arrive", payload, nbytes=nbytes,
                             trace_ctx=tctx)
+        if self._faults_on:
+            # Handshake watchdog: if the ack never lands (commit or ack
+            # lost in flight), resend the commit with backoff.  The
+            # receiver dedupes by (old_node, mig_id).
+            entry = [dest, payload, nbytes, 0, None]
+            self._outstanding[actor.key] = entry
+            self._arm_handshake(actor.key, entry)
 
     def on_migrate_arrive(
         self, src: int, key: MailAddress, behavior_name: str, state, mail: tuple,
-        trace_ctx: Optional[TraceCtx] = None,
+        mig_id: int = -1, trace_ctx: Optional[TraceCtx] = None,
     ) -> None:
         k = self.kernel
+        # Duplicate commit (a resent handshake whose original landed, or
+        # a duplicated packet below the envelope layer): the move is
+        # already applied — re-ack with the address we answered before
+        # and do NOT resurrect a second copy of the actor.
+        prev_addr = self._arrived.get((src, mig_id)) if mig_id >= 0 else None
+        if prev_addr is None:
+            desc0 = k.table.get(key)
+            if desc0 is not None and desc0.is_local and desc0.actor is not None:
+                prev_addr = desc0.addr
+        if prev_addr is not None:
+            k.stats.incr("migration.dup_arrivals")
+            k.endpoint.send(src, "migrate_ack", (key, prev_addr))
+            return
         k.node.charge(k.costs.migrate_unpack_us)
         in_span = None
         if trace_ctx is not None and self._spans_on:
@@ -109,6 +141,8 @@ class MigrationService:
             k.node.charge(k.costs.descriptor_alloc_us + k.costs.nametable_insert_us)
             desc = k.table.alloc(key)
         desc.set_local(actor)
+        if mig_id >= 0 and self._faults_on:
+            self._arrived[(src, mig_id)] = desc.addr
         actor.migrating = False
         for msg in mail:
             actor.mailbox.enqueue(msg)
@@ -127,17 +161,27 @@ class MigrationService:
         )
         k.endpoint.send(src, "migrate_ack", (key, desc.addr),
                         trace_ctx=out_ctx)
-        # ... and cache it at the birthplace too (§4.3).
+        # ... and cache it at the birthplace too (§4.3).  The
+        # back-patch is a pure hint — losing it only costs a later FIR
+        # chase — so it rides outside the ack/retry machinery.
         birth = key.home_node()
         if birth not in (k.node_id, src):
             k.endpoint.send(birth, "cache_addr", (key, k.node_id, desc.addr),
-                            trace_ctx=out_ctx)
+                            trace_ctx=out_ctx, expendable=True)
 
     def on_migrate_ack(self, src: int, key: MailAddress, new_addr: int,
                        trace_ctx: Optional[TraceCtx] = None) -> None:
         k = self.kernel
+        entry = self._outstanding.pop(key, None)
+        if entry is not None and entry[4] is not None:
+            entry[4].cancel()
         desc = k.table.get(key)
         if desc is None or desc.state is not DescState.IN_TRANSIT:
+            # Duplicate ack: a resent commit was re-acked after the
+            # first ack already moved this descriptor to REMOTE.
+            if desc is not None and desc.state is DescState.REMOTE:
+                k.stats.incr("migration.dup_acks")
+                return
             raise MigrationError(
                 f"node {k.node_id}: unexpected migrate_ack for {key!r}"
             )
@@ -151,6 +195,41 @@ class MigrationService:
         k.stats.incr("migration.acked")
         k.delivery.flush_deferred(desc)
         self._answer_waiting_firs(desc, src, new_addr)
+
+    # ------------------------------------------------------------------
+    # handshake watchdog (faulty machines only)
+    # ------------------------------------------------------------------
+    def _arm_handshake(self, key: MailAddress, entry: list) -> None:
+        k = self.kernel
+        p = k.config.reliability
+        timeout = min(
+            p.handshake_timeout_us * (p.backoff_factor ** entry[3]),
+            p.max_backoff_us,
+        )
+        entry[4] = k.node.execute(
+            k.node.now + timeout,
+            lambda: self._handshake_timeout(key),
+            label="migration.watchdog",
+        )
+
+    def _handshake_timeout(self, key: MailAddress) -> None:
+        entry = self._outstanding.get(key)
+        if entry is None:
+            return  # acked while the timer event was in flight
+        k = self.kernel
+        desc = k.table.get(key)
+        if desc is None or desc.state is not DescState.IN_TRANSIT:
+            self._outstanding.pop(key, None)
+            return
+        entry[3] += 1
+        if entry[3] > k.config.reliability.watchdog_max_retries:
+            raise MigrationError(
+                f"node {k.node_id}: migration of {key!r} to node "
+                f"{entry[0]} was never acknowledged"
+            )
+        k.stats.incr("migration.resent")
+        k.endpoint.send(entry[0], "migrate_arrive", entry[1], nbytes=entry[2])
+        self._arm_handshake(key, entry)
 
     # ==================================================================
     # FIR protocol
@@ -183,6 +262,40 @@ class MigrationService:
             tctx = TraceCtx(msg.trace_id, sid, k.node.now)
         k.endpoint.send(target, "fir", (desc.key, (k.node_id,)),
                         trace_ctx=tctx)
+        if self._faults_on:
+            # FIR watchdog: if the chase never reports back (request or
+            # reply lost anywhere along the chain), reissue from here.
+            desc.retry_attempts = 0
+            self._arm_fir_watchdog(desc)
+
+    def _arm_fir_watchdog(self, desc: LocalityDescriptor) -> None:
+        k = self.kernel
+        p = k.config.reliability
+        timeout = min(
+            p.fir_timeout_us * (p.backoff_factor ** desc.retry_attempts),
+            p.max_backoff_us,
+        )
+        desc.retry_timer = k.node.execute(
+            k.node.now + timeout,
+            lambda: self._fir_watchdog(desc),
+            label="fir.watchdog",
+        )
+
+    def _fir_watchdog(self, desc: LocalityDescriptor) -> None:
+        desc.retry_timer = None
+        if desc.state is not DescState.RESOLVING:
+            return  # chase resolved; nothing to do (self-cleaning)
+        k = self.kernel
+        desc.retry_attempts += 1
+        if desc.retry_attempts > k.config.reliability.watchdog_max_retries:
+            raise DeliveryError(
+                f"node {k.node_id}: FIR for {desc.key!r} was never "
+                "answered (chain unreachable)"
+            )
+        k.stats.incr("fir.reissued")
+        k.node.charge(k.costs.fir_relay_us)
+        k.endpoint.send(desc.remote_node, "fir", (desc.key, (k.node_id,)))
+        self._arm_fir_watchdog(desc)
 
     def on_fir(self, src: int, key: MailAddress, chain: Tuple[int, ...],
                trace_ctx: Optional[TraceCtx] = None) -> None:

@@ -155,6 +155,8 @@ class LocalityDescriptor:
         "deferred",
         "waiting_firs",
         "fir_retries",
+        "retry_attempts",
+        "retry_timer",
     )
 
     def __init__(self, addr: int, key: Optional[MailAddress]) -> None:
@@ -176,13 +178,29 @@ class LocalityDescriptor:
         #: untraced); see MigrationService._answer_waiting_firs.
         self.waiting_firs: List[tuple] = []
         self.fir_retries: int = 0
+        #: Watchdog bookkeeping under fault injection: retries issued
+        #: so far and the pending (cancellable) timer event, if any.
+        #: Cleared whenever the descriptor reaches a resolved state.
+        self.retry_attempts: int = 0
+        self.retry_timer: Optional[Any] = None
 
     # ------------------------------------------------------------------
+    def clear_retry(self) -> None:
+        """Cancel any pending protocol watchdog; the descriptor reached
+        a resolved state and the exchange it guarded completed."""
+        timer = self.retry_timer
+        if timer is not None:
+            self.retry_timer = None
+            timer.cancel()
+        self.retry_attempts = 0
+
     def set_local(self, actor: "Actor") -> None:
         self.state = DescState.LOCAL
         self.actor = actor
         self.remote_node = -1
         self.remote_addr = -1
+        if self.retry_timer is not None:
+            self.clear_retry()
 
     def set_remote(self, node: int, addr: int = -1) -> None:
         if node < 0:
@@ -191,6 +209,8 @@ class LocalityDescriptor:
         self.actor = None
         self.remote_node = node
         self.remote_addr = addr
+        if self.retry_timer is not None:
+            self.clear_retry()
 
     def begin_transit(self, dest: int) -> None:
         self.state = DescState.IN_TRANSIT

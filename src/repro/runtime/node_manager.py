@@ -26,7 +26,11 @@ class NodeManager:
         # message delivery (§4)
         ep.register("deliver_keyed", self._deliver_keyed)
         ep.register("deliver_direct", self._deliver_direct)
-        ep.register("cache_addr", kernel.delivery.on_cache_addr)
+        # cache_addr installs a best guess and never overrides local
+        # truth, so duplicated or replayed copies are harmless — that
+        # is what lets senders mark it expendable under fault injection.
+        ep.register("cache_addr", kernel.delivery.on_cache_addr,
+                    idempotent=True)
         # creation (§5)
         ep.register("create_remote", kernel.creation.on_create_remote)
         ep.register("create_request", kernel.creation.on_create_request)

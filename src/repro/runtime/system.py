@@ -33,10 +33,11 @@ class HalRuntime:
         *,
         costs: Optional[CostModel] = None,
         trace: bool = False,
+        faults=None,
     ) -> None:
         self.config = config or RuntimeConfig()
         self.costs = costs or CostModel()
-        self.machine = Machine(self.config, trace=trace)
+        self.machine = Machine(self.config, trace=trace, faults=faults)
         self.endpoint_directory: Dict[int, Endpoint] = {}
         self.frontend = FrontEnd(self)
         self.kernels: List[Kernel] = [
@@ -54,6 +55,18 @@ class HalRuntime:
         self._c_am_delivered = stats.cell("am.delivered")
         self._c_steal_sent = stats.cell("steal.proto_sent")
         self._c_steal_recv = stats.cell("steal.proto_recv")
+        # Under fault injection the packet books only balance once
+        # drops (sent, never delivered) and duplicates (delivered
+        # twice) are added back in.
+        self._c_dropped = stats.cell("faults.dropped_packets")
+        self._c_dup = stats.cell("faults.dup_packets")
+        # Reliability acks are pure control traffic; like steal chatter
+        # they must not hold quiescence open (idle nodes trading polls
+        # always have an ack briefly in flight).
+        self._c_ack_sent = stats.cell("rel.ack_sent")
+        self._c_ack_recv = stats.cell("rel.ack_recv")
+        self._c_ack_dropped = stats.cell("faults.dropped_acks")
+        self._c_ack_dup = stats.cell("faults.dup_acks")
 
     # ------------------------------------------------------------------
     # properties
@@ -234,9 +247,16 @@ class HalRuntime:
     def quiescent(self) -> bool:
         """True when no work remains anywhere: no in-flight messages
         (steal-protocol chatter excluded) and every dispatcher empty."""
-        inflight = self._c_am_sends.n - self._c_am_delivered.n
+        inflight = (
+            self._c_am_sends.n + self._c_dup.n
+            - self._c_dropped.n - self._c_am_delivered.n
+        )
         steal_chatter = self._c_steal_sent.n - self._c_steal_recv.n
-        if inflight - steal_chatter > 0:
+        ack_chatter = (
+            self._c_ack_sent.n + self._c_ack_dup.n
+            - self._c_ack_dropped.n - self._c_ack_recv.n
+        )
+        if inflight - steal_chatter - ack_chatter > 0:
             return False
         return all(not k.dispatcher.ready for k in self.kernels)
 

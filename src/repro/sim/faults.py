@@ -1,0 +1,304 @@
+"""Deterministic fault injection for the interconnect model.
+
+The paper's central claim — location transparency stays cheap because
+name tables are a relaxed-consistency "best guess" repaired on demand —
+was measured on a CM-5 whose CMAM layer delivers every packet exactly
+once.  A production substrate offers no such guarantee, so this module
+lets a simulation *withdraw* it, deterministically: a seeded
+:class:`FaultPlan` describes, per message kind, the probability that an
+individual AM packet is dropped, duplicated, delayed or reordered, and
+per node, windows in which a whole node stalls or drains slowly.
+
+A :class:`FaultInjector` binds a plan to a machine.  The network
+consults it on the packet path (one cached boolean when no plan is
+installed; see :meth:`repro.sim.network.Network.unicast`), and every
+decision is drawn from a named RNG substream so a run is exactly
+reproducible from ``(workload seed, fault seed)``.  Each fault is also
+recorded in a ledger — the *injected-fault budget* the invariant
+checker (:mod:`repro.sim.invariants`) audits delivery against.
+
+Semantics of the four packet faults:
+
+- **drop**: the sender's NIC injects the packet (it pays the wire),
+  but it never arrives.  Survival requires retry (the reliable AM
+  sublayer, :mod:`repro.am.reliable`).
+- **duplicate**: the packet arrives twice, the second copy after an
+  extra delay.  Survival requires idempotent receipt (dedupe keyed by
+  ``(sender, seq)``).
+- **delay**: the packet arrives late by a uniform draw from
+  ``delay_us``.
+- **reorder**: modelled as an extra delay up to ``reorder_window_us``
+  *combined with* the faulted kind bypassing the network's per-pair
+  FIFO floor — a later packet between the same pair may overtake it.
+
+Kinds with no rule attached keep the normal, fully ordered and
+reliable path even on a faulty machine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.sim.rng import _derive_seed
+from repro.sim.stats import StatsRegistry
+
+#: Message kinds the self-healing protocols are hardened against.  The
+#: chaos presets target these; anything sent through the AM endpoint is
+#: actually safe (the reliable sublayer sits below every handler), but
+#: this set names the protocol traffic the paper's §4–§5 machinery owns.
+PROTOCOL_KINDS: Tuple[str, ...] = (
+    "fir",
+    "fir_reply",
+    "migrate_arrive",
+    "migrate_ack",
+    "create_remote",
+    "cache_addr",
+    "deliver_keyed",
+    "deliver_direct",
+    "reply",
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Per-message-kind packet fault probabilities.
+
+    ``drop_count`` makes the rule deterministic instead: the first
+    ``drop_count`` matching packets are dropped, and the probabilistic
+    clauses are skipped entirely — useful for tests that must kill one
+    specific protocol step ("the FIR reply") without a seed hunt.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    #: Uniform range of injected extra latency (us) for delay faults.
+    delay_us: Tuple[float, float] = (10.0, 200.0)
+    reorder: float = 0.0
+    #: Maximum overtaking window (us) for reorder faults.
+    reorder_window_us: float = 250.0
+    #: Deterministic mode: drop exactly the first N matching packets.
+    drop_count: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ReproError(f"fault probability {name}={p} not in [0, 1]")
+        if self.drop_count < 0:
+            raise ReproError(f"drop_count must be >= 0, got {self.drop_count}")
+        if self.delay_us[0] < 0 or self.delay_us[1] < self.delay_us[0]:
+            raise ReproError(f"bad delay_us range {self.delay_us}")
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """A whole-node fault: one stall window and/or a slow drain.
+
+    During ``[stall_at_us, stall_at_us + stall_for_us)`` no packet is
+    drained by the node's receive NIC — arrivals are shifted past the
+    window (senders see a silent peer and must retry or wait).
+    ``slow_factor`` multiplies the node's per-byte drain cost for the
+    whole run (a thermally throttled or oversubscribed node).
+    """
+
+    stall_at_us: float = 0.0
+    stall_for_us: float = 0.0
+    slow_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.stall_at_us < 0 or self.stall_for_us < 0:
+            raise ReproError("stall window must be non-negative")
+        if self.slow_factor < 1.0:
+            raise ReproError(f"slow_factor must be >= 1, got {self.slow_factor}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of the faults to inject.
+
+    ``by_kind`` maps message kinds (AM handler names) to their
+    :class:`FaultRule`; kinds not listed are never faulted.  ``seed``
+    of ``None`` inherits the machine's workload seed, so one
+    ``--seed N`` reproduces both the workload and its faults; an
+    explicit seed lets fuzzers vary faults independently.
+    ``max_drops`` caps the total number of dropped packets (the drop
+    budget): once spent, further drop draws deliver normally, which
+    bounds worst-case retry storms in long runs.
+    """
+
+    seed: Optional[int] = None
+    by_kind: Dict[str, FaultRule] = field(default_factory=dict)
+    node_faults: Dict[int, NodeFault] = field(default_factory=dict)
+    max_drops: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def protocol_chaos(
+        cls,
+        *,
+        seed: Optional[int] = None,
+        drop: float = 0.05,
+        duplicate: float = 0.05,
+        delay: float = 0.05,
+        delay_us: Tuple[float, float] = (10.0, 200.0),
+        reorder: float = 0.0,
+        kinds: Tuple[str, ...] = PROTOCOL_KINDS,
+        node_faults: Optional[Dict[int, NodeFault]] = None,
+        max_drops: Optional[int] = None,
+    ) -> "FaultPlan":
+        """The canonical chaos preset: one rule over the protocol kinds."""
+        rule = FaultRule(drop=drop, duplicate=duplicate, delay=delay,
+                         delay_us=delay_us, reorder=reorder)
+        return cls(seed=seed, by_kind={k: rule for k in kinds},
+                   node_faults=dict(node_faults or {}), max_drops=max_drops)
+
+    @property
+    def empty(self) -> bool:
+        return not self.by_kind and not self.node_faults
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One ledger entry: a fault that was actually injected."""
+
+    time_us: float
+    action: str  # "drop" | "duplicate" | "delay" | "reorder"
+    kind: str
+    src: int
+    dst: int
+    extra_us: float = 0.0
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to one machine's packet stream.
+
+    All sampling happens on the packet send path in simulation order,
+    from a single substream derived from the fault seed — identical
+    runs draw identical faults.  The injector keeps a full ledger of
+    injected faults plus counter cells the quiescence probe and the
+    invariant checker use to balance the packet books:
+
+    ``sends + duplicated - dropped == delivered`` at quiescence.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int, stats: StatsRegistry) -> None:
+        self.plan = plan
+        self.seed = plan.seed if plan.seed is not None else seed
+        self.rng = random.Random(_derive_seed(self.seed, "faults"))
+        self.ledger: List[FaultEvent] = []
+        self._rules = dict(plan.by_kind)
+        self._drop_remaining: Dict[str, int] = {
+            k: r.drop_count for k, r in self._rules.items() if r.drop_count
+        }
+        self._drops_left = (
+            plan.max_drops if plan.max_drops is not None else float("inf")
+        )
+        # Node-fault lookup tables (empty dicts keep the common case to
+        # two failed .get probes per faulted packet).
+        self._stalls: Dict[int, Tuple[float, float]] = {
+            n: (f.stall_at_us, f.stall_at_us + f.stall_for_us)
+            for n, f in plan.node_faults.items() if f.stall_for_us > 0
+        }
+        self._slow: Dict[int, float] = {
+            n: f.slow_factor
+            for n, f in plan.node_faults.items() if f.slow_factor != 1.0
+        }
+        self.c_dropped = stats.cell("faults.dropped_packets")
+        self.c_duplicated = stats.cell("faults.dup_packets")
+        self.c_delayed = stats.cell("faults.delayed_packets")
+        self.c_reordered = stats.cell("faults.reordered_packets")
+        self.c_stalled = stats.cell("faults.stall_shifted_packets")
+        # Faulted reliability acks need their own books: the quiescence
+        # probe excludes in-flight ack packets (see HalRuntime.quiescent
+        # and repro.am.reliable), so their drops/dups must be visible to
+        # it.  The literal mirrors repro.am.reliable.ACK_HANDLER — the
+        # sim layer cannot import the am layer.
+        self.c_ack_dropped = stats.cell("faults.dropped_acks")
+        self.c_ack_duplicated = stats.cell("faults.dup_acks")
+
+    # ------------------------------------------------------------------
+    def rule_for(self, kind: str) -> Optional[FaultRule]:
+        return self._rules.get(kind)
+
+    def sample(self, rule: FaultRule, kind: str, src: int, dst: int,
+               now: float) -> List[float]:
+        """Decide one packet's fate.  Returns the extra latency of each
+        delivered copy: ``[]`` dropped, ``[x]`` delivered once with
+        ``x`` extra microseconds, ``[x, y]`` duplicated."""
+        # Deterministic drop-the-first-N mode short-circuits sampling.
+        left = self._drop_remaining.get(kind)
+        if left:
+            self._drop_remaining[kind] = left - 1
+            self._record("drop", kind, src, dst, now)
+            return []
+        if rule.drop_count:
+            return [0.0]
+        rng = self.rng
+        if rule.drop and self._drops_left > 0 and rng.random() < rule.drop:
+            self._drops_left -= 1
+            self._record("drop", kind, src, dst, now)
+            return []
+        extra = 0.0
+        if rule.delay and rng.random() < rule.delay:
+            extra = rng.uniform(*rule.delay_us)
+            self._record("delay", kind, src, dst, now, extra)
+        if rule.reorder and rng.random() < rule.reorder:
+            shove = rng.uniform(0.0, rule.reorder_window_us)
+            extra += shove
+            self._record("reorder", kind, src, dst, now, shove)
+        if rule.duplicate and rng.random() < rule.duplicate:
+            echo = extra + rng.uniform(*rule.delay_us)
+            self._record("duplicate", kind, src, dst, now, echo)
+            return [extra, echo]
+        return [extra]
+
+    def _record(self, action: str, kind: str, src: int, dst: int,
+                now: float, extra: float = 0.0) -> None:
+        cell = {
+            "drop": self.c_dropped,
+            "duplicate": self.c_duplicated,
+            "delay": self.c_delayed,
+            "reorder": self.c_reordered,
+        }[action]
+        cell.n += 1
+        if kind == "__rel_ack__":
+            if action == "drop":
+                self.c_ack_dropped.n += 1
+            elif action == "duplicate":
+                self.c_ack_duplicated.n += 1
+        self.ledger.append(FaultEvent(now, action, kind, src, dst, extra))
+
+    # ------------------------------------------------------------------
+    # whole-node faults
+    # ------------------------------------------------------------------
+    def node_faulted(self, dst: int) -> bool:
+        """True if ``dst`` has a stall window or a slow drain."""
+        return dst in self._stalls or dst in self._slow
+
+    def stall_shift(self, dst: int, arrive: float) -> float:
+        """Shift an arrival time past ``dst``'s stall window, if any."""
+        window = self._stalls.get(dst)
+        if window is not None and window[0] <= arrive < window[1]:
+            self.c_stalled.n += 1
+            return window[1]
+        return arrive
+
+    def slow_factor(self, dst: int) -> float:
+        return self._slow.get(dst, 1.0)
+
+    # ------------------------------------------------------------------
+    def drops_injected(self) -> int:
+        return self.c_dropped.n
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "dropped": self.c_dropped.n,
+            "duplicated": self.c_duplicated.n,
+            "delayed": self.c_delayed.n,
+            "reordered": self.c_reordered.n,
+            "stall_shifted": self.c_stalled.n,
+        }

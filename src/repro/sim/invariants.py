@@ -1,0 +1,229 @@
+"""Post-run invariant checking for (possibly fault-injected) runs.
+
+The paper's correctness argument for relaxed-consistency name tables is
+*eventual*: any individual table entry may be stale, but the delivery
+algorithm, the FIR protocol and the back-patching traffic together
+guarantee that every message reaches its actor and every forwarding
+chain leads to the truth.  Fault injection stresses exactly that
+argument, so after a run we audit it directly:
+
+1. **drained** — the event heap is empty (the run actually finished);
+2. **packet conservation** — every injected packet was delivered,
+   except exactly those the fault plan dropped, plus exactly those it
+   duplicated: ``am.sends + faults.dup - faults.dropped == am.delivered``.
+   Nothing was *silently* lost below the injected-fault budget;
+3. **no retained work** — no unacked reliable envelopes, no bulk
+   transfers mid-protocol, no parked FIR chases, no deferred messages,
+   no transient descriptor states, no ready-but-undelivered mail;
+4. **forwarding-chain convergence** — from *every* node, following
+   best-guess pointers for every known mail address terminates at the
+   actor's true location within a bounded number of hops (no cycles,
+   no dangling trails);
+5. **birthplace resolution** — the home node encoded in each live
+   actor's mail address can still route to it (the paper's guarantee
+   that the address itself is always a sufficient first guess).
+
+``check_invariants(runtime)`` raises :class:`InvariantViolation` with
+every failure listed, or returns a small report dict for display.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.errors import InvariantViolation
+from repro.runtime.names import DescState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.system import HalRuntime
+
+#: Transient descriptor states that must not survive quiescence.
+_TRANSIENT = (
+    DescState.RESOLVING,
+    DescState.IN_TRANSIT,
+    DescState.AWAITING_CREATION,
+)
+
+
+def _true_locations(runtime: "HalRuntime") -> Dict:
+    """Ground truth: mail address -> node currently hosting the actor."""
+    where: Dict = {}
+    for kernel in runtime.kernels:
+        for desc in kernel.table:
+            if desc.is_local and desc.actor is not None and desc.key is not None:
+                prev = where.get(desc.key)
+                if prev is not None:
+                    raise InvariantViolation(
+                        f"{desc.key!r} is resident on BOTH node {prev} and "
+                        f"node {kernel.node_id} (duplicate actor)"
+                    )
+                where[desc.key] = kernel.node_id
+    return where
+
+
+def _chase(runtime: "HalRuntime", start_node: int, key, max_hops: int) -> int:
+    """Follow best-guess pointers from ``start_node`` until a node
+    hosts the actor.  Returns the hop count; raises on cycles, dangling
+    trails or unbounded chains.  A node with no entry falls back to the
+    address's encoded home node — exactly what its delivery algorithm
+    would do."""
+    node = start_node
+    visited = []
+    for hops in range(max_hops + 1):
+        kernel = runtime.kernels[node]
+        desc = kernel.table.get(key)
+        if desc is not None and desc.is_local:
+            return hops
+        visited.append(node)
+        nxt = desc.remote_node if desc is not None else key.home_node()
+        if nxt == node:
+            raise InvariantViolation(
+                f"forwarding chain for {key!r} from node {start_node} "
+                f"dead-ends at node {node} (self-pointer, no actor)"
+            )
+        node = nxt
+    raise InvariantViolation(
+        f"forwarding chain for {key!r} from node {start_node} did not "
+        f"converge within {max_hops} hops (visited {visited})"
+    )
+
+
+def check_invariants(runtime: "HalRuntime", *, drain: bool = True) -> Dict:
+    """Audit a finished run; raise :class:`InvariantViolation` listing
+    every failed check, or return a report dict.
+
+    ``drain=True`` (the default) first runs the simulator to empty the
+    event heap — scenarios that stop on a predicate (e.g. ``call``)
+    legitimately leave trailing acks and watchdog timers in flight.
+    """
+    if drain:
+        runtime.run()
+    problems: List[str] = []
+    machine = runtime.machine
+
+    # 1. drained
+    pending = machine.sim.pending
+    if pending:
+        problems.append(f"event heap not drained: {pending} events pending")
+
+    # 2. packet conservation
+    stats = machine.stats
+    sends = stats.counter("am.sends")
+    delivered = stats.counter("am.delivered")
+    dropped = stats.counter("faults.dropped_packets")
+    duplicated = stats.counter("faults.dup_packets")
+    imbalance = sends + duplicated - dropped - delivered
+    if imbalance:
+        problems.append(
+            f"packet books do not balance: sends({sends}) + dup({duplicated})"
+            f" - dropped({dropped}) - delivered({delivered}) = {imbalance}; "
+            "a message was lost outside the injected-fault budget"
+        )
+
+    # 3. no retained work
+    for kernel in runtime.kernels:
+        nid = kernel.node_id
+        rel = kernel.reliable
+        if rel is not None and rel.pending_count:
+            problems.append(
+                f"node {nid}: {rel.pending_count} unacked reliable "
+                f"envelopes {rel.unacked()}"
+            )
+        if kernel.bulk.pending_outgoing or kernel.bulk.pending_inbound:
+            problems.append(
+                f"node {nid}: bulk transfers mid-protocol "
+                f"(out={kernel.bulk.pending_outgoing}, "
+                f"in={kernel.bulk.pending_inbound})"
+            )
+        if kernel.dispatcher.ready:
+            problems.append(f"node {nid}: dispatcher still has ready work")
+        for desc in kernel.table:
+            what = f"node {nid}, {desc.key!r}"
+            if desc.state in _TRANSIENT:
+                problems.append(
+                    f"{what}: descriptor stuck {desc.state.name}"
+                )
+            if desc.deferred:
+                problems.append(
+                    f"{what}: {len(desc.deferred)} deferred messages "
+                    "never released"
+                )
+            if desc.waiting_firs:
+                problems.append(
+                    f"{what}: {len(desc.waiting_firs)} FIR chases parked "
+                    "forever"
+                )
+            actor = desc.actor
+            if actor is not None and actor.mailbox.ready_count:
+                problems.append(
+                    f"{what}: actor has {actor.mailbox.ready_count} ready "
+                    "but unprocessed messages"
+                )
+
+    # 4 + 5. forwarding-chain convergence and birthplace resolution
+    chains = 0
+    max_chain = 0
+    try:
+        where = _true_locations(runtime)
+    except InvariantViolation as exc:
+        problems.append(str(exc))
+        where = {}
+    # Every migration can add one link, but back-patching keeps real
+    # chains short; the bound only needs to be generous, not tight.
+    max_hops = 2 * runtime.num_nodes + 8
+    # The strict form of the birthplace check (it knows the actor's
+    # location *directly*) holds only when the back-patch hints were
+    # actually deliverable: with descriptor caching off they are
+    # ignored, and a fault plan may legitimately have dropped them
+    # (they are expendable).  Convergence is still required either way.
+    hints_reliable = runtime.config.descriptor_caching and not (
+        machine.faults is not None
+        and any(
+            ev.action == "drop" and ev.kind == "cache_addr"
+            for ev in machine.faults.ledger
+        )
+    )
+    for key in where:
+        for kernel in runtime.kernels:
+            try:
+                hops = _chase(runtime, kernel.node_id, key, max_hops)
+            except InvariantViolation as exc:
+                problems.append(str(exc))
+                continue
+            chains += 1
+            if hops > max_chain:
+                max_chain = hops
+        try:
+            home_hops = _chase(runtime, key.home_node(), key, max_hops)
+        except InvariantViolation as exc:
+            problems.append(f"birthplace: {exc}")
+            home_hops = None
+        if hints_reliable and home_hops is not None and home_hops > 1:
+            # After quiescence the birthplace must know the actor's
+            # location directly: migration acks and cache_addr traffic
+            # back-patch it (§4.3).  One hop = it points at the truth;
+            # zero = the actor is home.
+            problems.append(
+                f"birthplace of {key!r} (node {key.home_node()}) was "
+                f"never back-patched: {home_hops} hops to the actor"
+            )
+
+    if problems:
+        raise InvariantViolation(
+            f"{len(problems)} invariant violation(s):\n  - "
+            + "\n  - ".join(problems)
+        )
+    return {
+        "actors": len(where),
+        "chains_checked": chains,
+        "max_chain_hops": max_chain,
+        "packets": {
+            "sends": sends,
+            "delivered": delivered,
+            "dropped": dropped,
+            "duplicated": duplicated,
+        },
+        "faults_injected": (
+            machine.faults.summary() if machine.faults is not None else {}
+        ),
+    }

@@ -9,10 +9,11 @@ of this substrate.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.config import RuntimeConfig
 from repro.sim.engine import SimNode, Simulator
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.network import Network
 from repro.sim.rng import RngStreams
 from repro.sim.stats import StatsRegistry
@@ -34,7 +35,13 @@ class Machine:
     and I/O (see :class:`repro.runtime.frontend.FrontEnd`).
     """
 
-    def __init__(self, config: RuntimeConfig, *, trace: bool = False) -> None:
+    def __init__(
+        self,
+        config: RuntimeConfig,
+        *,
+        trace: bool = False,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self.config = config
         self.sim = Simulator(max_events=config.max_events)
         self.stats = StatsRegistry()
@@ -48,8 +55,19 @@ class Machine:
         self.nodes: List[SimNode] = [
             SimNode(i, self.sim) for i in range(config.num_nodes)
         ]
+        # An empty plan degrades to no plan so the fault-free fast
+        # paths (one cached boolean in Network and the AM endpoint)
+        # stay engaged.
+        if faults is not None and faults.empty:
+            faults = None
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(faults, config.seed, self.stats)
+            if faults is not None
+            else None
+        )
         self.network = Network(
-            self.sim, self.topology, self.nodes, config.network, self.stats
+            self.sim, self.topology, self.nodes, config.network, self.stats,
+            faults=self.faults,
         )
         #: The partition manager's CPU (not on the data network).
         self.frontend_node = SimNode(-1, self.sim)

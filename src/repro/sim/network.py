@@ -23,11 +23,12 @@ modelled by the engine itself.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.config import NetworkParams
 from repro.errors import NetworkError
 from repro.sim.engine import SimNode, Simulator
+from repro.sim.faults import FaultInjector
 from repro.sim.stats import StatsRegistry
 from repro.sim.topology import Topology
 
@@ -42,6 +43,7 @@ class Network:
         nodes: List[SimNode],
         params: NetworkParams,
         stats: StatsRegistry,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if len(nodes) != topology.size:
             raise NetworkError(
@@ -52,6 +54,10 @@ class Network:
         self.nodes = nodes
         self.params = params
         self.stats = stats
+        # Fault injection is off on the vast majority of machines; the
+        # fast path pays exactly one cached boolean test per unicast.
+        self.faults = faults
+        self._faults_on = faults is not None
         # Hot-path bindings: one counter-cell / timer handle per stat,
         # bound once so unicast never hashes a dotted name per message.
         self._c_messages = stats.cell("net.messages")
@@ -134,6 +140,10 @@ class Network:
                                "bypass the network")
         if nbytes <= 0:
             raise NetworkError(f"message size must be positive, got {nbytes}")
+        if self._faults_on:
+            handled = self._unicast_faulty(src, dst, nbytes, deliver, args, label)
+            if handled is not None:
+                return handled
         p = self.params
         sender = self.nodes[src]
         now = sender.now if sender._in_handler else self.sim.now
@@ -177,6 +187,68 @@ class Network:
         # Delivery handlers run preemptively: the receiving node
         # manager steals the processor from whatever is executing (§3).
         self.nodes[dst].post_preempting(drain_done, deliver, args)
+        return inject_done
+
+    # ------------------------------------------------------------------
+    def _unicast_faulty(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        deliver: Callable[..., None],
+        args: tuple,
+        label: str,
+    ) -> Optional[float]:
+        """Fault-aware transmission path.
+
+        Returns ``None`` when neither the message kind nor the
+        destination node is covered by the fault plan — the caller then
+        falls through to the plain path, so untargeted traffic keeps
+        its normal ordering and cost model even on a faulty machine.
+
+        Kinds with a fault rule leave the per-pair FIFO lane: a delayed
+        or duplicated packet may be overtaken by a later send between
+        the same pair, which is what makes reorder faults observable.
+        Back-pressure accounting is skipped here — faulted protocol
+        packets are minimal-size and never converge in bulk.
+        """
+        f = self.faults
+        rule = f.rule_for(label) if label else None
+        if rule is None and not f.node_faulted(dst):
+            return None
+        p = self.params
+        sender = self.nodes[src]
+        now = sender.now if sender._in_handler else self.sim.now
+        inject_start = max(now, self._tx_free[src])
+        inject_done = inject_start + nbytes * p.inject_us_per_byte
+        self._tx_free[src] = inject_done
+        self._c_messages.n += 1
+        self._c_bytes.n += nbytes
+        if rule is not None:
+            extras = f.sample(rule, label, src, dst, now)
+            if not extras:
+                # Dropped: the sender paid the wire, nothing arrives.
+                return inject_done
+            ordered = False
+        else:
+            extras = [0.0]
+            ordered = True
+        wire = self.wire_latency(src, dst)
+        drain_us = nbytes * p.drain_us_per_byte * f.slow_factor(dst)
+        node = self.nodes[dst]
+        sched = self._rx_sched[dst]
+        for extra in extras:
+            arrive = f.stall_shift(dst, inject_done + wire + extra)
+            if ordered:
+                arrive = max(arrive, self._pair_last.get((src, dst), 0.0))
+            drain_start = self._rx_slot(dst, arrive, drain_us)
+            drain_done = drain_start + drain_us
+            if ordered:
+                self._pair_last[(src, dst)] = drain_done
+            sched.append((arrive, drain_start, drain_done, nbytes))
+            sched.sort(key=lambda entry: entry[1])
+            self._rec_delivery_us(drain_done - now)
+            node.post_preempting(drain_done, deliver, args)
         return inject_done
 
     # ------------------------------------------------------------------

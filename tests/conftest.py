@@ -8,6 +8,31 @@ from repro import HalRuntime, RuntimeConfig, behavior, method, disable_when
 
 
 # ----------------------------------------------------------------------
+# fault-fuzz knobs (tests/test_fault_fuzz.py)
+# ----------------------------------------------------------------------
+def pytest_addoption(parser):
+    parser.addoption(
+        "--faults-seed", type=int, default=0,
+        help="base fault seed for the fault-fuzz sweep (replay a CI "
+             "failure by passing the seed it printed)",
+    )
+    parser.addoption(
+        "--fuzz-rounds", type=int, default=6,
+        help="number of seeds per scenario in the fault-fuzz sweep",
+    )
+
+
+@pytest.fixture(scope="session")
+def faults_seed_base(request) -> int:
+    return request.config.getoption("--faults-seed")
+
+
+@pytest.fixture(scope="session")
+def fuzz_rounds(request) -> int:
+    return request.config.getoption("--fuzz-rounds")
+
+
+# ----------------------------------------------------------------------
 # reusable behaviours
 # ----------------------------------------------------------------------
 @behavior

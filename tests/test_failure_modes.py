@@ -5,14 +5,23 @@ from __future__ import annotations
 
 import pytest
 
-from repro import HalRuntime, RuntimeConfig, behavior, method
+from repro import (
+    FaultPlan,
+    FaultRule,
+    HalRuntime,
+    ReliabilityParams,
+    RuntimeConfig,
+    behavior,
+    method,
+    check_invariants,
+)
 from repro.errors import (
     BehaviorError,
     DeliveryError,
     HandlerError,
     NameServiceError,
 )
-from tests.conftest import Counter, EchoServer, make_runtime
+from tests.conftest import Counter, EchoServer, Hopper, make_runtime
 
 
 class TestMethodBodyFailures:
@@ -115,6 +124,80 @@ class TestProtocolFailures:
         )
         with pytest.raises(HandlerError, match="no handler"):
             rt4.run()
+
+
+def _raw_runtime(num_nodes=4, *, faults=None, **cfg_kwargs) -> HalRuntime:
+    """Runtime with the reliable sublayer explicitly OFF, so injected
+    faults reach the protocol handlers directly and their own recovery
+    machinery (watchdogs, dedupe) is what gets exercised."""
+    cfg = RuntimeConfig(
+        num_nodes=num_nodes,
+        reliability=ReliabilityParams(enabled=False),
+        **cfg_kwargs,
+    )
+    rt = HalRuntime(cfg, faults=faults)
+    rt.load_behaviors(Counter, EchoServer, Hopper)
+    return rt
+
+
+class TestFaultRecovery:
+    """Injected protocol faults must surface as visible retries that
+    converge — never as silent hangs or corrupted state."""
+
+    def test_dropped_fir_reply_is_reissued_not_hung(self):
+        # Kill exactly the first FIR reply.  Without the reliable
+        # sublayer (disabled here) only the FIR watchdog can save the
+        # probe: it must re-issue the request and the chase must still
+        # find the actor.
+        plan = FaultPlan(by_kind={"fir_reply": FaultRule(drop_count=1)})
+        rt = _raw_runtime(4, faults=plan, descriptor_caching=False)
+        w = rt.spawn(Hopper, at=1)
+        rt.call(w, "whereami", from_node=0)  # teach node 0 "@1"
+        rt.send(w, "hop", 2, from_node=1)
+        rt.run()
+        rt.send(w, "hop", 3, from_node=2)
+        rt.run()
+        # Node 0's cache is stale; the probe's FIR reply gets dropped.
+        loc = rt.call(w, "whereami", from_node=0)
+        assert loc == 3
+        assert rt.stats.counter("faults.dropped_packets") == 1
+        assert rt.stats.counter("fir.reissued") >= 1
+        check_invariants(rt)
+
+    def test_duplicate_migration_commit_is_idempotent(self):
+        # Every migrate_arrive and migrate_ack arrives twice.  The
+        # protocol-level dedupe (keyed by (old_node, mig_id)) must
+        # absorb the replays: one residency, one trail entry per hop.
+        plan = FaultPlan(
+            seed=42,
+            by_kind={
+                "migrate_arrive": FaultRule(duplicate=1.0),
+                "migrate_ack": FaultRule(duplicate=1.0),
+            },
+        )
+        rt = _raw_runtime(4, faults=plan)
+        h = rt.spawn(Hopper, at=0)
+        rt.send(h, "hop", 2, from_node=0)
+        rt.run()
+        rt.send(h, "hop", 3, from_node=2)
+        rt.run()
+        assert rt.locate(h) == 3
+        assert rt.state_of(h).trail == [0, 2]
+        assert rt.stats.counter("migration.dup_arrivals") >= 1
+        assert rt.stats.counter("migration.dup_acks") >= 1
+        # check_invariants would have caught a duplicated residency.
+        check_invariants(rt)
+
+    def test_dropped_migrate_ack_resent_by_handshake_watchdog(self):
+        plan = FaultPlan(by_kind={"migrate_ack": FaultRule(drop_count=1)})
+        rt = _raw_runtime(4, faults=plan)
+        h = rt.spawn(Hopper, at=0)
+        rt.send(h, "hop", 2, from_node=0)
+        rt.run()
+        assert rt.locate(h) == 2
+        assert rt.stats.counter("migration.resent") >= 1
+        assert rt.stats.counter("migration.dup_arrivals") >= 1
+        check_invariants(rt)
 
 
 class TestConstraintFailures:

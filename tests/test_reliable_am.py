@@ -1,0 +1,141 @@
+"""Unit tests for the reliable AM sublayer: ack round trips, retransmit
+on drop, duplicate absorption, retry exhaustion, expendable sends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FaultPlan,
+    FaultRule,
+    HalRuntime,
+    ReliabilityParams,
+    RuntimeConfig,
+    check_invariants,
+)
+from repro.errors import HandlerError, ReliabilityError
+from tests.conftest import Counter
+
+
+def make_rt(*, faults=None, reliability=None, num_nodes=4):
+    cfg_kwargs = {"num_nodes": num_nodes}
+    if reliability is not None:
+        cfg_kwargs["reliability"] = reliability
+    rt = HalRuntime(RuntimeConfig(**cfg_kwargs), faults=faults)
+    rt.load_behaviors(Counter)
+    return rt
+
+
+class TestAttachment:
+    def test_fault_free_machine_has_no_transport(self):
+        rt = make_rt()
+        assert all(k.reliable is None for k in rt.kernels)
+        assert all(k.endpoint._rel is None for k in rt.kernels)
+
+    def test_faulty_machine_attaches_transport(self):
+        rt = make_rt(faults=FaultPlan.protocol_chaos(drop=0.01))
+        assert all(k.reliable is not None for k in rt.kernels)
+
+    def test_config_can_force_transport_on(self):
+        rt = make_rt(reliability=ReliabilityParams(enabled=True))
+        assert all(k.reliable is not None for k in rt.kernels)
+
+    def test_config_can_force_transport_off(self):
+        rt = make_rt(faults=FaultPlan.protocol_chaos(drop=0.01),
+                     reliability=ReliabilityParams(enabled=False))
+        assert all(k.reliable is None for k in rt.kernels)
+
+    def test_empty_plan_degrades_to_fault_free(self):
+        rt = make_rt(faults=FaultPlan())
+        assert rt.machine.faults is None
+        assert all(k.reliable is None for k in rt.kernels)
+
+
+class TestEnvelopeProtocol:
+    def test_clean_round_trip_acks_everything(self):
+        rt = make_rt(reliability=ReliabilityParams(enabled=True))
+        ref = rt.spawn(Counter, at=1)
+        for _ in range(5):
+            rt.send(ref, "incr", from_node=0)
+        rt.run()
+        assert rt.call(ref, "get", from_node=0) == 5
+        rt.run()  # drain the final reply's ack
+        stats = rt.stats
+        assert stats.counter("rel.envelopes") > 0
+        assert stats.counter("rel.acks") == stats.counter("rel.envelopes")
+        assert stats.counter("rel.retries") == 0
+        assert all(k.reliable.pending_count == 0 for k in rt.kernels)
+
+    def test_dropped_packet_is_retransmitted(self):
+        plan = FaultPlan(by_kind={"deliver_keyed": FaultRule(drop_count=1)})
+        rt = make_rt(faults=plan)
+        ref = rt.spawn(Counter, at=1)
+        rt.send(ref, "incr", from_node=0)
+        rt.run()
+        assert rt.call(ref, "get", from_node=0) == 1
+        assert rt.stats.counter("faults.dropped_packets") == 1
+        assert rt.stats.counter("rel.retries") >= 1
+        check_invariants(rt)
+
+    def test_duplicate_packet_dispatched_once(self):
+        plan = FaultPlan(by_kind={"deliver_keyed": FaultRule(duplicate=1.0)},
+                         seed=1)
+        rt = make_rt(faults=plan)
+        ref = rt.spawn(Counter, at=1)
+        for _ in range(4):
+            rt.send(ref, "incr", from_node=0)
+        rt.run()
+        # Every wire packet arrived twice; every handler ran once.
+        assert rt.call(ref, "get", from_node=0) == 4
+        assert rt.stats.counter("rel.dup_absorbed") >= 4
+        check_invariants(rt)
+
+    def test_partitioned_peer_fails_loudly(self):
+        # Drop literally every deliver_keyed packet: retransmits can
+        # never get through and the retry budget must trip.
+        plan = FaultPlan(by_kind={"deliver_keyed": FaultRule(drop=1.0)})
+        rt = make_rt(
+            faults=plan,
+            reliability=ReliabilityParams(max_retries=3),
+        )
+        ref = rt.spawn(Counter, at=1)
+        rt.send(ref, "incr", from_node=0)
+        with pytest.raises(ReliabilityError, match="unreachable"):
+            rt.run()
+        assert rt.stats.counter("rel.retries") == 3
+
+    def test_expendable_requires_idempotent_handler(self):
+        rt = make_rt(reliability=ReliabilityParams(enabled=True))
+        kernel = rt.kernels[0]
+        with pytest.raises(HandlerError, match="non-idempotent"):
+            kernel.node.bootstrap(
+                lambda: kernel.endpoint.send(
+                    1, "reply", (0, 0, None), expendable=True
+                )
+            )
+
+    def test_expendable_send_skips_envelope(self):
+        rt = make_rt(reliability=ReliabilityParams(enabled=True))
+        kernel = rt.kernels[0]
+        before = rt.stats.counter("rel.envelopes")
+        kernel.node.bootstrap(
+            lambda: kernel.endpoint.send(
+                1, "cache_addr", (), expendable=True
+            )
+        )
+        assert rt.stats.counter("rel.envelopes") == before
+        assert rt.stats.counter("rel.expendable_sends") == 1
+
+
+class TestAckAccounting:
+    def test_acks_do_not_hold_quiescence_open(self):
+        """In-flight reliability acks are control traffic: quiescent()
+        must not count them, or idle balancer polls livelock (each poll
+        leaves an ack in flight at the next poll's instant)."""
+        rt = make_rt(reliability=ReliabilityParams(enabled=True))
+        ref = rt.spawn(Counter, at=1)
+        rt.send(ref, "incr", from_node=0)
+        rt.run()
+        assert rt.quiescent()
+        s = rt.stats
+        assert s.counter("rel.ack_sent") == s.counter("rel.ack_recv") > 0
