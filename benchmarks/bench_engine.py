@@ -162,32 +162,37 @@ def run_micro(name: str, seed_fn, new_fn, size: int, repeats: int) -> Dict:
 # ----------------------------------------------------------------------
 # full-stack application workloads (current engine only)
 # ----------------------------------------------------------------------
-def run_fib_app(n: int, num_nodes: int, *, trace: bool = False) -> Dict:
+def run_fib_app(n: int, num_nodes: int, *, trace: bool = False,
+                backend: str = "sim") -> Dict:
     """fib(n) with dynamic load balancing — the §7.2 workload shape."""
     from repro.apps.fibonacci import fib_program, fib_value
     from repro.config import LoadBalanceParams, RuntimeConfig
     from repro.runtime.system import HalRuntime
 
-    cfg = RuntimeConfig(num_nodes=num_nodes, seed=1995,
+    cfg = RuntimeConfig(num_nodes=num_nodes, seed=1995, backend=backend,
                         load_balance=LoadBalanceParams(enabled=True))
     t0 = time.perf_counter()
     rt = HalRuntime(cfg, trace=trace)
-    rt.load(fib_program())
-    target, box = rt.make_collector(from_node=0)
-    rt.spawn_task("fib", n, target, 0, at=0)
-    rt.run()
-    wall = time.perf_counter() - t0
-    if not box or box[0] != fib_value(n):
-        raise AssertionError(f"fib({n}) benchmark produced a wrong result")
-    events = rt.machine.sim.events_executed
-    return {
-        "n": n,
-        "nodes": num_nodes,
-        "wall_s": round(wall, 6),
-        "sim_events": events,
-        "events_per_sec": round(events / wall) if wall > 0 else 0,
-        "sim_time_us": round(rt.now, 3),
-    }
+    try:
+        rt.load(fib_program())
+        target, box = rt.make_collector(from_node=0)
+        rt.spawn_task("fib", n, target, 0, at=0)
+        rt.run()
+        wall = time.perf_counter() - t0
+        if not box or box[0] != fib_value(n):
+            raise AssertionError(f"fib({n}) benchmark produced a wrong result")
+        events = rt.machine.events_executed
+        return {
+            "n": n,
+            "nodes": num_nodes,
+            "backend": backend,
+            "wall_s": round(wall, 6),
+            "sim_events": events,
+            "events_per_sec": round(events / wall) if wall > 0 else 0,
+            "sim_time_us": round(rt.now, 3),
+        }
+    finally:
+        rt.close()
 
 
 def run_systolic_app(n: int, num_nodes: int) -> Dict:
@@ -219,7 +224,7 @@ def run_systolic_app(n: int, num_nodes: int) -> Dict:
     wall = time.perf_counter() - t0
     if done != num_nodes:
         raise AssertionError(f"systolic finished {done}/{num_nodes} cells")
-    events = rt.machine.sim.events_executed
+    events = rt.machine.events_executed
     return {
         "n": n,
         "nodes": num_nodes,
@@ -283,6 +288,12 @@ def run_bench(*, quick: bool = False, repeats: int = 3,
             "systolic": run_systolic_app(sys_n, num_nodes=16),
         }
         results["tracing"] = run_tracing_overhead(fib_n, num_nodes=8)
+        # Real-time threaded backend on the same fib workload.  Recorded
+        # for the trajectory but NOT regression-gated (see GATED in
+        # check_regression.py): wall time depends on host scheduling.
+        results["backend_threaded"] = run_fib_app(
+            fib_n, num_nodes=4, backend="threaded"
+        )
     return results
 
 
@@ -309,6 +320,13 @@ def render(results: Dict) -> str:
             f"tracing    off={tr['off']['events_per_sec']:>11,}/s  "
             f"on={tr['on']['events_per_sec']:>11,}/s  "
             f"overhead={tr['overhead_pct']:.1f}%"
+        )
+    bt = results.get("backend_threaded")
+    if bt:
+        lines.append(
+            f"threaded   n={bt['n']:<4} nodes={bt['nodes']:<3} "
+            f"events={bt['sim_events']:>9,}  "
+            f"host={bt['events_per_sec']:>11,} ev/s (ungated)"
         )
     return "\n".join(lines)
 

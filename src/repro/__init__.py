@@ -38,6 +38,7 @@ from repro.config import (
 )
 from repro.config import ReliabilityParams
 from repro.errors import InvariantViolation, ReliabilityError, ReproError
+from repro.platform import BACKENDS, make_machine
 from repro.runtime.costmodel import CostModel
 from repro.runtime.groups import GroupRef
 from repro.runtime.names import ActorRef, MailAddress
@@ -71,5 +72,7 @@ __all__ = [
     "NodeFault",
     "FaultInjector",
     "check_invariants",
+    "BACKENDS",
+    "make_machine",
     "__version__",
 ]

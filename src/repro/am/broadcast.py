@@ -18,7 +18,7 @@ from typing import Dict
 
 from repro.am.cmam import Endpoint
 from repro.errors import HandlerError
-from repro.sim.topology import Topology
+from repro.topology import Topology
 
 _TREE_HANDLER = "__mcast.tree__"
 

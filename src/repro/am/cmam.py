@@ -5,7 +5,13 @@ machine: ``send`` injects a message whose named handler runs on the
 destination CPU at delivery.  The endpoint charges the CPU costs the
 paper attributes to the messaging layer (send overhead on the sender,
 handler-entry overhead on the receiver); wire and NIC serialisation
-costs live in :class:`repro.sim.network.Network`.
+costs live in the platform transport (on the simulator,
+:class:`repro.sim.network.Network`).
+
+The endpoint is written against the platform seam
+(:class:`~repro.platform.base.NodeExecutor` /
+:class:`~repro.platform.base.Transport`), so the same send/deliver
+code runs on the discrete-event and the real-time threaded backends.
 
 Endpoints of one machine share a *directory* (``dict[int, Endpoint]``)
 so a sender can hand delivery to the destination endpoint's handler
@@ -27,10 +33,9 @@ from typing import Dict, Optional
 from repro.am.handler import Handler, HandlerRegistry
 from repro.am.messages import message_nbytes
 from repro.errors import HandlerError, NetworkError
-from repro.sim.engine import SimNode
-from repro.sim.network import Network
-from repro.sim.stats import StatsRegistry
-from repro.sim.trace import TraceLog
+from repro.platform.base import NodeExecutor, Transport
+from repro.stats import StatsRegistry
+from repro.tracing import TraceLog
 
 
 class Endpoint:
@@ -38,8 +43,8 @@ class Endpoint:
 
     def __init__(
         self,
-        node: SimNode,
-        network: Network,
+        node: NodeExecutor,
+        network: Transport,
         directory: Dict[int, "Endpoint"],
         stats: StatsRegistry,
         trace: TraceLog,
@@ -114,7 +119,7 @@ class Endpoint:
         is then injected into the network.  ``nbytes`` overrides the
         payload-size estimate (used by the bulk protocol, which sizes
         the data phase explicitly).  ``trace_ctx`` (a
-        :class:`repro.sim.trace.TraceCtx`) rides as a trailing argument
+        :class:`repro.tracectx.TraceCtx`) rides as a trailing argument
         appended *after* the wire size is computed, so causal tracing
         never perturbs simulated network time.  ``expendable`` marks a
         fire-and-forget hint (e.g. a ``cache_addr`` back-patch) whose
@@ -166,22 +171,22 @@ class Endpoint:
         # A long-running handler may issue this send with its virtual
         # clock far ahead of the global event clock.  Mutating the
         # shared NIC state *now* would let this future send delay
-        # other nodes' earlier (but not-yet-executed) messages.  Defer
-        # the transmission to an event at its true simulated time so
-        # network state is always touched in time order.
-        sim = self.network.sim
-        issue_at = node.now if node._in_handler else sim.now
-        if issue_at > sim.now:
-            sim.post(issue_at, self._transmit, (dst, peer, handler, args, size))
-        else:
-            self._transmit(dst, peer, handler, args, size)
+        # other nodes' earlier (but not-yet-executed) messages.
+        # ``defer`` re-posts the transmission at its true platform time
+        # (the simulator's lazy-charge divergence); backends whose
+        # clocks never diverge call straight through.
+        node.defer(self._transmit, (dst, peer, handler, args, size))
 
     def _transmit(
         self, dst: int, peer: "Endpoint", handler: str, args: tuple, size: int
     ) -> None:
+        # The label names the message kind: free on the fault-free sim
+        # path (only the fault injector and the threaded transport's
+        # chatter classification read it).
         self.network.unicast(
             self.node.node_id, dst, size,
             peer._deliver, (self.node.node_id, handler, args),
+            label=handler,
         )
 
     # ------------------------------------------------------------------
@@ -224,15 +229,9 @@ class Endpoint:
         if trace_ctx is not None:
             args = args + (trace_ctx,)
         kind = wire_kind if wire_kind is not None else handler
-        sim = self.network.sim
-        issue_at = node.now if node._in_handler else sim.now
-        if issue_at > sim.now:
-            sim.post(
-                issue_at, self._transmit_kinded,
-                (dst, peer, handler, args, size, kind),
-            )
-        else:
-            self._transmit_kinded(dst, peer, handler, args, size, kind)
+        node.defer(
+            self._transmit_kinded, (dst, peer, handler, args, size, kind)
+        )
 
     def _transmit_kinded(
         self, dst: int, peer: "Endpoint", handler: str, args: tuple,

@@ -15,7 +15,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.sim.trace import TraceCtx
+from repro.tracectx import TraceCtx
 
 #: Bytes per scalar value (a 1995 machine word).
 WORD_BYTES = 4

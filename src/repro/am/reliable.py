@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.am.messages import message_nbytes
 from repro.config import ReliabilityParams
 from repro.errors import HandlerError, ReliabilityError
-from repro.sim.stats import StatsRegistry
+from repro.stats import StatsRegistry
 
 #: Wire overhead of the envelope's sequence number.
 SEQ_BYTES = 8
@@ -89,8 +89,7 @@ class ReliableTransport:
         return len(self._pending)
 
     def _now(self) -> float:
-        node = self.node
-        return node.now if node._in_handler else self.ep.network.sim.now
+        return self.node.time()
 
     # ------------------------------------------------------------------
     # sender side

@@ -47,6 +47,30 @@ class Wanderer:
         return self.visits
 
 
+@behavior
+class PingPonger:
+    """One side of a cross-node rally: each ``ping`` counts a hit and
+    returns the ball until the rally budget runs out."""
+
+    def __init__(self):
+        self.hits = 0
+        self.peer = None
+
+    @method
+    def set_peer(self, ctx, peer):
+        self.peer = peer
+
+    @method
+    def ping(self, ctx, remaining):
+        self.hits += 1
+        if remaining > 0:
+            ctx.send(self.peer, "ping", remaining - 1)
+
+    @method
+    def score(self, ctx):
+        return self.hits
+
+
 @dataclass
 class ScenarioResult:
     """What a scenario produced, plus the runtime for span export."""
@@ -56,6 +80,49 @@ class ScenarioResult:
     summary: Dict[str, object] = field(default_factory=dict)
 
 
+def run_ping_pong(
+    *,
+    num_nodes: int = 2,
+    n: int = 20,
+    trace: bool = True,
+    seed: int = 1995,
+    faults=None,
+    backend: str = "sim",
+) -> ScenarioResult:
+    """A ``2n``-hit rally between actors on two different nodes.
+
+    The simplest cross-node protocol exercise: every hit is one
+    active message, so the final scores audit exactly how many
+    messages the platform delivered.
+    """
+    if num_nodes < 2:
+        raise ValueError("ping_pong needs at least 2 nodes")
+    cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed, backend=backend)
+    rt = HalRuntime(cfg, trace=trace, faults=faults)
+    rt.load_behaviors(PingPonger)
+    a = rt.spawn(PingPonger, at=0)
+    b = rt.spawn(PingPonger, at=1)
+    rt.send(a, "set_peer", b)
+    rt.send(b, "set_peer", a)
+    rt.run()
+    rally = 2 * n
+    rt.send(a, "ping", rally - 1)
+    rt.run()
+    score_a = rt.call(a, "score")
+    score_b = rt.call(b, "score")
+    assert score_a + score_b == rally, (score_a, score_b, rally)
+    return ScenarioResult(
+        name="ping_pong",
+        runtime=rt,
+        summary={
+            "rally": rally,
+            "score_a": score_a,
+            "score_b": score_b,
+            "elapsed_us": rt.now,
+        },
+    )
+
+
 def run_migration_tour(
     *,
     num_nodes: int = 5,
@@ -63,6 +130,7 @@ def run_migration_tour(
     trace: bool = True,
     seed: int = 1995,
     faults=None,
+    backend: str = "sim",
 ) -> ScenarioResult:
     """Tour one actor through ``n`` migrations, then probe it from a
     node holding a stale cached address.
@@ -82,7 +150,7 @@ def run_migration_tour(
     # the chain repair (FIR replies back-patching every member's name
     # table) is still visible in the trace.
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed,
-                        descriptor_caching=False)
+                        descriptor_caching=False, backend=backend)
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load_behaviors(Wanderer)
 
@@ -128,6 +196,7 @@ def run_fibonacci_loadbalance(
     trace: bool = True,
     seed: int = 1995,
     faults=None,
+    backend: str = "sim",
 ) -> ScenarioResult:
     """fib(n) under receiver-initiated work stealing, traced.
 
@@ -139,6 +208,7 @@ def run_fibonacci_loadbalance(
     cfg = RuntimeConfig(
         num_nodes=num_nodes,
         seed=seed,
+        backend=backend,
         load_balance=LoadBalanceParams(enabled=True),
     )
     rt = HalRuntime(cfg, trace=trace, faults=faults)
@@ -167,6 +237,7 @@ def run_fibonacci_loadbalance(
 #: ``(num_nodes=..., n=..., trace=..., seed=..., faults=...)`` keyword
 #: arguments (``faults`` is an optional :class:`repro.sim.faults.FaultPlan`).
 SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
+    "ping_pong": run_ping_pong,
     "migration_tour": run_migration_tour,
     "fibonacci_loadbalance": run_fibonacci_loadbalance,
 }
@@ -180,6 +251,7 @@ def run_scenario(
     trace: bool = True,
     seed: int = 1995,
     faults=None,
+    backend: str = "sim",
 ) -> ScenarioResult:
     """Run a registered scenario by name; None keeps its defaults."""
     try:
@@ -188,7 +260,9 @@ def run_scenario(
         raise ValueError(
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
         ) from None
-    kwargs: Dict[str, object] = {"trace": trace, "seed": seed, "faults": faults}
+    kwargs: Dict[str, object] = {
+        "trace": trace, "seed": seed, "faults": faults, "backend": backend,
+    }
     if num_nodes is not None:
         kwargs["num_nodes"] = num_nodes
     if n is not None:

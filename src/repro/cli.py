@@ -7,6 +7,7 @@ compiler, and export causal traces.
     python -m repro table2            # just the runtime primitives
     python -m repro table4 --n 22 --nodes 16
     python -m repro compile-report    # what the HAL compiler decided
+    python -m repro run fibonacci_loadbalance --backend threaded
     python -m repro trace migration_tour --out tour.json
     python -m repro stats fibonacci_loadbalance --json
     python -m repro faults migration_tour --seed 7 --drop 0.05 --dup 0.05
@@ -136,9 +137,31 @@ def _run_scenario_for_cli(args, faults=None):
     from repro.apps.scenarios import run_scenario
     try:
         return run_scenario(args.app, num_nodes=args.nodes, n=args.n,
-                            seed=args.seed, faults=faults)
+                            seed=args.seed, faults=faults,
+                            backend=getattr(args, "backend", "sim"))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+
+
+def _cmd_run(args) -> None:
+    """Run a scenario on the selected execution backend and print its
+    summary (the backend-parity smoke the acceptance criteria name)."""
+    res = _run_scenario_for_cli(args)
+    rt = res.runtime
+    try:
+        rows = [(k, str(v)) for k, v in sorted(res.summary.items())]
+        rows.append(("backend", rt.config.backend))
+        rows.append(("final actors", rt.total_actors()))
+        rows.append(("quiescent", rt.quiescent()))
+        print(render_table(
+            f"Run — {args.app} (P={rt.num_nodes}, "
+            f"backend={rt.config.backend})",
+            ["", "value"], rows,
+            note="elapsed_us is simulated time on backend=sim, "
+                 "wall-clock time on backend=threaded",
+        ))
+    finally:
+        rt.close()
 
 
 def _cmd_trace(args) -> None:
@@ -273,6 +296,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--partitions", type=_partitions, default=_partitions(default_p),
                        help="comma-separated node counts")
         p.set_defaults(fn=fn)
+
+    # Execution: run a scenario on a chosen backend.
+    p = sub.add_parser(
+        "run",
+        help="run a scenario on an execution backend and print its "
+             "summary (ping_pong, migration_tour, fibonacci_loadbalance)",
+    )
+    p.add_argument("app", help="scenario name")
+    p.add_argument("--backend", choices=("sim", "threaded"), default="sim",
+                   help="sim: deterministic discrete-event simulator; "
+                        "threaded: real-time, one OS thread per node")
+    p.add_argument("--nodes", type=int, default=None, help="partition size")
+    p.add_argument("--n", type=int, default=None,
+                   help="problem size (scenario-specific)")
+    p.add_argument("--seed", type=int, default=1995)
+    p.set_defaults(fn=_cmd_run)
 
     # Observability: run a traced scenario, export/inspect its spans.
     p = sub.add_parser(

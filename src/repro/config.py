@@ -148,10 +148,15 @@ class ReliabilityParams:
 
 @dataclass(frozen=True)
 class RuntimeConfig:
-    """Top-level configuration for a simulated HAL runtime instance."""
+    """Top-level configuration for a HAL runtime instance."""
 
     #: Number of processing elements in the partition.
     num_nodes: int = 8
+    #: Execution backend: ``sim`` is the deterministic discrete-event
+    #: simulator (fault injection, timing tables); ``threaded`` runs
+    #: each node on an OS thread in real time (convergence semantics,
+    #: no determinism).  See :mod:`repro.platform`.
+    backend: Literal["sim", "threaded"] = "sim"
     #: Interconnect topology: CM-5 fat-tree or binary hypercube.
     topology: Literal["fattree", "hypercube"] = "fattree"
     #: Seed for all deterministic random substreams.
@@ -181,5 +186,10 @@ class RuntimeConfig:
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
+        if self.backend not in ("sim", "threaded"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected 'sim' or "
+                "'threaded'"
+            )
         if self.bulk_threshold_bytes < 1:
             raise ValueError("bulk_threshold_bytes must be >= 1")

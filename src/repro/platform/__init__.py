@@ -1,0 +1,72 @@
+"""Execution backends behind one seam.
+
+The runtime builds its machine through :func:`make_machine`, selecting
+a backend by name (usually from ``RuntimeConfig.backend``):
+
+``sim``
+    The discrete-event simulator — deterministic, fault-injectable,
+    the backend every timing table and invariant replay runs on.
+
+``threaded``
+    Real time: one OS thread per node, wall-clock time, convergence
+    semantics.  Same protocols, no determinism, no fault injection.
+
+Backend modules are imported lazily so constructing a sim machine
+never pays for ``threading`` machinery and vice versa, and so the
+interface module stays import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import RuntimeConfig
+from repro.errors import ReproError
+from repro.platform.base import (
+    Clock,
+    NodeExecutor,
+    PlatformMachine,
+    TimerHandle,
+    Transport,
+)
+
+#: Names accepted by :func:`make_machine` / ``RuntimeConfig.backend``.
+BACKENDS = ("sim", "threaded")
+
+
+def make_machine(
+    config: RuntimeConfig,
+    *,
+    backend: Optional[str] = None,
+    trace: bool = False,
+    faults=None,
+) -> PlatformMachine:
+    """Construct the partition for ``config`` on the chosen backend.
+
+    ``backend`` defaults to ``config.backend``.  ``faults`` is a
+    :class:`~repro.sim.faults.FaultPlan`; passing a non-empty plan to
+    a backend without fault support raises :class:`ReproError`.
+    """
+    name = backend if backend is not None else getattr(config, "backend", "sim")
+    if name == "sim":
+        from repro.platform.simbackend import SimMachine
+
+        return SimMachine(config, trace=trace, faults=faults)
+    if name == "threaded":
+        from repro.platform.threaded import ThreadedMachine
+
+        return ThreadedMachine(config, trace=trace, faults=faults)
+    raise ReproError(
+        f"unknown backend {name!r}; expected one of {', '.join(BACKENDS)}"
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "Clock",
+    "NodeExecutor",
+    "PlatformMachine",
+    "TimerHandle",
+    "Transport",
+    "make_machine",
+]

@@ -1,0 +1,246 @@
+"""The platform seam: interfaces the runtime consumes, backends provide.
+
+The HAL runtime (name tables, FIR chasing, aliases, join
+continuations, load balancing) is defined against an abstract active-
+message machine, not against a particular execution substrate.  This
+module pins down that abstraction as four narrow protocols:
+
+``Clock``
+    A monotonic microsecond clock.  The simulator's clock only moves
+    when events fire; the threaded backend's is the host's wall clock.
+
+``NodeExecutor``
+    One processing element's CPU: serialised handler execution,
+    cancellable timers, CPU-time accounting, and a driver-side
+    ``bootstrap`` entry point.  The upper layers only ever run code
+    *on* a node through this interface.
+
+``Transport``
+    The partition interconnect: point-to-point ``unicast`` with a
+    byte-cost model, delivering by scheduling the handler on the
+    destination node.  Ordering guarantee: per (src, dst) pair,
+    delivery is FIFO.
+
+``PlatformMachine``
+    The booted partition: N node executors, a transport, the
+    observability sinks (stats/trace/spans), RNG streams, topology,
+    and execution control (``run`` to a deadline/predicate/idle,
+    ``net_idle`` for quiescence detection, ``shutdown``).
+
+These are :class:`typing.Protocol` classes — backends satisfy them
+structurally, no registration or inheritance required — which keeps
+the simulator's hot-path representation (plain attributes, bound
+methods in heap entries) untouched.  The layering lint
+(``tools/check_layering.py``) enforces that ``repro.runtime`` and
+``repro.am`` import execution machinery only from ``repro.platform``.
+
+Feature support differs per backend and is advertised by flags on the
+machine (see the README backend matrix):
+
+========================  ===========  ============
+capability                sim          threaded
+========================  ===========  ============
+``deterministic``         yes          no
+``supports_faults``       yes          no
+``supports_tracing``      yes          yes
+========================  ===========  ============
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+Callback = Callable[..., None]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A monotonic microsecond clock."""
+
+    @property
+    def now(self) -> float:
+        """Current time in microseconds since machine boot."""
+        ...
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """Handle on deferred work scheduled via :meth:`NodeExecutor.execute`."""
+
+    def cancel(self) -> None:
+        """Prevent the work from running.  Idempotent; a no-op once
+        the work has started."""
+        ...
+
+
+@runtime_checkable
+class NodeExecutor(Protocol):
+    """One processing element's CPU.
+
+    All handler execution on a node is serialised: at most one handler
+    runs at a time, and within a handler ``now`` is the node-local
+    time that :meth:`charge` advances.  The ``post_*`` methods are the
+    allocation-lean per-message fast path; ``execute*`` return a
+    cancellable handle for timers.
+    """
+
+    node_id: int
+    #: Node-local clock, valid during a handler execution.  Writable —
+    #: the AM layer advances it directly on its hot path.
+    now: float
+    #: Total microseconds of CPU time charged on this node.
+    busy_us: float
+
+    @property
+    def in_handler(self) -> bool:
+        """True while a handler is executing on this node."""
+        ...
+
+    def charge(self, us: float) -> None:
+        """Consume ``us`` microseconds of CPU time on this node."""
+        ...
+
+    def time(self) -> float:
+        """The node's best notion of current time: node-local time
+        inside a handler, global platform time otherwise.  Timers arm
+        relative to this."""
+        ...
+
+    def execute(self, at: float, fn: Callback, *, label: str = "") -> TimerHandle:
+        """Run ``fn`` on this node no earlier than time ``at``;
+        returns a cancellable handle (the timer primitive)."""
+        ...
+
+    def execute_now(self, fn: Callback, *, label: str = "") -> TimerHandle:
+        """Run ``fn`` on this node as soon as the CPU is free."""
+        ...
+
+    def post(self, at: float, fn: Callback, args: tuple = ()) -> None:
+        """Fast path of :meth:`execute`: no handle, args pass-through."""
+        ...
+
+    def post_now(self, fn: Callback, args: tuple = ()) -> None:
+        """Fast path of :meth:`execute_now`."""
+        ...
+
+    def post_preempting(self, at: float, fn: Callback, args: tuple = ()) -> None:
+        """Deliver ``fn`` at ``at`` even if the CPU is busy — the
+        paper's node manager steals the processor to service network
+        requests.  Backends without preemption degrade to :meth:`post`.
+        """
+        ...
+
+    def defer(self, fn: Callback, args: tuple = ()) -> None:
+        """Run ``fn(*args)`` at this node's current local time.
+
+        On the simulator this bridges the node-local clock (which lazy
+        charging lets run ahead) back onto the global event heap; on
+        real-time backends the clocks never diverge and the call is
+        made inline.  The AM send path uses this so message injection
+        happens at a consistent global time.
+        """
+        ...
+
+    def bootstrap(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` on this node synchronously from the external
+        driver (front-end program loading, test injection).  Returns
+        ``fn``'s value.  Must not be called from inside a handler."""
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """The partition interconnect.
+
+    Delivery contract: ``deliver(*args)`` runs on the *destination*
+    node's executor; per (src, dst) pair deliveries are FIFO; the
+    return value is the time the sender's NIC finishes injecting (the
+    sender's CPU is occupied until then).
+    """
+
+    def unicast(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        deliver: Callback,
+        args: tuple,
+        label: str = "",
+    ) -> float:
+        """Send ``nbytes`` from ``src`` to ``dst``; schedule
+        ``deliver(*args)`` on the destination node.  ``label`` names
+        the message kind for tracing and quiescence classification.
+        Returns injection-done time at the source."""
+        ...
+
+    def reset_contention(self) -> None:
+        """Forget NIC/pairwise serialisation state (benchmark reruns)."""
+        ...
+
+
+@runtime_checkable
+class PlatformMachine(Protocol):
+    """A booted partition of ``num_nodes`` processing elements."""
+
+    nodes: Sequence[NodeExecutor]
+    #: The partition manager's CPU (not on the data network).
+    frontend_node: NodeExecutor
+    network: Transport
+
+    #: True when runs are bit-reproducible given a seed.  Invariant
+    #: checks that rely on exact global counter arithmetic (packet
+    #: conservation) gate on this.
+    deterministic: bool
+    #: True when a fault plan can be installed on this backend.
+    supports_faults: bool
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    @property
+    def now(self) -> float:
+        """Current platform time in microseconds."""
+        ...
+
+    @property
+    def pending(self) -> int:
+        """Queued work items (events/messages/timers) not yet run."""
+        ...
+
+    def node(self, node_id: int) -> NodeExecutor: ...
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        until_idle: bool = True,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Execute until idle, a deadline, or a predicate.  Returns
+        the platform time reached."""
+        ...
+
+    def net_idle(self) -> bool:
+        """True when no application message is in flight anywhere.
+
+        Pure control chatter — steal-protocol probes and reliability
+        acks — is excluded: idle nodes trading polls always have one
+        briefly in flight, and it must not hold quiescence open.
+        """
+        ...
+
+    def cpu_utilisation(self) -> List[float]:
+        """Fraction of elapsed time each node spent busy."""
+        ...
+
+    def shutdown(self) -> None:
+        """Release backend resources (threads, queues).  Idempotent."""
+        ...

@@ -1,0 +1,164 @@
+"""The discrete-event backend: the original simulator behind the seam.
+
+:class:`SimMachine` is a thin adapter that assembles the event engine
+(:mod:`repro.sim.engine`), the contention/fault network model
+(:mod:`repro.sim.network`) and the measurement stack into the
+:class:`~repro.platform.base.PlatformMachine` shape.  It deliberately
+adds nothing to the per-event path — the PR 1 hot-path representation
+(plain list heap entries, bound-method payloads) is untouched, and
+runs remain bit-reproducible given a seed.
+
+This is the only backend that supports deterministic replay and fault
+injection, which is why it stays the default and the one CI's
+fault-fuzz and invariant jobs run on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import RuntimeConfig
+from repro.rng import RngStreams
+from repro.sim.engine import SimNode, Simulator
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.network import Network
+from repro.stats import StatsRegistry
+from repro.topology import Topology, make_topology
+from repro.tracing import (
+    NullSpanRecorder,
+    NullTraceLog,
+    SpanRecorder,
+    TraceLog,
+)
+
+
+class SimMachine:
+    """A simulated partition of ``config.num_nodes`` processing elements.
+
+    The partition manager (front-end) is modelled as a distinguished
+    host outside the data network; it is represented by
+    :attr:`frontend_node`, a :class:`SimNode` used for program loading
+    and I/O (see :class:`repro.runtime.frontend.FrontEnd`).
+    """
+
+    #: Given a seed, every run is bit-identical: events fire in
+    #: ``(time, seq)`` order and all randomness flows from RngStreams.
+    deterministic = True
+    supports_faults = True
+    supports_tracing = True
+
+    def __init__(
+        self,
+        config: RuntimeConfig,
+        *,
+        trace: bool = False,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self.config = config
+        self.sim = Simulator(max_events=config.max_events)
+        self.stats = StatsRegistry()
+        # Untraced machines (the common case) get the inert null log so
+        # trace costs are exactly zero on the message hot path.  The
+        # span recorder follows the same null-object pattern.
+        self.trace = TraceLog(enabled=True) if trace else NullTraceLog()
+        self.spans = SpanRecorder(enabled=True) if trace else NullSpanRecorder()
+        self.rng = RngStreams(config.seed)
+        self.topology: Topology = make_topology(config.topology, config.num_nodes)
+        self.nodes: List[SimNode] = [
+            SimNode(i, self.sim) for i in range(config.num_nodes)
+        ]
+        # An empty plan degrades to no plan so the fault-free fast
+        # paths (one cached boolean in Network and the AM endpoint)
+        # stay engaged.
+        if faults is not None and faults.empty:
+            faults = None
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(faults, config.seed, self.stats)
+            if faults is not None
+            else None
+        )
+        self.network = Network(
+            self.sim, self.topology, self.nodes, config.network, self.stats,
+            faults=self.faults,
+        )
+        #: The partition manager's CPU (not on the data network).
+        self.frontend_node = SimNode(-1, self.sim)
+        # Quiescence-probe counter cells, bound once (net_idle is
+        # polled repeatedly by the load balancer while the machine
+        # idles, so cell lookups must not be on that path).
+        stats = self.stats
+        self._c_am_sends = stats.cell("am.sends")
+        self._c_am_delivered = stats.cell("am.delivered")
+        self._c_steal_sent = stats.cell("steal.proto_sent")
+        self._c_steal_recv = stats.cell("steal.proto_recv")
+        # Under fault injection the packet books only balance once
+        # drops (sent, never delivered) and duplicates (delivered
+        # twice) are added back in.
+        self._c_dropped = stats.cell("faults.dropped_packets")
+        self._c_dup = stats.cell("faults.dup_packets")
+        # Reliability acks are pure control traffic; like steal chatter
+        # they must not hold quiescence open (idle nodes trading polls
+        # always have an ack briefly in flight).
+        self._c_ack_sent = stats.cell("rel.ack_sent")
+        self._c_ack_recv = stats.cell("rel.ack_recv")
+        self._c_ack_dropped = stats.cell("faults.dropped_acks")
+        self._c_ack_dup = stats.cell("faults.dup_acks")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    def node(self, node_id: int) -> SimNode:
+        return self.nodes[node_id]
+
+    def run(self, **kwargs) -> float:
+        """Drain the event heap; returns the final simulated time."""
+        return self.sim.run(**kwargs)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def pending(self) -> int:
+        """Queued (non-cancelled) events.  O(1)."""
+        return self.sim.pending
+
+    @property
+    def events_executed(self) -> int:
+        """Total handler invocations across all nodes."""
+        return self.sim.events_executed
+
+    def net_idle(self) -> bool:
+        """True when no application message is in flight.
+
+        Computed from global counter arithmetic — sound here because
+        the discrete-event machine mutates counters one event at a
+        time.  Steal-protocol chatter and reliability acks are control
+        traffic and excluded (see the cell comments in ``__init__``).
+        """
+        inflight = (
+            self._c_am_sends.n + self._c_dup.n
+            - self._c_dropped.n - self._c_am_delivered.n
+        )
+        steal_chatter = self._c_steal_sent.n - self._c_steal_recv.n
+        ack_chatter = (
+            self._c_ack_sent.n + self._c_ack_dup.n
+            - self._c_ack_dropped.n - self._c_ack_recv.n
+        )
+        return inflight - steal_chatter - ack_chatter <= 0
+
+    def cpu_utilisation(self) -> List[float]:
+        """Fraction of elapsed simulated time each node spent busy."""
+        elapsed = self.sim.now or 1.0
+        return [min(1.0, n.busy_us / elapsed) for n in self.nodes]
+
+    def shutdown(self) -> None:
+        """Nothing to release: the simulator owns no OS resources."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimMachine(P={self.num_nodes}, topology={self.config.topology}, "
+            f"t={self.sim.now:.1f}us)"
+        )

@@ -23,7 +23,7 @@ from repro.actors.continuations import JoinContinuation
 from repro.actors.message import ActorMessage, ReplyTarget
 from repro.errors import ContinuationError
 from repro.runtime.names import ActorRef
-from repro.sim.trace import TraceCtx
+from repro.tracectx import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.actors.actor import Actor

@@ -20,7 +20,7 @@ from repro.actors.message import ReplyTarget
 from repro.errors import NameServiceError, ReproError
 from repro.runtime.dispatcher import Task
 from repro.runtime.names import ActorRef, AddrKind, DescState, MailAddress
-from repro.sim.trace import TraceCtx
+from repro.tracectx import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.kernel import Kernel

@@ -23,7 +23,7 @@ from repro.actors.message import ActorMessage, ReplyTarget
 from repro.am.messages import message_nbytes
 from repro.errors import UnknownActorError
 from repro.runtime.names import ActorRef, AddrKind, DescState, LocalityDescriptor, MailAddress
-from repro.sim.trace import TraceCtx
+from repro.tracectx import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.actors.actor import Actor

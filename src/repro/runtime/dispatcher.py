@@ -58,7 +58,7 @@ class Task:
         self.fn_name = fn_name
         self.args = args
         #: Causal context the spawn was issued under (a
-        #: :class:`repro.sim.trace.TraceCtx`), carried so the stolen or
+        #: :class:`repro.tracectx.TraceCtx`), carried so the stolen or
         #: remotely spawned task parents to the spawning execution.
         self.trace_ctx = trace_ctx
 

@@ -16,7 +16,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.actors.actor import Actor
 from repro.runtime.dispatcher import Task
-from repro.sim.trace import TraceCtx
+from repro.tracectx import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.kernel import Kernel
@@ -59,9 +59,7 @@ class LoadBalancer:
         self._poll_pending = True
         k = self.kernel
         k.node.execute(
-            k.node.now + self.params.poll_interval_us
-            if k.node.in_handler
-            else k.node.sim.now + self.params.poll_interval_us,
+            k.node.time() + self.params.poll_interval_us,
             self._poll,
             label="steal.poll",
         )

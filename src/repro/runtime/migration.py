@@ -22,7 +22,7 @@ from repro.actors.actor import Actor
 from repro.am.messages import message_nbytes, payload_nbytes
 from repro.errors import DeliveryError, MigrationError
 from repro.runtime.names import AddrKind, DescState, LocalityDescriptor, MailAddress
-from repro.sim.trace import TraceCtx
+from repro.tracectx import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.kernel import Kernel

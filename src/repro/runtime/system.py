@@ -1,10 +1,13 @@
 """The user-facing runtime facade.
 
-:class:`HalRuntime` boots a simulated partition, one kernel per
-processing element, the spanning-tree multicaster, and the front-end.
-External drivers (examples, tests, benchmarks) use it to load
-programs, spawn actors, send messages, perform synchronous calls and
-run the simulation to quiescence.
+:class:`HalRuntime` boots a partition on the selected execution
+backend (``config.backend``: the discrete-event simulator or the
+real-time threaded machine), one kernel per processing element, the
+spanning-tree multicaster, and the front-end.  External drivers
+(examples, tests, benchmarks) use it to load programs, spawn actors,
+send messages, perform synchronous calls and run the machine to
+quiescence.  The runtime itself only touches the platform interfaces
+(:mod:`repro.platform.base`), never a backend module directly.
 """
 
 from __future__ import annotations
@@ -16,16 +19,17 @@ from repro.am.broadcast import TreeMulticaster
 from repro.am.cmam import Endpoint
 from repro.config import RuntimeConfig
 from repro.errors import DeliveryError, ReproError
+from repro.platform import make_machine
 from repro.runtime.costmodel import CostModel
 from repro.runtime.frontend import FrontEnd
 from repro.runtime.kernel import Kernel
 from repro.runtime.names import ActorRef, DescState
 from repro.runtime.program import HalProgram
-from repro.sim.machine import Machine
 
 
 class HalRuntime:
-    """A booted HAL runtime on a simulated CM-5 partition."""
+    """A booted HAL runtime on a CM-5-like partition (simulated or
+    real-time threaded, per ``config.backend``)."""
 
     def __init__(
         self,
@@ -34,10 +38,13 @@ class HalRuntime:
         costs: Optional[CostModel] = None,
         trace: bool = False,
         faults=None,
+        backend: Optional[str] = None,
     ) -> None:
         self.config = config or RuntimeConfig()
         self.costs = costs or CostModel()
-        self.machine = Machine(self.config, trace=trace, faults=faults)
+        self.machine = make_machine(
+            self.config, backend=backend, trace=trace, faults=faults
+        )
         self.endpoint_directory: Dict[int, Endpoint] = {}
         self.frontend = FrontEnd(self)
         self.kernels: List[Kernel] = [
@@ -48,25 +55,6 @@ class HalRuntime:
         )
         self.multicaster.install()
         self._anon_programs = 0
-        # Quiescence-probe counter cells, bound once (the load balancer
-        # polls quiescent() repeatedly while the machine idles).
-        stats = self.machine.stats
-        self._c_am_sends = stats.cell("am.sends")
-        self._c_am_delivered = stats.cell("am.delivered")
-        self._c_steal_sent = stats.cell("steal.proto_sent")
-        self._c_steal_recv = stats.cell("steal.proto_recv")
-        # Under fault injection the packet books only balance once
-        # drops (sent, never delivered) and duplicates (delivered
-        # twice) are added back in.
-        self._c_dropped = stats.cell("faults.dropped_packets")
-        self._c_dup = stats.cell("faults.dup_packets")
-        # Reliability acks are pure control traffic; like steal chatter
-        # they must not hold quiescence open (idle nodes trading polls
-        # always have an ack briefly in flight).
-        self._c_ack_sent = stats.cell("rel.ack_sent")
-        self._c_ack_recv = stats.cell("rel.ack_recv")
-        self._c_ack_dropped = stats.cell("faults.dropped_acks")
-        self._c_ack_dup = stats.cell("faults.dup_acks")
 
     # ------------------------------------------------------------------
     # properties
@@ -237,28 +225,33 @@ class HalRuntime:
     # execution control
     # ------------------------------------------------------------------
     def run(self, *, until: Optional[float] = None, stop_when=None) -> float:
-        """Drain the event heap (to quiescence, a deadline, or a
-        predicate).  Returns the simulated time reached."""
+        """Run the machine to quiescence, a deadline, or a predicate.
+        Returns the platform time reached (simulated µs on the sim
+        backend, wall-clock µs on the threaded one)."""
         if self.config.load_balance.enabled:
             for kernel in self.kernels:
                 kernel.balancer.kick()
-        return self.machine.sim.run(until=until, stop_when=stop_when)
+        return self.machine.run(until=until, stop_when=stop_when)
 
     def quiescent(self) -> bool:
         """True when no work remains anywhere: no in-flight messages
-        (steal-protocol chatter excluded) and every dispatcher empty."""
-        inflight = (
-            self._c_am_sends.n + self._c_dup.n
-            - self._c_dropped.n - self._c_am_delivered.n
-        )
-        steal_chatter = self._c_steal_sent.n - self._c_steal_recv.n
-        ack_chatter = (
-            self._c_ack_sent.n + self._c_ack_dup.n
-            - self._c_ack_dropped.n - self._c_ack_recv.n
-        )
-        if inflight - steal_chatter - ack_chatter > 0:
+        (steal-protocol and reliability-ack chatter excluded — the
+        backend's ``net_idle`` owns that accounting) and every
+        dispatcher empty."""
+        if not self.machine.net_idle():
             return False
         return all(not k.dispatcher.ready for k in self.kernels)
+
+    def close(self) -> None:
+        """Release backend resources (worker threads on the threaded
+        backend; a no-op on the simulator).  Idempotent."""
+        self.machine.shutdown()
+
+    def __enter__(self) -> "HalRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def collect_garbage(self, roots=None):
         """Run one distributed mark & sweep collection (the machine

@@ -440,5 +440,29 @@ class SimNode:
         """True while a handler is executing on this node."""
         return self._in_handler
 
+    def time(self) -> float:
+        """The node's best notion of the current time in microseconds:
+        node-local virtual time inside a handler, global simulated time
+        otherwise.  Part of the platform ``NodeExecutor`` interface."""
+        return self.now if self._in_handler else self.sim.now
+
+    def defer(self, fn: Callback, args: tuple = ()) -> None:
+        """Run ``fn(*args)`` at this node's current virtual time.
+
+        Inside a handler the node-local clock may be ahead of the
+        global clock (lazy charging); the call is then re-posted so it
+        fires when global time catches up — anything it schedules in
+        turn (network injection, timers) starts from a consistent
+        ``sim.now``.  When the clocks agree the call is made inline.
+        Part of the platform ``NodeExecutor`` interface; the real-time
+        backend, whose clocks never diverge, always calls inline.
+        """
+        sim = self.sim
+        at = self.now if self._in_handler else sim.now
+        if at > sim.now:
+            sim.post(at, fn, args)
+        else:
+            fn(*args)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimNode({self.node_id}, busy_until={self.busy_until:.2f})"

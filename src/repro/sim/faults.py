@@ -42,8 +42,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
-from repro.sim.rng import _derive_seed
-from repro.sim.stats import StatsRegistry
+from repro.rng import _derive_seed
+from repro.stats import StatsRegistry
 
 #: Message kinds the self-healing protocols are hardened against.  The
 #: chaos presets target these; anything sent through the AM endpoint is

@@ -1,100 +1,15 @@
-"""The simulated multicomputer: partition manager + processing elements.
+"""Backwards-compatible re-export.
 
-A :class:`Machine` bundles the event engine, the topology, the network
-model, per-node CPUs, RNG streams and measurement — the full substitute
-for the CM-5 partition the paper ran on.  The runtime
-(:mod:`repro.runtime`) boots one kernel per processing element on top
-of this substrate.
+The simulated partition moved behind the platform seam: it is now the
+discrete-event *backend*, :class:`repro.platform.simbackend.SimMachine`.
+This shim keeps historical imports (``from repro.sim.machine import
+Machine``) working; new code should construct machines through
+:func:`repro.platform.make_machine` so the backend stays selectable.
 """
 
-from __future__ import annotations
+from repro.platform.simbackend import SimMachine
 
-from typing import List, Optional
+#: Historical name for the discrete-event machine.
+Machine = SimMachine
 
-from repro.config import RuntimeConfig
-from repro.sim.engine import SimNode, Simulator
-from repro.sim.faults import FaultInjector, FaultPlan
-from repro.sim.network import Network
-from repro.sim.rng import RngStreams
-from repro.sim.stats import StatsRegistry
-from repro.sim.topology import Topology, make_topology
-from repro.sim.trace import (
-    NullSpanRecorder,
-    NullTraceLog,
-    SpanRecorder,
-    TraceLog,
-)
-
-
-class Machine:
-    """A partition of ``config.num_nodes`` processing elements.
-
-    The partition manager (front-end) is modelled as a distinguished
-    host outside the data network; it is represented by
-    :attr:`frontend_node`, a :class:`SimNode` used for program loading
-    and I/O (see :class:`repro.runtime.frontend.FrontEnd`).
-    """
-
-    def __init__(
-        self,
-        config: RuntimeConfig,
-        *,
-        trace: bool = False,
-        faults: Optional[FaultPlan] = None,
-    ) -> None:
-        self.config = config
-        self.sim = Simulator(max_events=config.max_events)
-        self.stats = StatsRegistry()
-        # Untraced machines (the common case) get the inert null log so
-        # trace costs are exactly zero on the message hot path.  The
-        # span recorder follows the same null-object pattern.
-        self.trace = TraceLog(enabled=True) if trace else NullTraceLog()
-        self.spans = SpanRecorder(enabled=True) if trace else NullSpanRecorder()
-        self.rng = RngStreams(config.seed)
-        self.topology: Topology = make_topology(config.topology, config.num_nodes)
-        self.nodes: List[SimNode] = [
-            SimNode(i, self.sim) for i in range(config.num_nodes)
-        ]
-        # An empty plan degrades to no plan so the fault-free fast
-        # paths (one cached boolean in Network and the AM endpoint)
-        # stay engaged.
-        if faults is not None and faults.empty:
-            faults = None
-        self.faults: Optional[FaultInjector] = (
-            FaultInjector(faults, config.seed, self.stats)
-            if faults is not None
-            else None
-        )
-        self.network = Network(
-            self.sim, self.topology, self.nodes, config.network, self.stats,
-            faults=self.faults,
-        )
-        #: The partition manager's CPU (not on the data network).
-        self.frontend_node = SimNode(-1, self.sim)
-
-    # ------------------------------------------------------------------
-    @property
-    def num_nodes(self) -> int:
-        return self.config.num_nodes
-
-    def node(self, node_id: int) -> SimNode:
-        return self.nodes[node_id]
-
-    def run(self, **kwargs) -> float:
-        """Drain the event heap; returns the final simulated time."""
-        return self.sim.run(**kwargs)
-
-    @property
-    def now(self) -> float:
-        return self.sim.now
-
-    def cpu_utilisation(self) -> List[float]:
-        """Fraction of elapsed simulated time each node spent busy."""
-        elapsed = self.sim.now or 1.0
-        return [min(1.0, n.busy_us / elapsed) for n in self.nodes]
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"Machine(P={self.num_nodes}, topology={self.config.topology}, "
-            f"t={self.sim.now:.1f}us)"
-        )
+__all__ = ["Machine", "SimMachine"]

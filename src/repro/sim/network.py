@@ -29,8 +29,8 @@ from repro.config import NetworkParams
 from repro.errors import NetworkError
 from repro.sim.engine import SimNode, Simulator
 from repro.sim.faults import FaultInjector
-from repro.sim.stats import StatsRegistry
-from repro.sim.topology import Topology
+from repro.stats import StatsRegistry
+from repro.topology import Topology
 
 
 class Network:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List
 
-from repro.sim.trace import Span
+from repro.tracing import Span
 
 #: Perfetto sorts tracks by tid; the front-end node (-1) is remapped so
 #: it sorts above the data-network nodes instead of crashing viewers

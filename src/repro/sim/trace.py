@@ -1,336 +1,29 @@
-"""Structured event tracing for debugging and white-box tests.
+"""Backwards-compatible re-export.
 
-Tracing is off by default and free when off: untraced machines carry a
-:class:`NullTraceLog` whose ``emit`` is a no-op, and hot paths guard
-with a single cached ``enabled`` flag so no argument tuple is packed
-per message.  Tests enable tracing to assert on protocol-level
-behaviour, e.g. that a forwarded message triggered exactly one FIR
-chase.
-
-Besides the flat :class:`TraceLog`, this module provides *causal*
-tracing: every actor message is assigned a trace ID and a span ID that
-propagate through sends, buffered delivery, FIR forwarding chains,
-migrations, remote creations and join-continuation replies, so a
-complete message journey can be reconstructed as a span tree
-(:class:`SpanRecorder`).  The :class:`TraceCtx` tuple is the wire form
-of that context: it rides protocol payloads as a trailing argument but
-is *excluded* from the wire-size model, so enabling tracing never
-perturbs simulated time (see :func:`repro.am.messages.payload_nbytes`).
+Tracing is observability, not simulation: the trace log and span
+recorder serve every execution backend, so the module moved to the
+layer-neutral :mod:`repro.tracing` (and the wire-level
+:class:`~repro.tracectx.TraceCtx` to :mod:`repro.tracectx`).  This
+shim keeps historical imports (``from repro.sim.trace import
+TraceLog``) working.
 """
 
-from __future__ import annotations
+from repro.tracectx import TraceCtx  # noqa: F401
+from repro.tracing import (  # noqa: F401
+    NullSpanRecorder,
+    NullTraceLog,
+    Span,
+    SpanRecorder,
+    TraceLog,
+    TraceRecord,
+)
 
-import itertools
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
-
-
-class TraceCtx(NamedTuple):
-    """Causal context carried on the wire alongside a traced message.
-
-    ``parent_span`` is the span the receiving hop must attach to;
-    ``sent_at`` is the sender's node-local time at injection, which
-    lets the receiver record the hop as a (start, end) interval.
-    """
-
-    trace_id: int
-    parent_span: int
-    sent_at: float
-
-    #: Observability metadata is out-of-band: it costs nothing on the
-    #: simulated wire (enforced in repro.am.messages.payload_nbytes).
-    WIRE_BYTES = 0
-
-
-@dataclass(frozen=True)
-class TraceRecord:
-    """One traced occurrence."""
-
-    time: float
-    node: int
-    kind: str
-    detail: Tuple[Any, ...]
-
-    def __str__(self) -> str:
-        parts = " ".join(str(d) for d in self.detail)
-        return f"[{self.time:10.2f}us n{self.node}] {self.kind} {parts}"
-
-
-class TraceLog:
-    """An append-only in-memory trace with simple query helpers."""
-
-    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
-        self.enabled = enabled
-        self.capacity = capacity
-        self.records: List[TraceRecord] = []
-        #: Records discarded because ``capacity`` was reached.  Tracked
-        #: so a truncated trace is never mistaken for a complete one.
-        self.dropped: int = 0
-
-    def emit(self, time: float, node: int, kind: str, *detail: Any) -> None:
-        if not self.enabled:
-            return
-        if self.capacity is not None and len(self.records) >= self.capacity:
-            self.dropped += 1
-            return
-        self.records.append(TraceRecord(time, node, kind, detail))
-
-    # ------------------------------------------------------------------
-    def of_kind(self, kind: str) -> List[TraceRecord]:
-        return [r for r in self.records if r.kind == kind]
-
-    def count(self, kind: str) -> int:
-        return sum(1 for r in self.records if r.kind == kind)
-
-    def where(self, pred: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
-        return [r for r in self.records if pred(r)]
-
-    def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def clear(self) -> None:
-        self.records.clear()
-        self.dropped = 0
-
-    def dump(self, limit: int = 200) -> str:
-        """Render up to ``limit`` records for debugging output."""
-        lines = [str(r) for r in self.records[:limit]]
-        if len(self.records) > limit:
-            lines.append(f"... ({len(self.records) - limit} more)")
-        if self.dropped:
-            lines.append(
-                f"... ({self.dropped} records dropped at capacity "
-                f"{self.capacity})"
-            )
-        return "\n".join(lines)
-
-
-class NullTraceLog(TraceLog):
-    """The trace sink of an untraced machine: ``emit`` is a no-op and
-    ``enabled`` is pinned False.
-
-    Flipping ``enabled`` on a null log would silently record nothing,
-    so the setter raises instead — construct the machine/runtime with
-    ``trace=True`` to get a live :class:`TraceLog`.
-    """
-
-    def __init__(self, capacity: Optional[int] = None) -> None:
-        super().__init__(enabled=False, capacity=capacity)
-
-    @property
-    def enabled(self) -> bool:
-        return False
-
-    @enabled.setter
-    def enabled(self, value: bool) -> None:
-        if value:
-            raise ValueError(
-                "NullTraceLog cannot be enabled; build the machine with "
-                "trace=True to record a trace"
-            )
-
-    def emit(self, time: float, node: int, kind: str, *detail: Any) -> None:
-        return None
-
-
-# ======================================================================
-# causal spans
-# ======================================================================
-@dataclass(frozen=True)
-class Span:
-    """One stage of a traced message journey.
-
-    ``parent_id == 0`` marks a root span.  Instantaneous occurrences
-    (e.g. a send issue or a name-table back-patch) have
-    ``start_us == end_us``.
-    """
-
-    trace_id: int
-    span_id: int
-    parent_id: int
-    name: str
-    kind: str
-    node: int
-    start_us: float
-    end_us: float
-    attrs: Tuple[Any, ...] = ()
-
-    @property
-    def duration_us(self) -> float:
-        return self.end_us - self.start_us
-
-    def __str__(self) -> str:
-        return (
-            f"[{self.start_us:10.2f}us n{self.node}] {self.kind:<12} "
-            f"{self.name} (trace {self.trace_id}, span {self.span_id}"
-            f"<-{self.parent_id})"
-        )
-
-
-class SpanRecorder:
-    """Collects causal spans for one machine.
-
-    The recorder hands out trace IDs (one per root message journey) and
-    span IDs (one per stage), and stores completed :class:`Span`
-    records.  Like :class:`TraceLog` it is inert when disabled; the
-    untraced machine carries a :class:`NullSpanRecorder` so hot paths
-    pay a single cached flag check.
-    """
-
-    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
-        self.enabled = enabled
-        self.capacity = capacity
-        self.spans: List[Span] = []
-        self.dropped: int = 0
-        self._trace_ids = itertools.count(1)
-        self._span_ids = itertools.count(1)
-
-    # ------------------------------------------------------------------
-    # identity allocation
-    # ------------------------------------------------------------------
-    def new_trace_id(self) -> int:
-        return next(self._trace_ids)
-
-    def new_span_id(self) -> int:
-        return next(self._span_ids)
-
-    # ------------------------------------------------------------------
-    # recording
-    # ------------------------------------------------------------------
-    def record(
-        self,
-        trace_id: int,
-        span_id: int,
-        parent_id: int,
-        name: str,
-        kind: str,
-        node: int,
-        start_us: float,
-        end_us: float,
-        *attrs: Any,
-    ) -> None:
-        if not self.enabled:
-            return
-        if self.capacity is not None and len(self.spans) >= self.capacity:
-            self.dropped += 1
-            return
-        self.spans.append(
-            Span(trace_id, span_id, parent_id, name, kind, node,
-                 start_us, end_us, attrs)
-        )
-
-    def span(
-        self,
-        trace_id: int,
-        parent_id: int,
-        name: str,
-        kind: str,
-        node: int,
-        start_us: float,
-        end_us: Optional[float] = None,
-        *attrs: Any,
-    ) -> int:
-        """Allocate a span ID and record the span in one step; returns
-        the new span ID (so children can attach to it)."""
-        sid = next(self._span_ids)
-        self.record(trace_id, sid, parent_id, name, kind, node, start_us,
-                    end_us if end_us is not None else start_us, *attrs)
-        return sid
-
-    # ------------------------------------------------------------------
-    # queries
-    # ------------------------------------------------------------------
-    def of_kind(self, kind: str) -> List[Span]:
-        return [s for s in self.spans if s.kind == kind]
-
-    def count(self, kind: str) -> int:
-        return sum(1 for s in self.spans if s.kind == kind)
-
-    def of_trace(self, trace_id: int) -> List[Span]:
-        return sorted(
-            (s for s in self.spans if s.trace_id == trace_id),
-            key=lambda s: (s.start_us, s.span_id),
-        )
-
-    def trace_ids(self) -> List[int]:
-        seen: Dict[int, None] = {}
-        for s in self.spans:
-            seen.setdefault(s.trace_id, None)
-        return list(seen)
-
-    def tree(self, trace_id: int) -> List[dict]:
-        """The trace's span forest: a list of root nodes, each a dict
-        ``{"span": Span, "children": [...]}`` ordered by start time.
-        Spans whose parent was dropped (capacity) surface as roots."""
-        spans = self.of_trace(trace_id)
-        nodes = {s.span_id: {"span": s, "children": []} for s in spans}
-        roots: List[dict] = []
-        for s in spans:
-            parent = nodes.get(s.parent_id)
-            if parent is None:
-                roots.append(nodes[s.span_id])
-            else:
-                parent["children"].append(nodes[s.span_id])
-        return roots
-
-    def kinds_in_tree(self, trace_id: int) -> List[str]:
-        """Depth-first kind sequence of the trace's span tree (a
-        compact shape signature for tests)."""
-        out: List[str] = []
-
-        def walk(node: dict) -> None:
-            out.append(node["span"].kind)
-            for child in node["children"]:
-                walk(child)
-
-        for root in self.tree(trace_id):
-            walk(root)
-        return out
-
-    def __iter__(self) -> Iterator[Span]:
-        return iter(self.spans)
-
-    def __len__(self) -> int:
-        return len(self.spans)
-
-    def clear(self) -> None:
-        self.spans.clear()
-        self.dropped = 0
-
-    def dump(self, limit: int = 200) -> str:
-        """Render up to ``limit`` spans for debugging output."""
-        lines = [str(s) for s in self.spans[:limit]]
-        if len(self.spans) > limit:
-            lines.append(f"... ({len(self.spans) - limit} more)")
-        if self.dropped:
-            lines.append(
-                f"... ({self.dropped} spans dropped at capacity "
-                f"{self.capacity})"
-            )
-        return "\n".join(lines)
-
-
-class NullSpanRecorder(SpanRecorder):
-    """The span sink of an untraced machine: recording is a no-op and
-    ``enabled`` is pinned False (same contract as :class:`NullTraceLog`)."""
-
-    def __init__(self, capacity: Optional[int] = None) -> None:
-        super().__init__(enabled=False, capacity=capacity)
-
-    @property
-    def enabled(self) -> bool:
-        return False
-
-    @enabled.setter
-    def enabled(self, value: bool) -> None:
-        if value:
-            raise ValueError(
-                "NullSpanRecorder cannot be enabled; build the machine "
-                "with trace=True to record spans"
-            )
-
-    def record(self, *args: Any, **kwargs: Any) -> None:
-        return None
+__all__ = [
+    "TraceCtx",
+    "TraceRecord",
+    "TraceLog",
+    "NullTraceLog",
+    "Span",
+    "SpanRecorder",
+    "NullSpanRecorder",
+]

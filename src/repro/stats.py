@@ -1,0 +1,305 @@
+"""Counters and timing accumulators used across the runtime.
+
+A :class:`StatsRegistry` is shared by the machine, the AM layer and
+the runtime kernels.
+
+Counters are mutable :class:`Counter` cells so hot paths can bind a
+cell once (``cell = stats.cell("am.sends")`` at construction) and then
+bump ``cell.n += 1`` per message — no dotted-string hashing, no method
+call.  :meth:`incr` remains for cold paths.  :meth:`reset` zeroes
+cells *in place* so bound handles stay live across benchmark phases.
+
+:class:`Histogram` adds fixed-bucket latency distributions (delivery
+latency, execution time, mailbox depth, FIR chain length) with
+p50/p95/p99 estimates.  Buckets are powers of two, so recording is one
+``bit_length`` call and an indexed increment — cheap enough for the
+traced hot path, and the bucket layout never depends on the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+class Counter:
+    """A single mutable counter cell; hot paths bump ``.n`` directly."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int = 0) -> None:
+        self.n = n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.n})"
+
+
+@dataclass
+class TimerStat:
+    """Aggregate of a repeatedly measured duration (microseconds)."""
+
+    count: int = 0
+    total_us: float = 0.0
+    min_us: float = float("inf")
+    max_us: float = 0.0
+
+    def record(self, us: float) -> None:
+        self.count += 1
+        self.total_us += us
+        if us < self.min_us:
+            self.min_us = us
+        if us > self.max_us:
+            self.max_us = us
+
+    def _zero(self) -> None:
+        """In-place reset so cached handles survive a registry reset."""
+        self.count = 0
+        self.total_us = 0.0
+        self.min_us = float("inf")
+        self.max_us = 0.0
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+class Histogram:
+    """Fixed power-of-two buckets with percentile estimation.
+
+    Bucket ``i`` covers ``[2**(i-1), 2**i)`` for ``i >= 1``; bucket 0
+    covers ``[0, 1)``.  Values are assigned with ``int(v).bit_length()``
+    so recording never allocates.  Percentiles walk the cumulative
+    counts and interpolate linearly inside the chosen bucket, clamped
+    to the observed ``[min, max]`` so tiny samples report sane numbers.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+
+    #: 2**40 µs ≈ 12 days of simulated time — far beyond any run here.
+    NUM_BUCKETS = 41
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.buckets: List[int] = [0] * self.NUM_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        if value < 0.0:
+            value = 0.0
+        i = int(value).bit_length()
+        if i >= self.NUM_BUCKETS:
+            i = self.NUM_BUCKETS - 1
+        self.buckets[i] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @staticmethod
+    def _bucket_bounds(i: int) -> Tuple[float, float]:
+        if i == 0:
+            return 0.0, 1.0
+        return float(2 ** (i - 1)), float(2 ** i)
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (``0 < p <= 100``)."""
+        if not self.count:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if seen + n >= rank:
+                lo, hi = self._bucket_bounds(i)
+                frac = (rank - seen) / n
+                est = lo + frac * (hi - lo)
+                return min(max(est, self.min), self.max)
+            seen += n
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def _zero(self) -> None:
+        """In-place reset so cached handles survive a registry reset."""
+        for i in range(self.NUM_BUCKETS):
+            self.buckets[i] = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 3),
+            "p50": round(self.p50, 3),
+            "p95": round(self.p95, 3),
+            "p99": round(self.p99, 3),
+            # Sparse bucket map: {bucket upper bound: count}.
+            "buckets": {
+                str(self._bucket_bounds(i)[1]): n
+                for i, n in enumerate(self.buckets) if n
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"p50={self.p50:.1f}, p99={self.p99:.1f})")
+
+
+class StatsRegistry:
+    """Hierarchical counters: ``stats.incr("am.sends")`` etc."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, Counter] = {}
+        self.timers: Dict[str, TimerStat] = {}
+        self.gauges: Dict[str, float] = {}
+        self.hists: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def cell(self, name: str) -> Counter:
+        """The mutable cell behind ``name``, created on first use.
+        Bind once, bump ``cell.n`` on the hot path."""
+        c = self._cells.get(name)
+        if c is None:
+            c = self._cells[name] = Counter()
+        return c
+
+    def incr(self, name: str, by: int = 1) -> None:
+        c = self._cells.get(name)
+        if c is None:
+            c = self._cells[name] = Counter()
+        c.n += by
+
+    def record_time(self, name: str, us: float) -> None:
+        self.timer(name).record(us)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def max_gauge(self, name: str, value: float) -> None:
+        if value > self.gauges.get(name, float("-inf")):
+            self.gauges[name] = value
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        c = self._cells.get(name)
+        return c.n if c is not None else 0
+
+    def timer(self, name: str) -> TimerStat:
+        """The (mutable) timer aggregate for ``name``; safe to cache."""
+        t = self.timers.get(name)
+        if t is None:
+            t = self.timers[name] = TimerStat()
+        return t
+
+    def hist(self, name: str) -> Histogram:
+        """The (mutable) histogram for ``name``; safe to cache and call
+        ``.record(v)`` on the hot path."""
+        h = self.hists.get(name)
+        if h is None:
+            h = self.hists[name] = Histogram(name)
+        return h
+
+    def record_hist(self, name: str, value: float) -> None:
+        self.hist(name).record(value)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Snapshot dict of nonzero counters (debugging convenience;
+        pre-bound but untouched cells are omitted)."""
+        return {k: c.n for k, c in self._cells.items() if c.n}
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat snapshot suitable for printing or diffing in tests.
+        Cells and timers that were bound but never bumped are omitted,
+        so pre-binding handles does not perturb snapshots."""
+        out: Dict[str, float] = {}
+        for k, c in sorted(self._cells.items()):
+            if c.n:
+                out[f"counter.{k}"] = float(c.n)
+        for k, t in sorted(self.timers.items()):
+            if t.count:
+                out[f"timer.{k}.count"] = float(t.count)
+                out[f"timer.{k}.mean_us"] = t.mean_us
+        for k, v in sorted(self.gauges.items()):
+            out[f"gauge.{k}"] = v
+        for k, h in sorted(self.hists.items()):
+            if h.count:
+                out[f"hist.{k}.count"] = float(h.count)
+                out[f"hist.{k}.p50"] = h.p50
+                out[f"hist.{k}.p99"] = h.p99
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict snapshot for JSON serialization: one key
+        per family (``counters``, ``timers``, ``gauges``, ``hists``).
+        Bound-but-untouched entries are omitted, as in
+        :meth:`snapshot`."""
+        return {
+            "counters": {
+                k: c.n for k, c in sorted(self._cells.items()) if c.n
+            },
+            "timers": {
+                k: {
+                    "count": t.count,
+                    "total_us": round(t.total_us, 3),
+                    "mean_us": round(t.mean_us, 3),
+                    "min_us": t.min_us,
+                    "max_us": t.max_us,
+                }
+                for k, t in sorted(self.timers.items()) if t.count
+            },
+            "gauges": dict(sorted(self.gauges.items())),
+            "hists": {
+                k: h.as_dict()
+                for k, h in sorted(self.hists.items()) if h.count
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero everything in place; cached cell/timer handles stay
+        bound (they read 0 afterwards)."""
+        for c in self._cells.values():
+            c.n = 0
+        for t in self.timers.values():
+            t._zero()
+        for h in self.hists.values():
+            h._zero()
+        self.gauges.clear()
+
+    def table(self, prefixes: Iterable[str] = ()) -> str:
+        """Render selected counters as an aligned text table."""
+        rows: list[Tuple[str, str]] = []
+        for k in sorted(self._cells):
+            n = self._cells[k].n
+            if n and (not prefixes or any(k.startswith(p) for p in prefixes)):
+                rows.append((k, str(n)))
+        if not rows:
+            return "(no counters)"
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)

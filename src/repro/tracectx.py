@@ -1,0 +1,34 @@
+"""The causal trace context that rides active-message payloads.
+
+:class:`TraceCtx` is the *wire form* of causal tracing: a tuple
+appended to protocol payloads so the receiving hop can attach its span
+to the sender's.  It is deliberately layer-neutral — the AM layer
+marshals it, every execution backend carries it, and the observability
+stack (:mod:`repro.tracing`) consumes it — so it lives above both the
+runtime and the simulator rather than inside ``repro.sim``.
+
+Observability metadata is out-of-band by contract: ``WIRE_BYTES = 0``
+and :func:`repro.am.messages.payload_nbytes` enforces that enabling
+tracing never perturbs modelled network time.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class TraceCtx(NamedTuple):
+    """Causal context carried on the wire alongside a traced message.
+
+    ``parent_span`` is the span the receiving hop must attach to;
+    ``sent_at`` is the sender's node-local time at injection, which
+    lets the receiver record the hop as a (start, end) interval.
+    """
+
+    trace_id: int
+    parent_span: int
+    sent_at: float
+
+    #: Observability metadata is out-of-band: it costs nothing on the
+    #: simulated wire (enforced in repro.am.messages.payload_nbytes).
+    WIRE_BYTES = 0
