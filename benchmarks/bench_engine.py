@@ -294,6 +294,12 @@ def run_bench(*, quick: bool = False, repeats: int = 3,
         results["backend_threaded"] = run_fib_app(
             fib_n, num_nodes=4, backend="threaded"
         )
+        # Process-per-node backend on the same workload: the only case
+        # where node execution escapes the GIL.  Also ungated — wall
+        # time depends on host scheduling and process startup.
+        results["backend_mp"] = run_fib_app(
+            fib_n, num_nodes=4, backend="mp"
+        )
     return results
 
 
@@ -327,6 +333,13 @@ def render(results: Dict) -> str:
             f"threaded   n={bt['n']:<4} nodes={bt['nodes']:<3} "
             f"events={bt['sim_events']:>9,}  "
             f"host={bt['events_per_sec']:>11,} ev/s (ungated)"
+        )
+    bm = results.get("backend_mp")
+    if bm:
+        lines.append(
+            f"mp         n={bm['n']:<4} nodes={bm['nodes']:<3} "
+            f"events={bm['sim_events']:>9,}  "
+            f"host={bm['events_per_sec']:>11,} ev/s (ungated)"
         )
     return "\n".join(lines)
 

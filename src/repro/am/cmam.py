@@ -79,6 +79,12 @@ class Endpoint:
         #: machines; see :mod:`repro.am.reliable`).  ``None`` keeps the
         #: bare fast path: one is-None test per send.
         self._rel = None
+        # A wire-only transport (distributed backend) routes packets by
+        # destination id and never invokes the delivery callback on the
+        # sending side, so the peer-endpoint lookup must not be a hard
+        # requirement there: remote nodes live in other processes and
+        # have no entry in this directory.
+        self._wire_only = bool(getattr(network, "wire_only", False))
         # On a faulty network every packet must be labelled with its
         # message kind or the injector's per-kind rules cannot see it —
         # this matters when reliability is explicitly disabled (the
@@ -151,7 +157,12 @@ class Endpoint:
             )
         peer = self.directory.get(dst)
         if peer is None:
-            raise NetworkError(f"no endpoint attached at node {dst}")
+            if not self._wire_only:
+                raise NetworkError(f"no endpoint attached at node {dst}")
+            # Wire-only transport: the callback is ignored (delivery is
+            # re-bound on the destination process); stand in for the
+            # absent peer with ourselves so the transmit path is shared.
+            peer = self
         if charge_sender:
             # Inlined node.charge(self.send_overhead_us); the overhead
             # was validated non-negative at construction.
@@ -216,7 +227,9 @@ class Endpoint:
             )
         peer = self.directory.get(dst)
         if peer is None:
-            raise NetworkError(f"no endpoint attached at node {dst}")
+            if not self._wire_only:
+                raise NetworkError(f"no endpoint attached at node {dst}")
+            peer = self  # wire-only: routed by dst, callback unused
         if charge_sender:
             node.now += self.send_overhead_us
             node.busy_us += self.send_overhead_us

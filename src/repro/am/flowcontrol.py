@@ -56,6 +56,12 @@ class MinimalFlowControl(FlowControlPolicy):
     def on_request(self, key: TransferKey, nbytes: int) -> bool:
         if key in self._active:
             raise FlowControlError(f"duplicate bulk request {key}")
+        if key in self._waiting:
+            # Duplicate of a queued request (a retransmitted wire
+            # packet): the key is already in line and will be acked
+            # exactly once when its turn comes.  Re-appending it would
+            # ack the transfer twice.
+            return False
         if len(self._active) < self.max_active:
             self._active.add(key)
             return True

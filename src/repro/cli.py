@@ -158,7 +158,7 @@ def _cmd_run(args) -> None:
             f"backend={rt.config.backend})",
             ["", "value"], rows,
             note="elapsed_us is simulated time on backend=sim, "
-                 "wall-clock time on backend=threaded",
+                 "wall-clock time on backend=threaded/mp",
         ))
     finally:
         rt.close()
@@ -304,9 +304,12 @@ def main(argv: Optional[List[str]] = None) -> int:
              "summary (ping_pong, migration_tour, fibonacci_loadbalance)",
     )
     p.add_argument("app", help="scenario name")
-    p.add_argument("--backend", choices=("sim", "threaded"), default="sim",
+    p.add_argument("--backend", choices=("sim", "threaded", "mp"),
+                   default="sim",
                    help="sim: deterministic discrete-event simulator; "
-                        "threaded: real-time, one OS thread per node")
+                        "threaded: real-time, one OS thread per node; "
+                        "mp: one OS process per node, pickled packets, "
+                        "token-ring quiescence")
     p.add_argument("--nodes", type=int, default=None, help="partition size")
     p.add_argument("--n", type=int, default=None,
                    help="problem size (scenario-specific)")

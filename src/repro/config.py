@@ -155,8 +155,10 @@ class RuntimeConfig:
     #: Execution backend: ``sim`` is the deterministic discrete-event
     #: simulator (fault injection, timing tables); ``threaded`` runs
     #: each node on an OS thread in real time (convergence semantics,
-    #: no determinism).  See :mod:`repro.platform`.
-    backend: Literal["sim", "threaded"] = "sim"
+    #: no determinism); ``mp`` runs each node in its own OS process
+    #: (pickled wire packets, token-ring quiescence, no GIL sharing).
+    #: See :mod:`repro.platform`.
+    backend: Literal["sim", "threaded", "mp"] = "sim"
     #: Interconnect topology: CM-5 fat-tree or binary hypercube.
     topology: Literal["fattree", "hypercube"] = "fattree"
     #: Seed for all deterministic random substreams.
@@ -186,10 +188,10 @@ class RuntimeConfig:
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
-        if self.backend not in ("sim", "threaded"):
+        if self.backend not in ("sim", "threaded", "mp"):
             raise ValueError(
-                f"unknown backend {self.backend!r}; expected 'sim' or "
-                "'threaded'"
+                f"unknown backend {self.backend!r}; expected 'sim', "
+                "'threaded' or 'mp'"
             )
         if self.bulk_threshold_bytes < 1:
             raise ValueError("bulk_threshold_bytes must be >= 1")

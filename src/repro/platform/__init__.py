@@ -11,6 +11,12 @@ a backend by name (usually from ``RuntimeConfig.backend``):
     Real time: one OS thread per node, wall-clock time, convergence
     semantics.  Same protocols, no determinism, no fault injection.
 
+``mp``
+    Distributed: one OS *process* per node, packets pickled over
+    pipes, token-ring quiescence detection.  The only backend where
+    the GIL does not serialise node execution; no determinism, no
+    fault injection, and non-picklable payloads are hard errors.
+
 Backend modules are imported lazily so constructing a sim machine
 never pays for ``threading`` machinery and vice versa, and so the
 interface module stays import-cycle-free.
@@ -31,7 +37,7 @@ from repro.platform.base import (
 )
 
 #: Names accepted by :func:`make_machine` / ``RuntimeConfig.backend``.
-BACKENDS = ("sim", "threaded")
+BACKENDS = ("sim", "threaded", "mp")
 
 
 def make_machine(
@@ -56,6 +62,10 @@ def make_machine(
         from repro.platform.threaded import ThreadedMachine
 
         return ThreadedMachine(config, trace=trace, faults=faults)
+    if name == "mp":
+        from repro.platform.mp import MpMachine
+
+        return MpMachine(config, trace=trace, faults=faults)
     raise ReproError(
         f"unknown backend {name!r}; expected one of {', '.join(BACKENDS)}"
     )

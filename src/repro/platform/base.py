@@ -37,13 +37,20 @@ methods in heap entries) untouched.  The layering lint
 Feature support differs per backend and is advertised by flags on the
 machine (see the README backend matrix):
 
-========================  ===========  ============
-capability                sim          threaded
-========================  ===========  ============
-``deterministic``         yes          no
-``supports_faults``       yes          no
-``supports_tracing``      yes          yes
-========================  ===========  ============
+========================  ===========  ============  ============
+capability                sim          threaded      mp
+========================  ===========  ============  ============
+``deterministic``         yes          no            no
+``supports_faults``       yes          no            no
+``supports_tracing``      yes          yes           no
+``distributed``           no           no            yes
+========================  ===========  ============  ============
+
+A *distributed* machine runs each node in its own OS process: nothing
+is shared, every message crosses an operating-system pipe as a pickled
+:class:`WirePacket`, and quiescence is detected by a token-ring
+protocol rather than shared counters.  The runtime facade consults the
+flag to route driver operations as commands instead of direct calls.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ from typing import (
     Any,
     Callable,
     List,
+    NamedTuple,
     Optional,
     Protocol,
     Sequence,
@@ -59,6 +67,25 @@ from typing import (
 )
 
 Callback = Callable[..., None]
+
+
+class WirePacket(NamedTuple):
+    """The explicit, picklable wire form of an active-message packet.
+
+    On shared-memory backends delivery hands a bound method straight to
+    the destination node's heap; on a distributed backend the packet
+    must serialise, so the AM layer describes it as plain data: the
+    destination re-binds ``handler`` against its own endpoint's handler
+    table.  ``kind`` is the logical message kind (the transmit label)
+    used for chatter classification and quiescence accounting.
+    """
+
+    src: int
+    dst: int
+    handler: str
+    args: tuple
+    nbytes: int
+    kind: str
 
 
 @runtime_checkable
@@ -201,6 +228,10 @@ class PlatformMachine(Protocol):
     deterministic: bool
     #: True when a fault plan can be installed on this backend.
     supports_faults: bool
+    #: True when nodes run in separate OS processes (nothing shared;
+    #: driver operations travel as commands, packets as pickled
+    #: :class:`WirePacket` data).
+    distributed: bool
 
     @property
     def num_nodes(self) -> int: ...
@@ -235,6 +266,21 @@ class PlatformMachine(Protocol):
         acks — is excluded: idle nodes trading polls always have one
         briefly in flight, and it must not hold quiescence open.
         """
+        ...
+
+    def register_work_probe(self, probe: Callable[[], bool]) -> None:
+        """Register a callable that returns True while its owner still
+        holds runnable work (e.g. a dispatcher's ready queue).  The
+        machine consults every probe in :meth:`quiescent`; distributed
+        backends, whose detection runs remotely, may ignore probes
+        registered on the driver."""
+        ...
+
+    def quiescent(self) -> bool:
+        """True when no work remains anywhere: the network is idle and
+        no registered work probe reports runnable items.  On a
+        distributed backend this runs a fresh detection round (token
+        ring) instead of reading shared counters."""
         ...
 
     def cpu_utilisation(self) -> List[float]:

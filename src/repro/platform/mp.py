@@ -1,0 +1,1112 @@
+"""Multiprocessing backend: one OS process per processing element.
+
+This is the first backend where the GIL no longer serialises node
+execution: every node runs a full runtime kernel inside its own
+worker process, active messages cross between nodes as pickled
+:class:`~repro.platform.base.WirePacket` data over per-pair duplex
+pipes, and the driver process holds no kernel state at all — driver
+operations (load, spawn, send, call) travel to the owning worker as
+synchronously-acknowledged commands on a per-node control pipe.
+
+Nothing is shared, so the shared-counter quiescence arithmetic of the
+sim backend (and the threaded backend's live count) is unavailable by
+construction.  Termination is instead detected with a Safra-style
+token ring:
+
+- every worker keeps a message counter ``c`` (counted sends minus
+  counted receives; steal/ack chatter is excluded, exactly as in the
+  other backends' ``net_idle``) and a colour, *black* after any
+  counted receive;
+- node 0 coordinates: on a driver request it injects a white token
+  carrying a running count; each worker forwards the token only when
+  *passive* (no handler running, no live non-``steal.poll`` heap
+  entry, no unread pipe data), adds its counter, blackens the token if
+  it is black itself, and turns white;
+- when the token returns white to a white node 0 with a zero total,
+  no counted message is in flight and no worker holds work: node 0
+  circulates a *quiesce* flag (stopping the balancers' polls) and
+  reports success to the driver.
+
+Determinism and fault injection are not supported — pipes neither
+drop nor duplicate, and OS scheduling orders delivery.  A payload that
+does not pickle is a **hard error** (:class:`~repro.errors.NetworkError`
+on the sending worker, surfaced to the driver), where the in-process
+backends would happily share the object by reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import pickle
+import traceback
+from multiprocessing import get_context
+from multiprocessing.connection import wait as conn_wait
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.config import RuntimeConfig
+from repro.errors import NetworkError, ReproError, SimulationError
+from repro.platform.base import WirePacket
+from repro.platform.threaded import _CHATTER_KINDS, WallClock
+from repro.rng import RngStreams
+from repro.stats import Histogram, StatsRegistry
+from repro.topology import Topology, make_topology
+from repro.tracing import NullSpanRecorder, NullTraceLog
+
+Callback = Callable[..., None]
+
+#: Heap-entry label of the balancer's poll timers: the only deferred
+#: work a passive node may hold (mirrors the chatter exclusion).
+_POLL_LABEL = "steal.poll"
+
+#: Per-conn message-drain cap per loop iteration, so a flooding peer
+#: cannot starve the local heap.
+_DRAIN_CAP = 64
+
+
+def _pickling_errors():
+    return (TypeError, AttributeError, pickle.PicklingError)
+
+
+# ======================================================================
+# worker side: node executor, wire transport, runtime shims
+# ======================================================================
+class _WorkerTimer:
+    """Cancellable handle on a worker heap entry (tombstoning, same
+    scheme as the sim and threaded backends)."""
+
+    __slots__ = ("_entry", "label")
+
+    def __init__(self, entry: list, label: str = "") -> None:
+        self._entry = entry
+        self.label = label
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[2] is None
+
+    def cancel(self) -> None:
+        self._entry[2] = None
+        self._entry[3] = ()
+
+
+class _WorkerNode:
+    """One worker process's CPU: a single-threaded heap of
+    ``[due_us, seq, fn, args, label]`` entries drained by the host
+    loop.  Satisfies :class:`~repro.platform.base.NodeExecutor`."""
+
+    __slots__ = (
+        "node_id", "clock", "now", "busy_us", "_in_handler", "events_run",
+        "_heap", "_seq",
+    )
+
+    def __init__(self, node_id: int, clock: WallClock) -> None:
+        self.node_id = node_id
+        self.clock = clock
+        self.now: float = 0.0
+        self.busy_us: float = 0.0
+        self._in_handler = False
+        self.events_run = 0
+        self._heap: List[list] = []
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, at: float, fn: Callback, args: tuple, label: str) -> list:
+        entry = [at, next(self._seq), fn, args, label]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def execute(self, at: float, fn: Callback, *, label: str = "") -> _WorkerTimer:
+        return _WorkerTimer(self._enqueue(at, fn, (), label), label)
+
+    def execute_now(self, fn: Callback, *, label: str = "") -> _WorkerTimer:
+        return _WorkerTimer(self._enqueue(self.time(), fn, (), label), label)
+
+    def post(self, at: float, fn: Callback, args: tuple = ()) -> None:
+        self._enqueue(at, fn, args, "")
+
+    def post_now(self, fn: Callback, args: tuple = ()) -> None:
+        self._enqueue(self.time(), fn, args, "")
+
+    def post_preempting(self, at: float, fn: Callback, args: tuple = ()) -> None:
+        self._enqueue(at, fn, args, "")
+
+    def defer(self, fn: Callback, args: tuple = ()) -> None:
+        """Inline: the wall clock never diverges the way the
+        simulator's lazy charging allows."""
+        fn(*args)
+
+    def bootstrap(self, fn: Callable[[], Any]) -> Any:
+        if self._in_handler:
+            raise SimulationError(
+                f"bootstrap on node {self.node_id} during a handler; "
+                "use execute_now instead"
+            )
+        self.now = self.clock.now
+        self._in_handler = True
+        try:
+            return fn()
+        finally:
+            self._in_handler = False
+
+    def run_entry(self, fn: Callback, args: tuple) -> None:
+        """Execute one heap entry or inbound delivery as a handler."""
+        self.now = self.clock.now
+        self._in_handler = True
+        try:
+            fn(*args)
+        finally:
+            self._in_handler = False
+            self.events_run += 1
+
+    # ------------------------------------------------------------------
+    def charge(self, us: float) -> None:
+        if us < 0:
+            raise SimulationError(f"negative charge {us}")
+        self.now += us
+        self.busy_us += us
+
+    @property
+    def in_handler(self) -> bool:
+        return self._in_handler
+
+    def time(self) -> float:
+        return self.now if self._in_handler else self.clock.now
+
+    def passive(self) -> bool:
+        """No live heap entry except balancer poll timers."""
+        return all(e[2] is None or e[4] == _POLL_LABEL for e in self._heap)
+
+    def live_work(self) -> int:
+        return sum(
+            1 for e in self._heap if e[2] is not None and e[4] != _POLL_LABEL
+        )
+
+
+class _WireTransport:
+    """The worker's view of the interconnect: packets pickle onto the
+    destination's pipe.  Supports exactly the AM endpoint's delivery
+    convention (``args == (src, handler, payload)``); the callback is
+    never invoked on the sending side — the destination process
+    re-binds the handler name against its own endpoint."""
+
+    #: Signals the AM endpoint that no peer-endpoint lookup is possible.
+    wire_only = True
+
+    def __init__(self, host: "_WorkerHost", params, stats: StatsRegistry) -> None:
+        self.host = host
+        self.params = params
+        self.stats = stats
+        self.faults = None
+        self._faults_on = False
+        self._c_messages = stats.cell("net.messages")
+        self._c_bytes = stats.cell("net.bytes")
+
+    def unicast(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        deliver: Callback,
+        args: tuple = (),
+        *,
+        label: str = "",
+    ) -> float:
+        if src == dst:
+            raise NetworkError("unicast requires distinct src/dst; local sends "
+                               "bypass the network")
+        if nbytes <= 0:
+            raise NetworkError(f"message size must be positive, got {nbytes}")
+        if len(args) != 3:
+            raise NetworkError(
+                "the mp wire transport carries AM endpoint packets only "
+                f"(src, handler, payload); got {len(args)} args"
+            )
+        packet = WirePacket(src, dst, args[1], args[2], nbytes, label or args[1])
+        self._c_messages.n += 1
+        self._c_bytes.n += nbytes
+        self.host.send_wire(packet)
+        return self.host.clock.now
+
+    def reset_contention(self) -> None:
+        """No NIC state to forget."""
+
+
+class _WorkerMachine:
+    """The worker-local slice of the platform: exactly the attribute
+    surface :class:`~repro.runtime.kernel.Kernel` reads from
+    ``runtime.machine``."""
+
+    deterministic = False
+    supports_faults = False
+    supports_tracing = False
+    distributed = True
+
+    def __init__(self, host: "_WorkerHost", config: RuntimeConfig) -> None:
+        self.config = config
+        self.stats = StatsRegistry()
+        self.trace = NullTraceLog()
+        self.spans = NullSpanRecorder()
+        self.rng = RngStreams(config.seed)
+        self.topology: Topology = make_topology(config.topology, config.num_nodes)
+        self.faults = None
+        self.network = _WireTransport(host, config.network, self.stats)
+        # Keyed by node id so Kernel's ``machine.nodes[node_id]`` works
+        # even though only this worker's node exists in-process.
+        self.nodes: Dict[int, _WorkerNode] = {host.node_id: host.node}
+
+
+class _WorkerRuntime:
+    """Worker-local stand-in for :class:`~repro.runtime.system.HalRuntime`:
+    one kernel, the real :class:`~repro.runtime.frontend.FrontEnd`, and
+    the machine shim above.  Protocol code only ever touches this
+    surface, so the kernel runs unmodified."""
+
+    def __init__(self, host: "_WorkerHost", config: RuntimeConfig, costs) -> None:
+        from repro.am.broadcast import TreeMulticaster
+        from repro.runtime.frontend import FrontEnd
+        from repro.runtime.kernel import Kernel
+
+        self.host = host
+        self.config = config
+        self.costs = costs
+        self.machine = _WorkerMachine(host, config)
+        self.endpoint_directory: Dict[int, Any] = {}
+        self.frontend = FrontEnd(self)
+        self.kernels = [Kernel(self, host.node_id)]
+        self.multicaster = TreeMulticaster(
+            self.machine.topology, self.endpoint_directory
+        )
+        self.multicaster.install()
+
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    def quiescent(self) -> bool:
+        """The worker's view of global quiescence: the flag the token
+        ring's quiesce broadcast sets (reset by any counted receive or
+        work-injecting command).  The balancer polls this to stop."""
+        return self.host.quiesced
+
+
+# ======================================================================
+# worker host loop + Safra ring
+# ======================================================================
+class _WorkerHost:
+    """The event loop of one worker process: drains the node heap,
+    services the control and peer pipes, and participates in the
+    token-ring termination protocol."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: RuntimeConfig,
+        costs,
+        ctrl,
+        peers: Dict[int, Any],
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.ctrl = ctrl
+        self.peers = peers
+        self.clock = WallClock()
+        self.node = _WorkerNode(node_id, self.clock)
+        self.quiesced = False
+        self._stop = False
+        # Safra state: counted sends - counted receives, and the
+        # colour (black after any counted receive).  Workers start
+        # black: the first round can never falsely succeed.
+        self._count = 0
+        self._black = True
+        self._token: Optional[tuple] = None     # stashed inbound token
+        self._detect_rid: Optional[int] = None  # node 0: active request
+        self._initiated_rid: Optional[int] = None  # node 0: round launched
+        self._conns = [ctrl] + [peers[k] for k in sorted(peers)]
+        self.runtime = _WorkerRuntime(self, config, costs)
+        self.kernel = self.runtime.kernels[0]
+
+    # ------------------------------------------------------------------
+    # wire
+    # ------------------------------------------------------------------
+    def send_wire(self, packet: WirePacket) -> None:
+        conn = self.peers.get(packet.dst)
+        if conn is None:
+            raise NetworkError(f"no pipe to node {packet.dst}")
+        if packet.kind not in _CHATTER_KINDS:
+            self._count += 1
+        try:
+            conn.send(("am", packet))
+        except _pickling_errors() as exc:
+            # The packet never left: the failed send must not count as
+            # in flight or quiescence detection would hang forever.
+            if packet.kind not in _CHATTER_KINDS:
+                self._count -= 1
+            raise NetworkError(
+                f"non-picklable payload in {packet.kind!r} packet "
+                f"{packet.src}->{packet.dst}: {exc}"
+            ) from exc
+
+    def _recv_wire(self, packet: WirePacket) -> None:
+        if packet.kind not in _CHATTER_KINDS:
+            self._count -= 1
+            self._black = True
+            self.quiesced = False
+        endpoint = self.kernel.endpoint
+        self.node.run_entry(
+            endpoint._deliver, (packet.src, packet.handler, packet.args)
+        )
+
+    # ------------------------------------------------------------------
+    # token ring (Safra)
+    # ------------------------------------------------------------------
+    def _ring_next(self):
+        return self.peers[(self.node_id + 1) % self.config.num_nodes]
+
+    def _passive(self) -> bool:
+        if self.node.in_handler or not self.node.passive():
+            return False
+        # Unread pipe data is impending work; wait for the loop to
+        # drain it (Safra would still be correct without this check —
+        # the sender's counter covers in-flight messages — but rounds
+        # converge faster when the token never overtakes local input).
+        return not conn_wait(self._conns, 0)
+
+    def _maybe_advance_ring(self) -> None:
+        # One step can unblock the next (dropping a stale token clears
+        # the way to initiate the round that superseded it), and the
+        # loop blocks in conn_wait right after this returns — so run
+        # steps to a fixpoint rather than risking a missed wakeup.
+        while self._ring_step():
+            pass
+
+    def _ring_step(self) -> bool:
+        """Perform at most one ring action; True if state changed."""
+        nn = self.config.num_nodes
+        # Node 0: start a requested round, exactly once, when passive.
+        if (
+            self.node_id == 0
+            and self._detect_rid is not None
+            and self._detect_rid != self._initiated_rid
+            and self._token is None
+        ):
+            if not self._passive():
+                return False
+            rid = self._detect_rid
+            self._initiated_rid = rid
+            if nn == 1:
+                ok = self._count == 0
+                self._finish_round(rid, ok)
+                return True
+            self._black = False
+            self._ring_next().send(("tok", rid, 0, False))
+            return True
+        if self._token is None or not self._passive():
+            return False
+        rid, count, black = self._token
+        self._token = None
+        if self.node_id == 0:
+            if rid != self._detect_rid:
+                return True  # stale token from an abandoned round
+            ok = (not black) and (not self._black) and (count + self._count == 0)
+            self._finish_round(rid, ok)
+        else:
+            self._ring_next().send(
+                ("tok", rid, count + self._count, black or self._black)
+            )
+            self._black = False
+        return True
+
+    def _finish_round(self, rid: int, ok: bool) -> None:
+        self._detect_rid = None
+        if ok:
+            self.quiesced = True
+            if self.config.num_nodes > 1:
+                self._ring_next().send(("qsc", rid))
+        self.ctrl.send(("detected", rid, ok))
+
+    # ------------------------------------------------------------------
+    # commands
+    # ------------------------------------------------------------------
+    def _do_command(self, payload: tuple):
+        from repro.runtime.program import HalProgram
+
+        op = payload[0]
+        kernel = self.kernel
+        if op == "load":
+            _, name, behaviors, tasks = payload
+            program = HalProgram(name)
+            for cls in behaviors:
+                program.behavior(cls)
+            program.tasks.update(tasks)
+            self.runtime.frontend.load(program)
+            if self.node_id != 0:
+                # One load, P local links: only node 0 books the
+                # program so the merged registry matches the sim's.
+                self.machine_stats.incr("load.programs", -1)
+            self.quiesced = False
+            return None
+        if op == "spawn":
+            _, cls, args = payload
+            self.quiesced = False
+            return self.node.bootstrap(
+                lambda: kernel.creation.create(cls, args, at=None)
+            )
+        if op == "spawn_remote":
+            _, cls, args, at = payload
+            self.quiesced = False
+            return self.node.bootstrap(
+                lambda: kernel.creation.create(cls, args, at=at)
+            )
+        if op == "send":
+            _, ref, selector, args = payload
+            self.quiesced = False
+            self.node.bootstrap(
+                lambda: kernel.delivery.send_message(ref, selector, args)
+            )
+            return None
+        if op == "task":
+            _, fn_name, args = payload
+            self.quiesced = False
+            self.node.bootstrap(
+                lambda: kernel.creation.spawn_task(fn_name, args, at=None)
+            )
+            return None
+        if op == "call":
+            _, ref, selector, args, reply_id = payload
+            self.quiesced = False
+
+            def make_request():
+                target = self._new_collector(reply_id)
+                kernel.delivery.send_message(ref, selector, args,
+                                             reply_to=target)
+
+            self.node.bootstrap(make_request)
+            return None
+        if op == "collector":
+            _, reply_id = payload
+            return self.node.bootstrap(lambda: self._new_collector(reply_id))
+        if op == "kick":
+            self.quiesced = False
+            kernel.balancer.kick()
+            return None
+        if op == "snap":
+            return self._snapshot()
+        if op == "detect":
+            # Only node 0 coordinates; a newer request supersedes any
+            # round still waiting to start.
+            self._detect_rid = payload[1]
+            return None
+        if op == "stop":
+            self._stop = True
+            return None
+        raise ReproError(f"worker {self.node_id}: unknown command {op!r}")
+
+    @property
+    def machine_stats(self) -> StatsRegistry:
+        return self.runtime.machine.stats
+
+    def _new_collector(self, reply_id: int):
+        from repro.actors.message import ReplyTarget
+
+        kernel = self.kernel
+
+        def fire(cont) -> None:
+            value = cont.values()[0]
+            kernel.continuations.discard(cont.cont_id)
+            self.ctrl.send(("reply", reply_id, value))
+
+        cont = kernel.continuations.new(1, fire, created_at=kernel.node.now)
+        return ReplyTarget(kernel.node_id, cont.cont_id, 0)
+
+    def _snapshot(self) -> Dict[str, Any]:
+        locations = {}
+        actors = 0
+        for desc in self.kernel.table:
+            if desc.is_local and desc.actor is not None:
+                actors += 1
+                if desc.key is not None:
+                    locations[desc.key] = self.node_id
+        return {
+            "stats": _dump_registry(self.machine_stats),
+            "locations": locations,
+            "actors": actors,
+            "console": [
+                (line.time, line.node, line.text)
+                for line in self.runtime.frontend.console
+            ],
+            "busy_us": self.node.busy_us,
+            "events_run": self.node.events_run,
+            "now": self.clock.now,
+            "pending": self.node.live_work(),
+            # Safra state (white-box; debugging and tests only).
+            "safra": (self._count, self._black, self._passive()),
+        }
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _dispatch(self, conn, msg: tuple) -> None:
+        tag = msg[0]
+        if tag == "am":
+            self._recv_wire(msg[1])
+        elif tag == "tok":
+            self._token = msg[1:]
+        elif tag == "qsc":
+            self.quiesced = True
+            nxt = (self.node_id + 1) % self.config.num_nodes
+            if nxt != 0:
+                self._ring_next().send(msg)
+        elif tag == "cmd":
+            _, seq, payload = msg
+            try:
+                value = self._do_command(payload)
+            except Exception:
+                self.ctrl.send(("err", self.node_id, traceback.format_exc()))
+            else:
+                self.ctrl.send(("ok", seq, value))
+        else:
+            self.ctrl.send(
+                ("err", self.node_id, f"unknown message tag {tag!r}")
+            )
+
+    def _run_ready(self) -> None:
+        node = self.node
+        heap = node._heap
+        while heap:
+            entry = heap[0]
+            if entry[2] is None:
+                heapq.heappop(heap)
+                continue
+            if entry[0] > self.clock.now:
+                break
+            heapq.heappop(heap)
+            fn, args = entry[2], entry[3]
+            entry[2] = None
+            node.run_entry(fn, args)
+            if conn_wait(self._conns, 0):
+                break  # service the network between slices
+
+    def _next_timeout(self) -> Optional[float]:
+        heap = self.node._heap
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return max(0.0, (heap[0][0] - self.clock.now) / 1e6)
+
+    def loop(self) -> None:
+        while not self._stop:
+            try:
+                self._run_ready()
+                self._maybe_advance_ring()
+                timeout = self._next_timeout()
+                ready = conn_wait(self._conns, timeout)
+                for conn in ready:
+                    for _ in range(_DRAIN_CAP):
+                        if not conn.poll():
+                            break
+                        self._dispatch(conn, conn.recv())
+                        if self._stop:
+                            return
+            except (EOFError, OSError):
+                return  # the driver went away; nothing left to serve
+            except Exception:
+                # Protocol errors inside a handler (e.g. a
+                # non-picklable payload) are reported and the worker
+                # keeps serving, so shutdown still completes cleanly.
+                try:
+                    self.ctrl.send(
+                        ("err", self.node_id, traceback.format_exc())
+                    )
+                except OSError:
+                    return
+
+
+def _worker_main(node_id: int, config: RuntimeConfig, costs, ctrl, peers) -> None:
+    """Process entry point (module-level so a spawn start method can
+    pickle it; the fork path just inherits everything)."""
+    try:
+        _WorkerHost(node_id, config, costs, ctrl, peers).loop()
+    except BaseException:  # noqa: BLE001 - last-resort report to driver
+        try:
+            ctrl.send(("err", node_id, traceback.format_exc()))
+        except OSError:
+            pass
+
+
+# ======================================================================
+# registry marshalling
+# ======================================================================
+def _dump_registry(reg: StatsRegistry) -> Dict[str, Any]:
+    """Raw picklable dump of a worker's registry (including zeros, so
+    the driver-side rebuild is a pure accumulate)."""
+    return {
+        "counters": {k: c.n for k, c in reg._cells.items() if c.n},
+        "timers": {
+            k: (t.count, t.total_us, t.min_us, t.max_us)
+            for k, t in reg.timers.items() if t.count
+        },
+        "gauges": dict(reg.gauges),
+        "hists": {
+            k: (list(h.buckets), h.count, h.total, h.min, h.max)
+            for k, h in reg.hists.items() if h.count
+        },
+    }
+
+
+def _merge_registry(into: StatsRegistry, dump: Dict[str, Any]) -> None:
+    for k, n in dump["counters"].items():
+        into.incr(k, n)
+    for k, (count, total_us, min_us, max_us) in dump["timers"].items():
+        t = into.timer(k)
+        t.count += count
+        t.total_us += total_us
+        t.min_us = min(t.min_us, min_us)
+        t.max_us = max(t.max_us, max_us)
+    for k, v in dump["gauges"].items():
+        into.max_gauge(k, v)
+    for k, (buckets, count, total, mn, mx) in dump["hists"].items():
+        h = into.hist(k)
+        for i, n in enumerate(buckets):
+            if n and i < Histogram.NUM_BUCKETS:
+                h.buckets[i] += n
+        h.count += count
+        h.total += total
+        h.min = min(h.min, mn)
+        h.max = max(h.max, mx)
+
+
+# ======================================================================
+# driver side
+# ======================================================================
+class _StubNode:
+    """Driver-side :class:`~repro.platform.base.NodeExecutor` stand-in.
+
+    The real executor lives in the worker process; this stub satisfies
+    the structural protocol (so conformance checks and white-box tests
+    can introspect the machine) and refuses actual execution — driver
+    work must travel as commands."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.now = 0.0
+        self.busy_us = 0.0
+        self.events_run = 0
+
+    def _refuse(self) -> "ReproError":
+        return ReproError(
+            f"node {self.node_id} runs in a worker process; the mp "
+            "driver cannot execute on it directly — use runtime commands"
+        )
+
+    @property
+    def in_handler(self) -> bool:
+        return False
+
+    def charge(self, us: float) -> None:
+        raise self._refuse()
+
+    def time(self) -> float:
+        return self.now
+
+    def execute(self, at: float, fn: Callback, *, label: str = ""):
+        raise self._refuse()
+
+    def execute_now(self, fn: Callback, *, label: str = ""):
+        raise self._refuse()
+
+    def post(self, at: float, fn: Callback, args: tuple = ()) -> None:
+        raise self._refuse()
+
+    def post_now(self, fn: Callback, args: tuple = ()) -> None:
+        raise self._refuse()
+
+    def post_preempting(self, at: float, fn: Callback, args: tuple = ()) -> None:
+        raise self._refuse()
+
+    def defer(self, fn: Callback, args: tuple = ()) -> None:
+        raise self._refuse()
+
+    def bootstrap(self, fn: Callable[[], Any]) -> Any:
+        raise self._refuse()
+
+
+class _StubTransport:
+    """Driver-side Transport stand-in (structural conformance only)."""
+
+    def __init__(self, params) -> None:
+        self.params = params
+        self.faults = None
+        self._faults_on = False
+
+    def unicast(self, src, dst, nbytes, deliver, args=(), *, label=""):
+        raise ReproError(
+            "the mp driver holds no data network; packets travel "
+            "between worker processes"
+        )
+
+    def reset_contention(self) -> None:
+        """Nothing to forget on the driver."""
+
+
+class MpMachine:
+    """A partition of ``config.num_nodes`` worker processes.
+
+    Satisfies :class:`~repro.platform.base.PlatformMachine` with
+    ``distributed = True``: the driver side holds stub nodes, a merged
+    stats registry (rebuilt from worker snapshots), and the command /
+    detection plumbing.  Workers are spawned by :meth:`start_workers`
+    (the runtime calls it once it knows the cost model)."""
+
+    deterministic = False
+    supports_faults = False
+    supports_tracing = False
+    distributed = True
+
+    #: Driver wait quantum while a detection round is in flight.
+    _POLL_S = 0.0005
+
+    def __init__(
+        self,
+        config: RuntimeConfig,
+        *,
+        trace: bool = False,
+        faults=None,
+    ) -> None:
+        if faults is not None and not getattr(faults, "empty", False):
+            raise ReproError(
+                "the mp backend does not support fault injection; "
+                "run fault plans on backend='sim'"
+            )
+        self.config = config
+        self.clock = WallClock()
+        self.stats = StatsRegistry()
+        self.trace = NullTraceLog()
+        self.spans = NullSpanRecorder()
+        self.rng = RngStreams(config.seed)
+        self.topology: Topology = make_topology(config.topology, config.num_nodes)
+        self.faults = None
+        self.nodes: List[_StubNode] = [
+            _StubNode(i) for i in range(config.num_nodes)
+        ]
+        self.frontend_node = _StubNode(-1)
+        self.network = _StubTransport(config.network)
+        #: Behaviour names shipped to the workers (the runtime's
+        #: on-demand loading consults this instead of a kernel).
+        self.loaded_behaviors: set = set()
+        self.console_lines: List[tuple] = []
+        self._procs: List[Any] = []
+        self._ctrl: List[Any] = []
+        self._seq = itertools.count(1)
+        self._rounds = itertools.count(1)
+        self._reply_boxes: Dict[int, List[Any]] = {}
+        self._reply_ids = itertools.count(1)
+        self._detect_rid: Optional[int] = None
+        self._detect_ok: Optional[bool] = None
+        self._quiesced = False
+        self._pending_hint = 0
+        self._locations: Dict[Any, int] = {}
+        self._actors = 0
+        self._worker_error: Optional[str] = None
+        self._shut = False
+
+    # ------------------------------------------------------------------
+    # boot / teardown
+    # ------------------------------------------------------------------
+    def start_workers(self, costs) -> None:
+        """Spawn one worker process per node, wired with a control
+        pipe each and a full mesh of peer pipes."""
+        if self._procs:
+            return
+        import multiprocessing as _mp
+
+        methods = _mp.get_all_start_methods()
+        ctx = get_context("fork" if "fork" in methods else None)
+        nn = self.config.num_nodes
+        peer_ends: List[Dict[int, Any]] = [dict() for _ in range(nn)]
+        for i in range(nn):
+            for j in range(i + 1, nn):
+                a, b = ctx.Pipe(duplex=True)
+                peer_ends[i][j] = a
+                peer_ends[j][i] = b
+        for i in range(nn):
+            parent, child = ctx.Pipe(duplex=True)
+            self._ctrl.append(parent)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(i, self.config, costs, child, peer_ends[i]),
+                name=f"repro-mp-node-{i}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def shutdown(self) -> None:
+        """Stop and join every worker process.  Idempotent."""
+        if self._shut:
+            return
+        self._shut = True
+        for conn in self._ctrl:
+            try:
+                conn.send(("cmd", next(self._seq), ("stop",)))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._ctrl:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def _raise_worker_error(self) -> None:
+        if self._worker_error is not None:
+            err, self._worker_error = self._worker_error, None
+            raise ReproError(f"mp worker failed:\n{err}")
+
+    def _note_event(self, msg: tuple) -> None:
+        """Record an unsolicited control event (reply, detection
+        result, worker error)."""
+        tag = msg[0]
+        if tag == "reply":
+            box = self._reply_boxes.get(msg[1])
+            if box is not None:
+                box.append(msg[2])
+        elif tag == "detected":
+            if msg[1] == self._detect_rid:
+                self._detect_ok = msg[2]
+        elif tag == "err":
+            self._worker_error = msg[2]
+
+    def _drain_events(self, timeout: float = 0.0) -> bool:
+        """Read every available control event; True if any arrived."""
+        got = False
+        for conn in conn_wait(self._ctrl, timeout):
+            while conn.poll():
+                self._note_event(conn.recv())
+                got = True
+        self._raise_worker_error()
+        return got
+
+    def command(self, node: int, payload: tuple) -> Any:
+        """Send one command to ``node`` and block for its ack, noting
+        any interleaved unsolicited events."""
+        self._raise_worker_error()
+        seq = next(self._seq)
+        conn = self._ctrl[node]
+        try:
+            conn.send(("cmd", seq, payload))
+        except _pickling_errors() as exc:
+            raise ReproError(
+                f"the mp backend requires picklable driver payloads "
+                f"(module-level behaviours/tasks, plain-data args): {exc}"
+            ) from exc
+        while True:
+            msg = conn.recv()
+            if msg[0] == "ok" and msg[1] == seq:
+                return msg[2]
+            self._note_event(msg)
+            self._raise_worker_error()
+
+    def broadcast_command(self, payload: tuple) -> List[Any]:
+        """Send the same command to every worker; wait for all acks."""
+        self._raise_worker_error()
+        seqs = []
+        for conn in self._ctrl:
+            seq = next(self._seq)
+            seqs.append(seq)
+            try:
+                conn.send(("cmd", seq, payload))
+            except _pickling_errors() as exc:
+                raise ReproError(
+                    f"the mp backend requires picklable driver payloads "
+                    f"(module-level behaviours/tasks, plain-data args): {exc}"
+                ) from exc
+        values = []
+        for conn, seq in zip(self._ctrl, seqs):
+            while True:
+                msg = conn.recv()
+                if msg[0] == "ok" and msg[1] == seq:
+                    values.append(msg[2])
+                    break
+                self._note_event(msg)
+                self._raise_worker_error()
+        return values
+
+    # ------------------------------------------------------------------
+    # driver operations (used by HalRuntime's distributed branches)
+    # ------------------------------------------------------------------
+    def load_program(self, program) -> None:
+        from repro.actors.behavior import behavior_of
+
+        payload = (
+            "load",
+            program.name,
+            tuple(program.behaviors),
+            dict(program.tasks),
+        )
+        self._quiesced = False
+        self.broadcast_command(payload)
+        for cls in program.behaviors:
+            self.loaded_behaviors.add(behavior_of(cls).name)
+
+    def new_reply_box(self) -> tuple:
+        reply_id = next(self._reply_ids)
+        box: List[Any] = []
+        self._reply_boxes[reply_id] = box
+        return reply_id, box
+
+    # ------------------------------------------------------------------
+    # execution control + termination detection
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        until_idle: bool = True,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Drive the partition until the token ring certifies global
+        quiescence, a predicate fires, or the wall-clock deadline
+        ``until`` (µs) passes.  Workers run continuously; this loop
+        only coordinates detection and drains control events."""
+        if not self._procs:
+            return self.clock.now
+        self._quiesced = False
+        self.broadcast_command(("kick",))
+        self._start_detection()
+        try:
+            while True:
+                if stop_when is not None and stop_when():
+                    break
+                if until is not None and self.clock.now >= until:
+                    break
+                self._drain_events(self._POLL_S)
+                if self._detect_ok is not None:
+                    ok, self._detect_ok = self._detect_ok, None
+                    if ok:
+                        self._quiesced = True
+                        # Late events (a reply raced the detection
+                        # result on another pipe) are still owed to the
+                        # caller: drain once more before returning.
+                        self._drain_events(0.0)
+                        break
+                    self._start_detection()
+        finally:
+            self._detect_rid = None
+            self._refresh()
+        return self.clock.now
+
+    def _start_detection(self) -> None:
+        rid = next(self._rounds)
+        self._detect_rid = rid
+        self._detect_ok = None
+        self.command(0, ("detect", rid))
+
+    def quiescent(self) -> bool:
+        """True when the token ring certifies no work remains.
+
+        A cached positive verdict is trusted (only driver-issued
+        commands can inject new work, and each of those clears it);
+        otherwise a fresh detection round runs, bounded by a short
+        deadline so a genuinely busy partition answers False promptly
+        instead of blocking until its work drains."""
+        if self._quiesced:
+            return True
+        if not self._procs or self._shut:
+            return True
+        self._start_detection()
+        deadline = self.clock.now + 250_000.0  # 0.25 s
+        while self.clock.now < deadline:
+            self._drain_events(self._POLL_S)
+            if self._detect_ok is not None:
+                ok, self._detect_ok = self._detect_ok, None
+                if ok:
+                    self._quiesced = True
+                    return True
+                # A failed round may just have whitened a ring that
+                # was black from earlier traffic; retry until the
+                # deadline (the token parks at any busy worker, so a
+                # genuinely active partition simply times out).
+                self._start_detection()
+        return False
+
+    def net_idle(self) -> bool:
+        return self.quiescent()
+
+    def register_work_probe(self, probe) -> None:
+        """Driver-side probes are meaningless here — worker passivity
+        is observed by the token ring inside each process."""
+
+    # ------------------------------------------------------------------
+    # observation (snapshot merge)
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        """Pull a snapshot from every worker and rebuild the merged
+        registry, location map and console."""
+        if not self._procs or self._shut:
+            return
+        snaps = self.broadcast_command(("snap",))
+        self.stats.reset()
+        self._locations = {}
+        self._actors = 0
+        self._pending_hint = 0
+        console: List[tuple] = []
+        for nid, snap in enumerate(snaps):
+            _merge_registry(self.stats, snap["stats"])
+            self._locations.update(snap["locations"])
+            self._actors += snap["actors"]
+            self._pending_hint += snap["pending"]
+            console.extend(snap["console"])
+            stub = self.nodes[nid]
+            stub.busy_us = snap["busy_us"]
+            stub.events_run = snap["events_run"]
+            stub.now = snap["now"]
+        self.console_lines = sorted(console)
+
+    def locate(self, address) -> Optional[int]:
+        self._refresh()
+        return self._locations.get(address)
+
+    def actor_locations(self) -> Dict[Any, int]:
+        self._refresh()
+        return dict(self._locations)
+
+    def total_actors(self) -> int:
+        self._refresh()
+        return self._actors
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    def node(self, node_id: int) -> _StubNode:
+        return self.nodes[node_id]
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        return 0 if self._quiesced else self._pending_hint
+
+    @property
+    def events_executed(self) -> int:
+        return sum(n.events_run for n in self.nodes)
+
+    def cpu_utilisation(self) -> List[float]:
+        elapsed = self.clock.now or 1.0
+        return [min(1.0, n.busy_us / elapsed) for n in self.nodes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MpMachine(P={self.num_nodes}, topology={self.config.topology}, "
+            f"t={self.clock.now:.1f}us)"
+        )

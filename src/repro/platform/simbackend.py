@@ -46,6 +46,7 @@ class SimMachine:
     deterministic = True
     supports_faults = True
     supports_tracing = True
+    distributed = False
 
     def __init__(
         self,
@@ -89,8 +90,12 @@ class SimMachine:
         stats = self.stats
         self._c_am_sends = stats.cell("am.sends")
         self._c_am_delivered = stats.cell("am.delivered")
-        self._c_steal_sent = stats.cell("steal.proto_sent")
-        self._c_steal_recv = stats.cell("steal.proto_recv")
+        # Only the workless req/deny probes are excluded from the
+        # in-flight arithmetic.  The symmetric ``steal.proto_*`` audit
+        # cells also count grants, which carry real work and must hold
+        # quiescence open while in flight.
+        self._c_steal_sent = stats.cell("steal.chatter_sent")
+        self._c_steal_recv = stats.cell("steal.chatter_recv")
         # Under fault injection the packet books only balance once
         # drops (sent, never delivered) and duplicates (delivered
         # twice) are added back in.
@@ -103,6 +108,9 @@ class SimMachine:
         self._c_ack_recv = stats.cell("rel.ack_recv")
         self._c_ack_dropped = stats.cell("faults.dropped_acks")
         self._c_ack_dup = stats.cell("faults.dup_acks")
+        # Work probes: callables the runtime registers (one per
+        # dispatcher) so quiescence can see ready-but-unscheduled work.
+        self._work_probes: List = []
 
     # ------------------------------------------------------------------
     @property
@@ -148,6 +156,17 @@ class SimMachine:
             - self._c_ack_dropped.n - self._c_ack_recv.n
         )
         return inflight - steal_chatter - ack_chatter <= 0
+
+    def register_work_probe(self, probe) -> None:
+        """Register a callable reporting True while runnable work is
+        held above the platform (a kernel's ready queue)."""
+        self._work_probes.append(probe)
+
+    def quiescent(self) -> bool:
+        """No message in flight and no probe holding runnable work."""
+        if not self.net_idle():
+            return False
+        return not any(probe() for probe in self._work_probes)
 
     def cpu_utilisation(self) -> List[float]:
         """Fraction of elapsed simulated time each node spent busy."""

@@ -348,6 +348,7 @@ class ThreadedMachine:
     deterministic = False
     supports_faults = False
     supports_tracing = True
+    distributed = False
 
     #: Driver poll interval while waiting on a predicate or deadline.
     _POLL_S = 0.0005
@@ -378,6 +379,7 @@ class ThreadedMachine:
         # counted contexts (or the driver, before run()) enqueue.
         self._live = 0
         self._live_cv = threading.Condition()
+        self._work_probes: List = []
         self._seq = itertools.count()
         self._shut = False
         self.nodes: List[ThreadedNode] = [
@@ -455,6 +457,17 @@ class ThreadedMachine:
         """True when no application message is in flight (exact count
         held by the transport; chatter excluded by construction)."""
         return self.network.in_flight() == 0
+
+    def register_work_probe(self, probe) -> None:
+        """Register a callable reporting True while runnable work is
+        held above the platform (a kernel's ready queue)."""
+        self._work_probes.append(probe)
+
+    def quiescent(self) -> bool:
+        """No message in flight and no probe holding runnable work."""
+        if not self.net_idle():
+            return False
+        return not any(probe() for probe in self._work_probes)
 
     def cpu_utilisation(self) -> List[float]:
         """Fraction of elapsed wall time each node spent charged busy.

@@ -75,10 +75,16 @@ class LoadBalancer:
         if victim is None:
             return
         k.stats.incr("steal.polls")
-        # Steal-protocol messages are excluded from the quiescence
-        # accounting (see HalRuntime.quiescent), otherwise two idle
-        # nodes could keep each other "non-quiescent" forever.
+        # Two parallel books: ``steal.proto_*`` counts every steal-
+        # protocol packet (req/grant/deny) symmetrically for the
+        # conservation audit; ``steal.chatter_*`` counts only the
+        # workless req/deny probes, which the backends exclude from
+        # quiescence accounting — otherwise two idle nodes could keep
+        # each other "non-quiescent" forever.  Grants carry real work
+        # and must stay visible to net_idle, so they are protocol
+        # traffic but never chatter.
         k.stats.incr("steal.proto_sent")
+        k.stats.incr("steal.chatter_sent")
         k.endpoint.send(victim, "steal_req", ())
 
     def _pick_victim(self) -> Optional[int]:
@@ -96,6 +102,7 @@ class LoadBalancer:
     def on_steal_req(self, src: int) -> None:
         k = self.kernel
         k.stats.incr("steal.proto_recv")
+        k.stats.incr("steal.chatter_recv")
         k.node.charge(k.costs.steal_check_us)
         granted = 0
         if k.dispatcher.surplus() > self.params.surplus_threshold:
@@ -115,6 +122,12 @@ class LoadBalancer:
                         if self._spans_on and item.trace_ctx is not None
                         else None
                     )
+                    # A grant is a steal-protocol packet too: count it
+                    # sent here and received in on_steal_grant so the
+                    # proto books balance.  (Actor grants travel as
+                    # migrate_arrive and are audited by the migration
+                    # protocol, not here.)
+                    k.stats.incr("steal.proto_sent")
                     k.endpoint.send(src, "steal_grant",
                                     (item.fn_name, item.args),
                                     trace_ctx=tctx)
@@ -131,6 +144,7 @@ class LoadBalancer:
         else:
             k.stats.incr("steal.denied")
             k.stats.incr("steal.proto_sent")
+            k.stats.incr("steal.chatter_sent")
             k.endpoint.send(src, "steal_deny", ())
 
     # ------------------------------------------------------------------
@@ -140,6 +154,7 @@ class LoadBalancer:
                        trace_ctx: Optional[TraceCtx] = None) -> None:
         k = self.kernel
         k.stats.incr("steal.received")
+        k.stats.incr("steal.proto_recv")
         task_ctx = None
         if trace_ctx is not None and self._spans_on:
             sid = self._spans.span(
@@ -152,5 +167,6 @@ class LoadBalancer:
 
     def on_steal_deny(self, src: int) -> None:
         self.kernel.stats.incr("steal.proto_recv")
+        self.kernel.stats.incr("steal.chatter_recv")
         if not self.kernel.dispatcher.queue_length:
             self._schedule_poll()

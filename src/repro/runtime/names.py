@@ -81,6 +81,13 @@ class MailAddress:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError(f"MailAddress is immutable; cannot set {name!r}")
 
+    def __reduce__(self):
+        # Default slot-state unpickling would go through the raising
+        # ``__setattr__`` above; reconstruct through the constructor
+        # instead so addresses survive a trip over a process boundary
+        # (the mp backend pickles every wire packet).
+        return (MailAddress, (self.kind, self.node, self.addr, self.aux, self.home))
+
     def __hash__(self) -> int:
         return self._hash
 

@@ -44,6 +44,14 @@ class NameTable:
         """Bind ``key`` to an existing descriptor (alias registration)."""
         if key in self._by_key:
             raise NameServiceError(f"node {self.node_id}: {key!r} already bound")
+        if desc.key is not None and desc.key != key:
+            # Rebinding would leave the old _by_key entry pointing at a
+            # descriptor whose key no longer matches it; an alias
+            # promotion must target an unbound (or same-key) descriptor.
+            raise NameServiceError(
+                f"node {self.node_id}: descriptor {desc.addr} is already "
+                f"bound to {desc.key!r}; cannot rebind it to {key!r}"
+            )
         desc.key = key
         self._by_key[key] = desc
 

@@ -45,15 +45,30 @@ class HalRuntime:
         self.machine = make_machine(
             self.config, backend=backend, trace=trace, faults=faults
         )
+        #: Distributed machines (the mp backend) hold no kernels in
+        #: this process: each node's kernel lives in a worker process
+        #: and driver operations travel as commands over control pipes.
+        self._distributed = bool(getattr(self.machine, "distributed", False))
         self.endpoint_directory: Dict[int, Endpoint] = {}
         self.frontend = FrontEnd(self)
-        self.kernels: List[Kernel] = [
-            Kernel(self, i) for i in range(self.config.num_nodes)
-        ]
-        self.multicaster = TreeMulticaster(
-            self.machine.topology, self.endpoint_directory
-        )
-        self.multicaster.install()
+        if self._distributed:
+            self.kernels: List[Kernel] = []
+            self.machine.start_workers(self.costs)
+        else:
+            self.kernels = [
+                Kernel(self, i) for i in range(self.config.num_nodes)
+            ]
+            self.multicaster = TreeMulticaster(
+                self.machine.topology, self.endpoint_directory
+            )
+            self.multicaster.install()
+            # Quiescence probes: ready-but-unscheduled work sits in the
+            # dispatchers, above the platform's view — register one
+            # probe per kernel so machine.quiescent() can see it.
+            for kernel in self.kernels:
+                self.machine.register_work_probe(
+                    lambda k=kernel: bool(k.dispatcher.ready)
+                )
         self._anon_programs = 0
 
     # ------------------------------------------------------------------
@@ -83,6 +98,11 @@ class HalRuntime:
         return self.machine.spans
 
     def kernel(self, node: int) -> Kernel:
+        if self._distributed:
+            raise ReproError(
+                "kernels live in worker processes on a distributed "
+                "backend; drive the runtime through its public API"
+            )
         return self.kernels[node]
 
     # ------------------------------------------------------------------
@@ -90,6 +110,12 @@ class HalRuntime:
     # ------------------------------------------------------------------
     def load(self, program: HalProgram) -> None:
         """Load (and HAL-compile) a program image on every node."""
+        if self._distributed:
+            # Each worker compiles and links its own copy (behaviours
+            # and tasks ship by reference, so they must be importable
+            # module-level objects).
+            self.machine.load_program(program)
+            return
         self.frontend.load(program)
 
     def load_behaviors(self, *classes: Type, tasks: Optional[Dict] = None) -> None:
@@ -107,6 +133,10 @@ class HalRuntime:
         if not is_behavior_class(cls):
             raise ReproError(f"{cls!r} is not a @behavior class")
         name = behavior_of(cls).name
+        if self._distributed:
+            if name not in self.machine.loaded_behaviors:
+                self.load_behaviors(cls)
+            return
         if name not in self.kernels[0].behaviors:
             self.load_behaviors(cls)
 
@@ -117,6 +147,8 @@ class HalRuntime:
         """Create an actor from outside the simulation (loads the
         behaviour on demand)."""
         self._ensure_loaded(cls)
+        if self._distributed:
+            return self.machine.command(at, ("spawn", cls, args))
         kernel = self.kernels[at]
         return kernel.node.bootstrap(
             lambda: kernel.creation.create(cls, args, at=None)
@@ -126,6 +158,10 @@ class HalRuntime:
         """Issue a remote creation from ``issuing_node`` (exercises the
         alias latency-hiding path)."""
         self._ensure_loaded(cls)
+        if self._distributed:
+            return self.machine.command(
+                issuing_node, ("spawn_remote", cls, args, at)
+            )
         kernel = self.kernels[issuing_node]
         return kernel.node.bootstrap(
             lambda: kernel.creation.create(cls, args, at=at)
@@ -133,6 +169,9 @@ class HalRuntime:
 
     def send(self, ref: ActorRef, selector: str, *args: Any, from_node: int = 0) -> None:
         """Inject an asynchronous message from an external driver."""
+        if self._distributed:
+            self.machine.command(from_node, ("send", ref, selector, args))
+            return
         kernel = self.kernels[from_node]
         kernel.node.bootstrap(
             lambda: kernel.delivery.send_message(ref, selector, args)
@@ -141,6 +180,10 @@ class HalRuntime:
     def grpnew(self, cls: Type, n: int, *args: Any, placement: str = "cyclic",
                from_node: int = 0):
         """Create an actor group from an external driver."""
+        if self._distributed:
+            raise ReproError(
+                "actor groups are not supported on the mp backend yet"
+            )
         self._ensure_loaded(cls)
         kernel = self.kernels[from_node]
         return kernel.node.bootstrap(
@@ -148,12 +191,19 @@ class HalRuntime:
         )
 
     def broadcast(self, group, selector: str, *args: Any, from_node: int = 0) -> None:
+        if self._distributed:
+            raise ReproError(
+                "group broadcast is not supported on the mp backend yet"
+            )
         kernel = self.kernels[from_node]
         kernel.node.bootstrap(
             lambda: kernel.groups.broadcast(group, selector, args)
         )
 
     def spawn_task(self, fn_name: str, *args: Any, at: int = 0) -> None:
+        if self._distributed:
+            self.machine.command(at, ("task", fn_name, args))
+            return
         kernel = self.kernels[at]
         kernel.node.bootstrap(
             lambda: kernel.creation.spawn_task(fn_name, args, at=None)
@@ -176,21 +226,27 @@ class HalRuntime:
         root join continuation with one slot is allocated on
         ``from_node`` and the simulation advances until it fires.
         """
-        kernel = self.kernels[from_node]
-        box: List[Any] = []
+        if self._distributed:
+            reply_id, box = self.machine.new_reply_box()
+            self.machine.command(
+                from_node, ("call", ref, selector, args, reply_id)
+            )
+        else:
+            kernel = self.kernels[from_node]
+            box = []
 
-        def make_request() -> None:
-            from repro.actors.message import ReplyTarget
+            def make_request() -> None:
+                from repro.actors.message import ReplyTarget
 
-            def fire(cont) -> None:
-                box.append(cont.values()[0])
-                kernel.continuations.discard(cont.cont_id)
+                def fire(cont) -> None:
+                    box.append(cont.values()[0])
+                    kernel.continuations.discard(cont.cont_id)
 
-            cont = kernel.continuations.new(1, fire, created_at=kernel.node.now)
-            target = ReplyTarget(kernel.node_id, cont.cont_id, 0)
-            kernel.delivery.send_message(ref, selector, args, reply_to=target)
+                cont = kernel.continuations.new(1, fire, created_at=kernel.node.now)
+                target = ReplyTarget(kernel.node_id, cont.cont_id, 0)
+                kernel.delivery.send_message(ref, selector, args, reply_to=target)
 
-        kernel.node.bootstrap(make_request)
+            kernel.node.bootstrap(make_request)
         self.run(until=timeout_us, stop_when=lambda: bool(box))
         if not box:
             raise DeliveryError(
@@ -206,6 +262,10 @@ class HalRuntime:
         ReplyTarget is expected (task spawns, explicit CPS); the reply
         value appears in ``box[0]`` once delivered.
         """
+        if self._distributed:
+            reply_id, box = self.machine.new_reply_box()
+            target = self.machine.command(from_node, ("collector", reply_id))
+            return target, box
         kernel = self.kernels[from_node]
         box: List[Any] = []
 
@@ -235,12 +295,12 @@ class HalRuntime:
 
     def quiescent(self) -> bool:
         """True when no work remains anywhere: no in-flight messages
-        (steal-protocol and reliability-ack chatter excluded — the
-        backend's ``net_idle`` owns that accounting) and every
-        dispatcher empty."""
-        if not self.machine.net_idle():
-            return False
-        return all(not k.dispatcher.ready for k in self.kernels)
+        (steal-protocol and reliability-ack chatter excluded) and no
+        runnable work held above the platform.  The machine owns the
+        judgement — counter arithmetic plus the work probes registered
+        at boot on the in-process backends, the token ring's verdict on
+        the distributed one."""
+        return self.machine.quiescent()
 
     def close(self) -> None:
         """Release backend resources (worker threads on the threaded
@@ -257,6 +317,10 @@ class HalRuntime:
         """Run one distributed mark & sweep collection (the machine
         must be quiescent).  ``roots`` are refs the environment still
         holds; see :mod:`repro.runtime.gc`."""
+        if self._distributed:
+            raise ReproError(
+                "distributed GC is not supported on the mp backend yet"
+            )
         from repro.runtime.gc import collect_garbage
         return collect_garbage(self, roots)
 
@@ -266,6 +330,11 @@ class HalRuntime:
     def locate(self, ref: ActorRef) -> int:
         """Ground-truth location of an actor (white-box; scans every
         node — not something a real node could do)."""
+        if self._distributed:
+            node = self.machine.locate(ref.address)
+            if node is None:
+                raise DeliveryError(f"{ref!r} is not resident anywhere")
+            return node
         for kernel in self.kernels:
             desc = kernel.table.get(ref.address)
             if desc is not None and desc.is_local:
@@ -274,13 +343,33 @@ class HalRuntime:
 
     def actor_of(self, ref: ActorRef):
         """Ground-truth actor object behind a ref (white-box)."""
+        if self._distributed:
+            raise ReproError(
+                "actor objects live in worker processes on the mp "
+                "backend; only locations and counters cross back"
+            )
         return self.kernels[self.locate(ref)].table.get(ref.address).actor
 
     def state_of(self, ref: ActorRef):
         """Ground-truth state object behind a ref (white-box)."""
         return self.actor_of(ref).state
 
+    def actor_locations(self) -> Dict:
+        """Ground-truth ``{mail address: node}`` map of every resident
+        actor (white-box; backend-neutral — the parity tests compare
+        this across backends)."""
+        if self._distributed:
+            return self.machine.actor_locations()
+        out: Dict = {}
+        for kernel in self.kernels:
+            for desc in kernel.table:
+                if desc.is_local and desc.actor is not None and desc.key is not None:
+                    out[desc.key] = kernel.node_id
+        return out
+
     def total_actors(self) -> int:
+        if self._distributed:
+            return self.machine.total_actors()
         return sum(k.local_actor_count() for k in self.kernels)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

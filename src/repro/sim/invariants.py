@@ -124,6 +124,27 @@ def check_invariants(runtime: "HalRuntime", *, drain: bool = True) -> Dict:
             "a message was lost outside the injected-fault budget"
         )
 
+    # 2b. steal-protocol conservation — every req/grant/deny sent was
+    # received.  The reliable sublayer retransmits dropped steal
+    # packets until acked, so the books balance even under fault
+    # injection; without it a fault plan may legitimately eat them,
+    # and on a non-deterministic backend the counters are diagnostics.
+    steal_sent = stats.counter("steal.proto_sent")
+    steal_recv = stats.counter("steal.proto_recv")
+    reliable_everywhere = runtime.kernels and all(
+        k.reliable is not None for k in runtime.kernels
+    )
+    if (
+        steal_sent != steal_recv
+        and machine.deterministic
+        and (machine.faults is None or reliable_everywhere)
+    ):
+        problems.append(
+            f"steal-protocol books do not balance: proto_sent({steal_sent})"
+            f" != proto_recv({steal_recv}); a req/grant/deny packet was "
+            "counted on only one side"
+        )
+
     # 3. no retained work
     for kernel in runtime.kernels:
         nid = kernel.node_id
@@ -227,6 +248,7 @@ def check_invariants(runtime: "HalRuntime", *, drain: bool = True) -> Dict:
             "dropped": dropped,
             "duplicated": duplicated,
         },
+        "steal_packets": {"sent": steal_sent, "recv": steal_recv},
         "faults_injected": (
             machine.faults.summary() if machine.faults is not None else {}
         ),

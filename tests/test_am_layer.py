@@ -224,6 +224,21 @@ class TestFlowControlPolicies:
         with pytest.raises(FlowControlError):
             MinimalFlowControl(1).on_complete((9, 9))
 
+    def test_duplicate_waiting_request_not_requeued(self):
+        """A retransmitted request whose key is already queued must not
+        be enqueued a second time (it would be acked twice later)."""
+        p = MinimalFlowControl(1)
+        assert p.on_request((0, 1), 10) is True
+        assert p.on_request((1, 1), 10) is False
+        assert p.on_request((1, 1), 10) is False  # duplicate of a waiter
+        assert p.waiting_count == 1
+        assert p.on_complete((0, 1)) == (1, 1)
+        # The lone queued copy was promoted; nothing is left to
+        # double-ack.
+        assert p.on_complete((1, 1)) is None
+        assert p.active_count == 0
+        assert p.waiting_count == 0
+
 
 class TestBulkTransfer:
     def make_bulk(self, n=3, policy_cls=MinimalFlowControl):
@@ -273,6 +288,56 @@ class TestBulkTransfer:
         eps[1].register("sink", lambda src: None)
         with pytest.raises(FlowControlError):
             mgrs[0].send_bulk(1, "sink", (), nbytes=0)
+
+    def test_duplicated_request_packet_acked_once(self):
+        """A wire-duplicated ``__bulk.req__`` whose key parks in the
+        waiting queue must be acked exactly once.  Pre-fix the dup was
+        enqueued a second time, and the completion path then acked the
+        same transfer twice — the sender blew up with "ack for unknown
+        transfer"."""
+        from repro.sim.faults import FaultInjector, FaultPlan, FaultRule
+
+        sim = Simulator()
+        nodes = [SimNode(i, sim) for i in range(2)]
+        stats = StatsRegistry()
+        # Reliability is off (bare endpoints), so the duplicated wire
+        # packet reaches the flow-control policy twice — the exact
+        # regime the minimal policy must tolerate.
+        plan = FaultPlan(by_kind={"__bulk.req__": FaultRule(duplicate=1.0)})
+        net = Network(sim, HypercubeTopology(2), nodes, NetworkParams(),
+                      stats, faults=FaultInjector(plan, 7, stats))
+        directory = {}
+        eps = [
+            Endpoint(node, net, directory, stats, TraceLog(),
+                     send_overhead_us=1.0, receive_overhead_us=1.0)
+            for node in nodes
+        ]
+        mgrs = [
+            BulkManager(ep, MinimalFlowControl(1),
+                        request_cpu_us=1.0, ack_cpu_us=1.0)
+            for ep in eps
+        ]
+        got = []
+        eps[1].register("sink", lambda src, tag: got.append(tag))
+        # Occupy the receiver so the (duplicated) request parks in the
+        # waiting queue instead of going active.
+        busy = (99, 1)
+        assert mgrs[1].policy.on_request(busy, 10) is True
+        mgrs[0].send_bulk(1, "sink", ("block",), nbytes=10_000)
+        sim.run()  # the request and its wire duplicate arrive and park
+        assert got == []
+        assert mgrs[1].policy.waiting_count == 1  # dup absorbed
+        # Release the synthetic transfer; the queued request is acked.
+        nxt = mgrs[1].policy.on_complete(busy)
+        assert nxt == (0, 1)
+        mgrs[1]._send_ack(nxt)
+        sim.run()  # ack -> data -> completion (a second queued copy
+        #            would fire a second ack here and crash the sender)
+        assert got == ["block"]
+        assert mgrs[0].pending_outgoing == 0
+        assert mgrs[1].pending_inbound == 0
+        assert mgrs[1].policy.active_count == 0
+        assert mgrs[1].policy.waiting_count == 0
 
     def test_data_sized_by_nbytes_not_payload(self):
         """The data phase occupies the wire for the declared size."""

@@ -69,13 +69,20 @@ class TestFaultFuzz:
                     num_nodes=4, n=11, trace=False, seed=seed,
                     faults=_chaos(faults_seed),
                 )
-                check_invariants(res.runtime)
+                report = check_invariants(res.runtime)
             except (InvariantViolation, AssertionError, RuntimeError) as exc:
                 pytest.fail(
                     f"{exc}\n"
                     f"{_replay_hint('fibonacci_loadbalance', seed, faults_seed)}"
                 )
             assert res.summary["value"] == fib_value(11)
+            # Steal-packet conservation: the reliable sublayer repairs
+            # dropped/duplicated steal traffic, so req/grant/deny books
+            # must balance exactly even under chaos.
+            sp = report["steal_packets"]
+            assert sp["sent"] == sp["recv"], _replay_hint(
+                "fibonacci_loadbalance", seed, faults_seed
+            )
 
     def test_node_stall_recovery(self, faults_seed_base):
         """A node that goes silent for a window mid-run delays traffic

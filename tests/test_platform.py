@@ -1,5 +1,5 @@
-"""The platform seam: factory, interfaces, and the threaded backend's
-node/transport/machine primitives."""
+"""The platform seam: factory, interfaces, and the threaded and mp
+backends' node/transport/machine primitives."""
 
 from __future__ import annotations
 
@@ -12,6 +12,7 @@ import pytest
 
 from repro.config import RuntimeConfig
 from repro.errors import ReproError
+from repro.hal.dsl import behavior, method
 from repro.platform import BACKENDS, make_machine
 from repro.platform.base import NodeExecutor, PlatformMachine, Transport
 from repro.platform.simbackend import SimMachine
@@ -50,7 +51,7 @@ class TestMakeMachine:
             RuntimeConfig(backend="mpi")
 
     def test_registry_names(self):
-        assert BACKENDS == ("sim", "threaded")
+        assert BACKENDS == ("sim", "threaded", "mp")
 
 
 class TestProtocolConformance:
@@ -73,12 +74,17 @@ class TestProtocolConformance:
     def test_feature_flags(self):
         sim = make_machine(RuntimeConfig(num_nodes=2))
         thr = make_machine(RuntimeConfig(num_nodes=2), backend="threaded")
+        mpm = make_machine(RuntimeConfig(num_nodes=2), backend="mp")
         try:
             assert sim.deterministic and sim.supports_faults
             assert not thr.deterministic and not thr.supports_faults
+            assert not mpm.deterministic and not mpm.supports_faults
+            assert not sim.distributed and not thr.distributed
+            assert mpm.distributed
         finally:
             sim.shutdown()
             thr.shutdown()
+            mpm.shutdown()
 
 
 # ======================================================================
@@ -262,6 +268,124 @@ class TestThreadedMachine:
 
 
 # ======================================================================
+# mp backend (process-per-node)
+# ======================================================================
+@behavior
+class _Holder:
+    """Minimal remote-callable actor for mp round trips."""
+
+    def __init__(self):
+        self.pokes = 0
+
+    @method
+    def poke(self, ctx):
+        self.pokes += 1
+        return self.pokes
+
+    @method
+    def take(self, ctx, obj):
+        self.pokes += 1
+
+
+@behavior
+class _Poison:
+    """Sends a non-picklable object across the wire on demand."""
+
+    def __init__(self):
+        self.peer = None
+
+    @method
+    def set_peer(self, ctx, peer):
+        self.peer = peer
+
+    @method
+    def boom(self, ctx):
+        ctx.send(self.peer, "take", threading.Lock())
+
+
+def _mp_runtime(n=2, **kw):
+    from repro.runtime.system import HalRuntime
+
+    return HalRuntime(RuntimeConfig(num_nodes=n, backend="mp", **kw))
+
+
+class TestMpBackend:
+    def test_spawn_call_run_quiesce(self):
+        rt = _mp_runtime(2)
+        try:
+            a = rt.spawn(_Holder, at=0)
+            b = rt.spawn(_Holder, at=1)
+            rt.send(b, "take", 7)
+            rt.run()
+            assert rt.call(a, "poke") == 1
+            assert rt.call(b, "poke") == 2  # the take counted too
+            assert rt.total_actors() == 2
+            assert rt.actor_locations() == {a.address: 0, b.address: 1}
+            assert rt.quiescent()
+        finally:
+            rt.close()
+
+    def test_faults_rejected(self):
+        from repro.platform.mp import MpMachine
+        from repro.sim.faults import FaultPlan
+
+        plan = FaultPlan.protocol_chaos(drop=0.1)
+        with pytest.raises(ReproError, match="fault injection"):
+            MpMachine(RuntimeConfig(num_nodes=2), faults=plan)
+
+    def test_non_picklable_wire_payload_is_hard_error(self):
+        """An in-process backend would happily pass a Lock by
+        reference; on the wire it must fail loudly, not hang."""
+        rt = _mp_runtime(2)
+        try:
+            a = rt.spawn(_Poison, at=0)
+            b = rt.spawn(_Holder, at=1)
+            rt.send(a, "set_peer", b)
+            rt.run()
+            rt.send(a, "boom")
+            with pytest.raises(ReproError, match="non-picklable"):
+                rt.run()
+        finally:
+            rt.close()
+
+    def test_non_picklable_driver_payload_rejected(self):
+        rt = _mp_runtime(2)
+        try:
+            a = rt.spawn(_Holder, at=0)
+            with pytest.raises(ReproError, match="picklable"):
+                rt.send(a, "take", threading.Lock())
+        finally:
+            rt.close()
+
+    def test_white_box_accessors_refused(self):
+        rt = _mp_runtime(2)
+        try:
+            a = rt.spawn(_Holder, at=0)
+            with pytest.raises(ReproError):
+                rt.kernel(0)
+            with pytest.raises(ReproError):
+                rt.actor_of(a)
+        finally:
+            rt.close()
+
+    def test_remote_spawn_and_locate(self):
+        rt = _mp_runtime(3)
+        try:
+            # Issue the creation from node 0, place on node 2 — the
+            # alias path crosses the wire.
+            ref = rt.spawn_remote(_Holder, at=2, issuing_node=0)
+            rt.run()
+            assert rt.locate(ref) == 2
+        finally:
+            rt.close()
+
+    def test_close_idempotent(self):
+        rt = _mp_runtime(2)
+        rt.close()
+        rt.close()
+
+
+# ======================================================================
 # layering lint (satellite: must pass as part of tier-1)
 # ======================================================================
 def test_layering_lint_passes():
@@ -289,9 +413,11 @@ def test_layering_lint_catches_violations(tmp_path):
     (bad / "evil.py").write_text(
         "from repro.sim.engine import Simulator\n"
         "import repro.platform.threaded\n"
+        "import repro.platform.mp\n"
         "from repro.platform.base import NodeExecutor  # allowed\n"
     )
     problems = check_layering.check(str(src))
-    assert len(problems) == 2
+    assert len(problems) == 3
     assert "repro.sim.engine" in problems[0]
     assert "repro.platform.threaded" in problems[1]
+    assert "repro.platform.mp" in problems[2]

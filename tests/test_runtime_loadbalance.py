@@ -30,6 +30,35 @@ class TestStealing:
         nodes_used = {n for n, _ in hits}
         assert len(nodes_used) > 1
 
+    def test_steal_packet_books_balance(self):
+        """Every steal-protocol packet — req, grant AND deny — is
+        counted symmetrically on both sides.  Pre-fix, ``steal_grant``
+        sends were invisible to the proto books, so the conservation
+        audit could not see a lost grant."""
+        rt = lb_runtime(4)
+        rt.load_behaviors(tasks={"chunk": lambda ctx, i: ctx.charge(200.0)})
+        for i in range(40):
+            rt.spawn_task("chunk", i, at=0)
+        rt.run()
+        s = rt.stats
+        assert s.counter("steal.received") > 0  # at least one task grant
+        sent = s.counter("steal.proto_sent")
+        recv = s.counter("steal.proto_recv")
+        assert sent == recv
+        # Sent side decomposes exactly: one req per poll, one deny per
+        # refusal, one grant per task handed over (actor grants travel
+        # as migrate_arrive and are audited by the migration books).
+        assert sent == (
+            s.counter("steal.polls")
+            + s.counter("steal.denied")
+            + s.counter("steal.received")
+        )
+        # The chatter books — what quiescence detection excludes —
+        # cover only the workless req/deny probes, never grants.
+        chatter_sent = s.counter("steal.chatter_sent")
+        assert chatter_sent == s.counter("steal.polls") + s.counter("steal.denied")
+        assert chatter_sent == s.counter("steal.chatter_recv")
+
     def test_disabled_lb_never_polls(self):
         rt = make_runtime(4)
         rt.load_behaviors(tasks={"chunk": lambda ctx, i: ctx.charge(200.0)})

@@ -104,6 +104,33 @@ class TestNameTable:
         with pytest.raises(NameServiceError, match="already bound"):
             t.bind(key, t.alloc())
 
+    def test_rebind_bound_descriptor_rejected(self):
+        """Alias promotion onto a descriptor already bound to a
+        *different* key must not silently mutate ``desc.key`` — that
+        would leave the old ``_by_key`` entry pointing at a descriptor
+        whose key no longer matches it."""
+        t = NameTable(0)
+        alias = MailAddress(AddrKind.ALIAS, 0, 1, aux=2)
+        desc = t.alloc(alias)
+        ordinary = MailAddress(AddrKind.ORDINARY, 2, 9)
+        with pytest.raises(NameServiceError, match="already bound"):
+            t.bind(ordinary, desc)
+        # The original binding is intact: key still matches the entry.
+        assert t.get(alias) is desc
+        assert desc.key == alias
+        assert t.get(ordinary) is None
+
+    def test_rebind_same_key_after_unbind_is_allowed(self):
+        """Re-binding the key a descriptor already holds is a no-op
+        rebind, not a corruption (idempotent promotion retries)."""
+        t = NameTable(0)
+        key = MailAddress(AddrKind.ORDINARY, 0, 1)
+        desc = t.alloc()
+        t.bind(key, desc)
+        del t._by_key[key]  # simulate an unbind (e.g. table repair)
+        t.bind(key, desc)
+        assert t.get(key) is desc
+
     def test_missing_lookups(self):
         t = NameTable(0)
         assert t.get(MailAddress(AddrKind.ORDINARY, 9, 9)) is None

@@ -45,6 +45,7 @@ FORBIDDEN_PREFIXES = (
     "repro.sim",
     "repro.platform.simbackend",
     "repro.platform.threaded",
+    "repro.platform.mp",
 )
 
 
