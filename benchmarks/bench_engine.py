@@ -163,14 +163,19 @@ def run_micro(name: str, seed_fn, new_fn, size: int, repeats: int) -> Dict:
 # full-stack application workloads (current engine only)
 # ----------------------------------------------------------------------
 def run_fib_app(n: int, num_nodes: int, *, trace: bool = False,
-                backend: str = "sim") -> Dict:
-    """fib(n) with dynamic load balancing — the §7.2 workload shape."""
+                backend: str = "sim", transport: str = "pipe") -> Dict:
+    """fib(n) with dynamic load balancing — the §7.2 workload shape.
+
+    ``transport`` selects the mp backend's interconnect ("pipe" or
+    "socket"); other backends ignore it.
+    """
     from repro.apps.fibonacci import fib_program, fib_value
-    from repro.config import LoadBalanceParams, RuntimeConfig
+    from repro.config import LoadBalanceParams, MpParams, RuntimeConfig
     from repro.runtime.system import HalRuntime
 
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=1995, backend=backend,
-                        load_balance=LoadBalanceParams(enabled=True))
+                        load_balance=LoadBalanceParams(enabled=True),
+                        mp=MpParams(transport=transport))
     t0 = time.perf_counter()
     rt = HalRuntime(cfg, trace=trace)
     try:
@@ -288,17 +293,21 @@ def run_bench(*, quick: bool = False, repeats: int = 3,
             "systolic": run_systolic_app(sys_n, num_nodes=16),
         }
         results["tracing"] = run_tracing_overhead(fib_n, num_nodes=8)
-        # Real-time threaded backend on the same fib workload.  Recorded
-        # for the trajectory but NOT regression-gated (see GATED in
-        # check_regression.py): wall time depends on host scheduling.
+        # Real-time threaded backend on the same fib workload.
         results["backend_threaded"] = run_fib_app(
             fib_n, num_nodes=4, backend="threaded"
         )
         # Process-per-node backend on the same workload: the only case
-        # where node execution escapes the GIL.  Also ungated — wall
-        # time depends on host scheduling and process startup.
+        # where node execution escapes the GIL.  Batched binary frames
+        # over the default pipe mesh, and the same wire path over the
+        # UNIX-domain socket mesh.  Both ARE regression-gated now that
+        # the batched path landed (generous threshold absorbs host
+        # scheduling noise; see GATED in check_regression.py).
         results["backend_mp"] = run_fib_app(
             fib_n, num_nodes=4, backend="mp"
+        )
+        results["backend_mp_socket"] = run_fib_app(
+            fib_n, num_nodes=4, backend="mp", transport="socket"
         )
     return results
 
@@ -332,14 +341,21 @@ def render(results: Dict) -> str:
         lines.append(
             f"threaded   n={bt['n']:<4} nodes={bt['nodes']:<3} "
             f"events={bt['sim_events']:>9,}  "
-            f"host={bt['events_per_sec']:>11,} ev/s (ungated)"
+            f"host={bt['events_per_sec']:>11,} ev/s"
         )
     bm = results.get("backend_mp")
     if bm:
         lines.append(
-            f"mp         n={bm['n']:<4} nodes={bm['nodes']:<3} "
+            f"mp/pipe    n={bm['n']:<4} nodes={bm['nodes']:<3} "
             f"events={bm['sim_events']:>9,}  "
-            f"host={bm['events_per_sec']:>11,} ev/s (ungated)"
+            f"host={bm['events_per_sec']:>11,} ev/s"
+        )
+    bs = results.get("backend_mp_socket")
+    if bs:
+        lines.append(
+            f"mp/socket  n={bs['n']:<4} nodes={bs['nodes']:<3} "
+            f"events={bs['sim_events']:>9,}  "
+            f"host={bs['events_per_sec']:>11,} ev/s"
         )
     return "\n".join(lines)
 

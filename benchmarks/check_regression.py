@@ -2,9 +2,10 @@
 """Gate engine throughput against the committed baseline.
 
 Compares a fresh ``bench_engine.py`` result file against the
-repo-root ``BENCH_engine.json`` baseline and fails (exit 1) when
-either hot-path microbenchmark — ping-pong or fan-out — regresses by
-more than the threshold (default 20%) in ``current.events_per_sec``.
+repo-root ``BENCH_engine.json`` baseline and fails (exit 1) when any
+gated bench — the ping-pong/fan-out engine microbenchmarks or the
+threaded/mp backend fibonacci runs — regresses by more than the
+threshold (default 20%) in events/sec.
 
 Usage (what the nightly CI job runs)::
 
@@ -31,10 +32,21 @@ _REPO_ROOT = os.path.dirname(_HERE)
 
 DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "BENCH_engine.json")
 
-#: The benches the gate watches: hot-path engine microbenchmarks whose
-#: events/sec collapse whenever the per-message path grows an
-#: allocation or an uncached branch.
-GATED = ("pingpong", "fanout")
+#: The benches the gate watches.  The engine microbenchmarks catch
+#: per-message hot-path pessimisation (an allocation or uncached
+#: branch reintroduced); the backend fibonacci runs catch wire-path
+#: pessimisation in the real-time backends — per-packet pickling or
+#: syscalls creeping back into the mp batch path would halve its
+#: events/sec, far outside the threshold's noise allowance.
+GATED = ("pingpong", "fanout", "backend_threaded", "backend_mp")
+
+
+def _events_per_sec(entry: dict) -> int:
+    """Both result shapes: microbenchmarks nest under ``current``,
+    backend app runs carry ``events_per_sec`` at top level."""
+    if "current" in entry:
+        return entry["current"]["events_per_sec"]
+    return entry["events_per_sec"]
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -58,13 +70,18 @@ def main(argv: List[str] | None = None) -> int:
         return 1
 
     failures = []
-    print(f"{'bench':<10} {'baseline ev/s':>14} {'current ev/s':>14} "
+    print(f"{'bench':<16} {'baseline ev/s':>14} {'current ev/s':>14} "
           f"{'delta':>8}")
     for name in GATED:
-        b = base[name]["current"]["events_per_sec"]
-        c = cur[name]["current"]["events_per_sec"]
+        if name not in base or name not in cur:
+            # A baseline predating this bench (or a --skip-apps run)
+            # has nothing to gate against; note it rather than fail.
+            print(f"{name:<16} (not present in both files; skipped)")
+            continue
+        b = _events_per_sec(base[name])
+        c = _events_per_sec(cur[name])
         delta = (c - b) / b
-        print(f"{name:<10} {b:>14,} {c:>14,} {delta:>+7.1%}")
+        print(f"{name:<16} {b:>14,} {c:>14,} {delta:>+7.1%}")
         if delta < -args.threshold:
             failures.append(
                 f"{name}: {c:,} ev/s is {-delta:.1%} below baseline "

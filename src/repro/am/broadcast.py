@@ -43,8 +43,12 @@ class TreeMulticaster:
     def _make_forwarder(self, endpoint: Endpoint):
         def forward(src: int, root: int, handler: str, args: tuple) -> None:
             me = endpoint.node_id
+            # One payload tuple shared across all children: wire
+            # transports that serialise (the mp backend) key a payload
+            # cache on tuple identity, so the fan-out pickles once.
+            payload = (root, handler, args)
             for child in self.topology.spanning_tree_children(root, me):
-                endpoint.send(child, _TREE_HANDLER, (root, handler, args))
+                endpoint.send(child, _TREE_HANDLER, payload)
             endpoint.run_local(handler, args)
         return forward
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from repro.config import LoadBalanceParams, RuntimeConfig
+from repro.config import LoadBalanceParams, MpParams, RuntimeConfig
 from repro.hal.dsl import behavior, method
 from repro.runtime.system import HalRuntime
 
@@ -71,6 +71,29 @@ class PingPonger:
         return self.hits
 
 
+@behavior
+class GroupCell:
+    """One member of an actor group; accumulates broadcast deliveries.
+
+    The ``(index, size)`` tail is the grpnew constructor convention —
+    each member knows its place so the driver can audit per-member
+    delivery exactly.
+    """
+
+    def __init__(self, index=0, size=1):
+        self.index = index
+        self.size = size
+        self.hits = 0
+
+    @method
+    def bump(self, ctx, k):
+        self.hits += k
+
+    @method
+    def total(self, ctx):
+        return self.hits
+
+
 @dataclass
 class ScenarioResult:
     """What a scenario produced, plus the runtime for span export."""
@@ -88,6 +111,7 @@ def run_ping_pong(
     seed: int = 1995,
     faults=None,
     backend: str = "sim",
+    mp: Optional[MpParams] = None,
 ) -> ScenarioResult:
     """A ``2n``-hit rally between actors on two different nodes.
 
@@ -97,7 +121,8 @@ def run_ping_pong(
     """
     if num_nodes < 2:
         raise ValueError("ping_pong needs at least 2 nodes")
-    cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed, backend=backend)
+    cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed, backend=backend,
+                        mp=mp or MpParams())
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load_behaviors(PingPonger)
     a = rt.spawn(PingPonger, at=0)
@@ -131,6 +156,7 @@ def run_migration_tour(
     seed: int = 1995,
     faults=None,
     backend: str = "sim",
+    mp: Optional[MpParams] = None,
 ) -> ScenarioResult:
     """Tour one actor through ``n`` migrations, then probe it from a
     node holding a stale cached address.
@@ -150,7 +176,8 @@ def run_migration_tour(
     # the chain repair (FIR replies back-patching every member's name
     # table) is still visible in the trace.
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed,
-                        descriptor_caching=False, backend=backend)
+                        descriptor_caching=False, backend=backend,
+                        mp=mp or MpParams())
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load_behaviors(Wanderer)
 
@@ -197,6 +224,7 @@ def run_fibonacci_loadbalance(
     seed: int = 1995,
     faults=None,
     backend: str = "sim",
+    mp: Optional[MpParams] = None,
 ) -> ScenarioResult:
     """fib(n) under receiver-initiated work stealing, traced.
 
@@ -210,6 +238,7 @@ def run_fibonacci_loadbalance(
         seed=seed,
         backend=backend,
         load_balance=LoadBalanceParams(enabled=True),
+        mp=mp or MpParams(),
     )
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load(fib_program())
@@ -233,13 +262,60 @@ def run_fibonacci_loadbalance(
     )
 
 
+def run_group_broadcast(
+    *,
+    num_nodes: int = 4,
+    n: int = 8,
+    trace: bool = True,
+    seed: int = 1995,
+    faults=None,
+    backend: str = "sim",
+    mp: Optional[MpParams] = None,
+) -> ScenarioResult:
+    """``grpnew`` an ``n``-member group, broadcast to it three times,
+    audit every member's tally.
+
+    The broadcast replicates over the topology's spanning tree — on
+    the mp backend the tree-forward messages share one serialised
+    payload per fan-out and ride the batched wire frames, so this
+    scenario is the collective-communication parity check across all
+    three backends.
+    """
+    cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed, backend=backend,
+                        mp=mp or MpParams())
+    rt = HalRuntime(cfg, trace=trace, faults=faults)
+    rt.load_behaviors(GroupCell)
+    group = rt.grpnew(GroupCell, n, placement="cyclic")
+    rt.run()
+    rounds = 3
+    for r in range(rounds):
+        rt.broadcast(group, "bump", r + 1)
+    rt.run()
+    expect = rounds * (rounds + 1) // 2
+    tallies = [rt.call(group.member(i), "total") for i in range(n)]
+    assert tallies == [expect] * n, (tallies, expect)
+    return ScenarioResult(
+        name="group_broadcast",
+        runtime=rt,
+        summary={
+            "members": n,
+            "rounds": rounds,
+            "per_member": expect,
+            "broadcasts": rt.stats.counter("groups.broadcasts"),
+            "elapsed_us": rt.now,
+        },
+    )
+
+
 #: Scenario registry for the CLI.  Every entry accepts
 #: ``(num_nodes=..., n=..., trace=..., seed=..., faults=...)`` keyword
-#: arguments (``faults`` is an optional :class:`repro.sim.faults.FaultPlan`).
+#: arguments (``faults`` is an optional :class:`repro.sim.faults.FaultPlan`;
+#: ``mp`` optionally carries :class:`repro.config.MpParams` wire knobs).
 SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
     "ping_pong": run_ping_pong,
     "migration_tour": run_migration_tour,
     "fibonacci_loadbalance": run_fibonacci_loadbalance,
+    "group_broadcast": run_group_broadcast,
 }
 
 
@@ -252,6 +328,7 @@ def run_scenario(
     seed: int = 1995,
     faults=None,
     backend: str = "sim",
+    mp: Optional[MpParams] = None,
 ) -> ScenarioResult:
     """Run a registered scenario by name; None keeps its defaults."""
     try:
@@ -262,6 +339,7 @@ def run_scenario(
         ) from None
     kwargs: Dict[str, object] = {
         "trace": trace, "seed": seed, "faults": faults, "backend": backend,
+        "mp": mp,
     }
     if num_nodes is not None:
         kwargs["num_nodes"] = num_nodes

@@ -133,12 +133,29 @@ def _fault_plan(args):
     )
 
 
+def _mp_params(args):
+    """MpParams from the mp wire-path flags (None = config defaults)."""
+    transport = getattr(args, "mp_transport", None)
+    batch_bytes = getattr(args, "mp_batch_bytes", None)
+    batch_msgs = getattr(args, "mp_batch_msgs", None)
+    if transport is None and batch_bytes is None and batch_msgs is None:
+        return None
+    from repro.config import MpParams
+    defaults = MpParams()
+    return MpParams(
+        transport=transport or defaults.transport,
+        batch_bytes=batch_bytes or defaults.batch_bytes,
+        batch_max_msgs=batch_msgs or defaults.batch_max_msgs,
+    )
+
+
 def _run_scenario_for_cli(args, faults=None):
     from repro.apps.scenarios import run_scenario
     try:
         return run_scenario(args.app, num_nodes=args.nodes, n=args.n,
                             seed=args.seed, faults=faults,
-                            backend=getattr(args, "backend", "sim"))
+                            backend=getattr(args, "backend", "sim"),
+                            mp=_mp_params(args))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
 
@@ -308,8 +325,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                    default="sim",
                    help="sim: deterministic discrete-event simulator; "
                         "threaded: real-time, one OS thread per node; "
-                        "mp: one OS process per node, pickled packets, "
-                        "token-ring quiescence")
+                        "mp: one OS process per node, batched binary "
+                        "frames, token-ring quiescence")
+    p.add_argument("--mp-transport", choices=("pipe", "socket"),
+                   default=None,
+                   help="mp interconnect: full-mesh duplex pipes "
+                        "(default) or UNIX-domain socketpairs")
+    p.add_argument("--mp-batch-bytes", type=int, default=None,
+                   help="mp: flush a destination's frame at this many "
+                        "buffered bytes (default 32768)")
+    p.add_argument("--mp-batch-msgs", type=int, default=None,
+                   help="mp: ... or at this many buffered messages "
+                        "(default 128)")
     p.add_argument("--nodes", type=int, default=None, help="partition size")
     p.add_argument("--n", type=int, default=None,
                    help="problem size (scenario-specific)")

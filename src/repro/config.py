@@ -99,6 +99,41 @@ class LoadBalanceParams:
 
 
 @dataclass(frozen=True)
+class MpParams:
+    """Wire-path knobs for the process-per-node (mp) backend.
+
+    Outbound packets are coalesced per destination into binary frames
+    (see :mod:`repro.platform.wireformat`): a destination's batch is
+    flushed when it reaches ``batch_bytes`` or ``batch_max_msgs``, and
+    unconditionally at the end of every worker wakeup (so a message
+    never waits on an idle node for company).  ``transport`` selects
+    the interconnect: ``"pipe"`` is a full mesh of multiprocessing
+    duplex pipes carrying whole frames; ``"socket"`` is a full mesh of
+    UNIX-domain stream socketpairs driven with raw scatter writes and
+    bulk reads — one ``recv`` can pull in many frames, so the syscall
+    count per message drops further on chatty workloads.
+    """
+
+    #: Interconnect between worker processes.
+    transport: Literal["pipe", "socket"] = "pipe"
+    #: Flush a destination's batch at this many buffered frame bytes.
+    batch_bytes: int = 32 * 1024
+    #: ... or at this many buffered messages, whichever comes first.
+    batch_max_msgs: int = 128
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("pipe", "socket"):
+            raise ValueError(
+                f"unknown mp transport {self.transport!r}; "
+                "expected 'pipe' or 'socket'"
+            )
+        if self.batch_bytes < 1:
+            raise ValueError("batch_bytes must be >= 1")
+        if self.batch_max_msgs < 1:
+            raise ValueError("batch_max_msgs must be >= 1")
+
+
+@dataclass(frozen=True)
 class ReliabilityParams:
     """Reliable-delivery sublayer (acks + timeout/retry + dedupe).
 
@@ -177,6 +212,8 @@ class RuntimeConfig:
     scheduler: SchedulerParams = field(default_factory=SchedulerParams)
     load_balance: LoadBalanceParams = field(default_factory=LoadBalanceParams)
     reliability: ReliabilityParams = field(default_factory=ReliabilityParams)
+    #: Wire-path knobs for the mp backend (ignored elsewhere).
+    mp: MpParams = field(default_factory=MpParams)
 
     #: Abort the simulation after this many events (safety valve).
     max_events: int = 200_000_000

@@ -47,10 +47,12 @@ capability                sim          threaded      mp
 ========================  ===========  ============  ============
 
 A *distributed* machine runs each node in its own OS process: nothing
-is shared, every message crosses an operating-system pipe as a pickled
-:class:`WirePacket`, and quiescence is detected by a token-ring
-protocol rather than shared counters.  The runtime facade consults the
-flag to route driver operations as commands instead of direct calls.
+is shared, every message crosses an operating-system boundary as a
+:class:`WirePacket` — batched per destination into compact binary
+frames (:mod:`repro.platform.wireformat`) over a pipe or UNIX-domain
+socket mesh — and quiescence is detected by a token-ring protocol
+rather than shared counters.  The runtime facade consults the flag to
+route driver operations as commands instead of direct calls.
 """
 
 from __future__ import annotations
@@ -78,6 +80,12 @@ class WirePacket(NamedTuple):
     destination re-binds ``handler`` against its own endpoint's handler
     table.  ``kind`` is the logical message kind (the transmit label)
     used for chatter classification and quiescence accounting.
+
+    A packet is the unit of *identity* (quiescence counts packets),
+    not the unit of transmission: transports may batch many packets
+    into one frame with a struct-packed header and interned handler
+    names, serialising only ``args`` (see
+    :mod:`repro.platform.wireformat`).
     """
 
     src: int
@@ -229,7 +237,7 @@ class PlatformMachine(Protocol):
     #: True when a fault plan can be installed on this backend.
     supports_faults: bool
     #: True when nodes run in separate OS processes (nothing shared;
-    #: driver operations travel as commands, packets as pickled
+    #: driver operations travel as commands, packets as framed
     #: :class:`WirePacket` data).
     distributed: bool
 

@@ -2,11 +2,35 @@
 
 This is the first backend where the GIL no longer serialises node
 execution: every node runs a full runtime kernel inside its own
-worker process, active messages cross between nodes as pickled
-:class:`~repro.platform.base.WirePacket` data over per-pair duplex
-pipes, and the driver process holds no kernel state at all — driver
-operations (load, spawn, send, call) travel to the owning worker as
-synchronously-acknowledged commands on a per-node control pipe.
+worker process, active messages cross between nodes as **batched
+binary frames** (:mod:`repro.platform.wireformat`) over per-pair
+duplex links, and the driver process holds no kernel state at all —
+driver operations (load, spawn, send, call, grpnew, broadcast) travel
+to the owning worker as synchronously-acknowledged commands on a
+per-node control pipe.
+
+The wire path is built for throughput, not per-packet convenience:
+
+- **outbound batching** — packets coalesce per destination in a
+  :class:`~repro.platform.wireformat.FrameEncoder` and flush on a
+  byte/count threshold (``config.mp.batch_bytes`` /
+  ``batch_max_msgs``), on a fixed cadence inside a handler burst, and
+  unconditionally before the worker blocks, so N messages cost one
+  syscall instead of N and nothing ever waits on an idle worker;
+- **compact encoding** — a ``struct``-packed header (src, dst, nbytes,
+  interned handler-name id) plus a payload pickle of the args only,
+  with a one-slot identity cache so a broadcast fan-out serialises its
+  payload once per batch rather than once per destination;
+- **transport choice** — ``config.mp.transport`` selects full-mesh
+  duplex pipes (frames ride ``send_bytes``) or full-mesh UNIX-domain
+  stream socketpairs (raw scatter writes, bulk ``recv`` reads that can
+  pull many frames per syscall; the decoder reassembles split frames).
+
+Batching never changes message *identity*: the Safra counters below
+count messages, not frames — a frame of five counted packets moves the
+sender's counter by five and the receiver's by five as each decoded
+record is processed, so distributed quiescence detection is exactly as
+sound as it was on the one-pickle-per-packet path.
 
 Nothing is shared, so the shared-counter quiescence arithmetic of the
 sim backend (and the threaded backend's live count) is unavailable by
@@ -39,6 +63,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import pickle
+import socket
 import traceback
 from multiprocessing import get_context
 from multiprocessing.connection import wait as conn_wait
@@ -48,6 +73,7 @@ from repro.config import RuntimeConfig
 from repro.errors import NetworkError, ReproError, SimulationError
 from repro.platform.base import WirePacket
 from repro.platform.threaded import _CHATTER_KINDS, WallClock
+from repro.platform.wireformat import FrameDecoder, FrameEncoder, encode_payload
 from repro.rng import RngStreams
 from repro.stats import Histogram, StatsRegistry
 from repro.topology import Topology, make_topology
@@ -59,13 +85,105 @@ Callback = Callable[..., None]
 #: work a passive node may hold (mirrors the chatter exclusion).
 _POLL_LABEL = "steal.poll"
 
-#: Per-conn message-drain cap per loop iteration, so a flooding peer
-#: cannot starve the local heap.
+#: Per-conn control-command drain cap per loop iteration.
 _DRAIN_CAP = 64
+
+#: Handler-burst cadence: every this-many consecutive heap entries the
+#: worker flushes outbound batches and peeks at the network.  Checking
+#: after *every* handler (PR 5) cost one poll syscall per event; a
+#: small power-of-two batch keeps both latency and syscalls low.
+_BURST_MASK = 0x07
 
 
 def _pickling_errors():
     return (TypeError, AttributeError, pickle.PicklingError)
+
+
+# ======================================================================
+# peer channels: one per (worker, peer) pair, transport-specific
+# ======================================================================
+class _PipeChannel:
+    """Peer link over a multiprocessing duplex pipe.  Frames travel as
+    whole ``send_bytes`` messages, so the pipe's own message framing
+    does the reassembly and the decoder always sees complete frames."""
+
+    __slots__ = ("conn", "encoder", "decoder", "dirty")
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+        self.encoder = FrameEncoder()
+        self.decoder = FrameDecoder()
+        #: True while this channel may hold unflushed outbound bytes.
+        self.dirty = False
+
+    @property
+    def waitable(self):
+        return self.conn
+
+    def send_frame(self, frame: bytes) -> None:
+        self.conn.send_bytes(frame)
+
+    def read_available(self) -> None:
+        """Feed everything currently readable to the decoder."""
+        conn = self.conn
+        feed = self.decoder.feed
+        feed(conn.recv_bytes())
+        while conn.poll():
+            feed(conn.recv_bytes())
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+class _SocketChannel:
+    """Peer link over a UNIX-domain stream socketpair.
+
+    Unlike the pipe channel there is no message boundary: one ``recv``
+    may return half a frame or a dozen frames, and the decoder's
+    reassembly buffer absorbs the difference.  Reads are bulk
+    (64 KiB), so a burst of small frames costs one syscall, not one
+    per frame — the low-syscall half of the transport experiment."""
+
+    __slots__ = ("sock", "encoder", "decoder", "dirty")
+
+    _CHUNK = 1 << 16
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.encoder = FrameEncoder()
+        self.decoder = FrameDecoder()
+        self.dirty = False
+
+    @property
+    def waitable(self):
+        return self.sock
+
+    def send_frame(self, frame: bytes) -> None:
+        self.sock.sendall(frame)
+
+    def read_available(self) -> None:
+        recv = self.sock.recv
+        feed = self.decoder.feed
+        while True:
+            try:
+                data = recv(self._CHUNK, socket.MSG_DONTWAIT)
+            except BlockingIOError:
+                return
+            if not data:
+                raise EOFError("peer socket closed")
+            feed(data)
+            if len(data) < self._CHUNK:
+                return
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+def _make_channel(end: Any) -> Any:
+    """Wrap a transport endpoint in its channel type."""
+    if isinstance(end, socket.socket):
+        return _SocketChannel(end)
+    return _PipeChannel(end)
 
 
 # ======================================================================
@@ -184,11 +302,12 @@ class _WorkerNode:
 
 
 class _WireTransport:
-    """The worker's view of the interconnect: packets pickle onto the
-    destination's pipe.  Supports exactly the AM endpoint's delivery
-    convention (``args == (src, handler, payload)``); the callback is
-    never invoked on the sending side — the destination process
-    re-binds the handler name against its own endpoint."""
+    """The worker's view of the interconnect: packets join the
+    destination's outbound frame batch (see ``_WorkerHost.send_wire``).
+    Supports exactly the AM endpoint's delivery convention
+    (``args == (src, handler, payload)``); the callback is never
+    invoked on the sending side — the destination process re-binds the
+    handler name against its own endpoint."""
 
     #: Signals the AM endpoint that no peer-endpoint lookup is possible.
     wire_only = True
@@ -322,30 +441,93 @@ class _WorkerHost:
         self._token: Optional[tuple] = None     # stashed inbound token
         self._detect_rid: Optional[int] = None  # node 0: active request
         self._initiated_rid: Optional[int] = None  # node 0: round launched
-        self._conns = [ctrl] + [peers[k] for k in sorted(peers)]
+        self.channels: Dict[int, Any] = {
+            nid: _make_channel(end) for nid, end in peers.items()
+        }
+        self._by_waitable = {
+            ch.waitable: ch for ch in self.channels.values()
+        }
+        self._waitables = [ctrl] + [
+            self.channels[k].waitable for k in sorted(self.channels)
+        ]
+        #: Channels that may hold unflushed outbound bytes.
+        self._dirty: List[Any] = []
+        self._batch_bytes = config.mp.batch_bytes
+        self._batch_msgs = config.mp.batch_max_msgs
+        #: One-slot payload-bytes cache keyed by args-tuple identity:
+        #: a broadcast's tree-forward sends the same tuple to every
+        #: child, so the pickle runs once per fan-out, not per child.
+        #: The strong reference keeps the identity test sound (a freed
+        #: tuple's id could be recycled).
+        self._pay_obj: Any = None
+        self._pay_bytes: bytes = b""
         self.runtime = _WorkerRuntime(self, config, costs)
         self.kernel = self.runtime.kernels[0]
+        stats = self.runtime.machine.stats
+        self._c_frames = stats.cell("wire.frames")
+        self._c_frame_bytes = stats.cell("wire.frame_bytes")
+        self._c_wire_msgs = stats.cell("wire.messages")
+        self._c_pay_reuse = stats.cell("wire.payload_reuse")
 
     # ------------------------------------------------------------------
     # wire
     # ------------------------------------------------------------------
     def send_wire(self, packet: WirePacket) -> None:
-        conn = self.peers.get(packet.dst)
-        if conn is None:
-            raise NetworkError(f"no pipe to node {packet.dst}")
-        if packet.kind not in _CHATTER_KINDS:
+        ch = self.channels.get(packet.dst)
+        if ch is None:
+            raise NetworkError(f"no channel to node {packet.dst}")
+        counted = packet.kind not in _CHATTER_KINDS
+        if counted:
             self._count += 1
-        try:
-            conn.send(("am", packet))
-        except _pickling_errors() as exc:
-            # The packet never left: the failed send must not count as
-            # in flight or quiescence detection would hang forever.
-            if packet.kind not in _CHATTER_KINDS:
-                self._count -= 1
-            raise NetworkError(
-                f"non-picklable payload in {packet.kind!r} packet "
-                f"{packet.src}->{packet.dst}: {exc}"
-            ) from exc
+        args = packet.args
+        if args is self._pay_obj:
+            payload = self._pay_bytes
+            self._c_pay_reuse.n += 1
+        else:
+            try:
+                payload = encode_payload(args)
+            except _pickling_errors() as exc:
+                # The packet never left: the failed send must not count
+                # as in flight or quiescence detection would hang.
+                if counted:
+                    self._count -= 1
+                raise NetworkError(
+                    f"non-picklable payload in {packet.kind!r} packet "
+                    f"{packet.src}->{packet.dst}: {exc}"
+                ) from exc
+            self._pay_obj = args
+            self._pay_bytes = payload
+        enc = ch.encoder
+        enc.add_message(packet, payload)
+        self._c_wire_msgs.n += 1
+        if not ch.dirty:
+            ch.dirty = True
+            self._dirty.append(ch)
+        if (
+            enc.messages >= self._batch_msgs
+            or enc.pending_bytes >= self._batch_bytes
+        ):
+            self._send_now(ch)
+
+    def _send_now(self, ch) -> None:
+        """Seal and transmit the channel's open frame, if any."""
+        frame = ch.encoder.take_frame()
+        if frame is not None:
+            self._c_frames.n += 1
+            self._c_frame_bytes.n += len(frame)
+            ch.send_frame(frame)
+
+    def _flush_pending(self) -> None:
+        """Transmit every channel's open frame.  Runs on the handler
+        burst cadence and always before the loop blocks, so a buffered
+        message never waits on its destination's behalf."""
+        dirty = self._dirty
+        if not dirty:
+            return
+        for ch in dirty:
+            ch.dirty = False
+            self._send_now(ch)
+        dirty.clear()
 
     def _recv_wire(self, packet: WirePacket) -> None:
         if packet.kind not in _CHATTER_KINDS:
@@ -361,16 +543,32 @@ class _WorkerHost:
     # token ring (Safra)
     # ------------------------------------------------------------------
     def _ring_next(self):
-        return self.peers[(self.node_id + 1) % self.config.num_nodes]
+        return self.channels[(self.node_id + 1) % self.config.num_nodes]
+
+    def _send_token(self, rid: int, count: int, black: bool) -> None:
+        """Ring-control records flush immediately: the token must not
+        sit in a batch waiting for data to keep it company.  They share
+        the data stream, so any messages already buffered for the ring
+        neighbour flush ahead of the token in FIFO order."""
+        ch = self._ring_next()
+        ch.encoder.add_token(rid, count, black)
+        self._send_now(ch)
+
+    def _send_quiesce(self, rid: int) -> None:
+        ch = self._ring_next()
+        ch.encoder.add_quiesce(rid)
+        self._send_now(ch)
 
     def _passive(self) -> bool:
         if self.node.in_handler or not self.node.passive():
             return False
-        # Unread pipe data is impending work; wait for the loop to
-        # drain it (Safra would still be correct without this check —
-        # the sender's counter covers in-flight messages — but rounds
+        if any(ch.decoder.buffered_bytes for ch in self.channels.values()):
+            return False  # a partially-read frame is impending work
+        # Unread input is impending work; wait for the loop to drain
+        # it (Safra would still be correct without this check — the
+        # sender's counter covers in-flight messages — but rounds
         # converge faster when the token never overtakes local input).
-        return not conn_wait(self._conns, 0)
+        return not conn_wait(self._waitables, 0)
 
     def _maybe_advance_ring(self) -> None:
         # One step can unblock the next (dropping a stale token clears
@@ -399,7 +597,7 @@ class _WorkerHost:
                 self._finish_round(rid, ok)
                 return True
             self._black = False
-            self._ring_next().send(("tok", rid, 0, False))
+            self._send_token(rid, 0, False)
             return True
         if self._token is None or not self._passive():
             return False
@@ -411,9 +609,7 @@ class _WorkerHost:
             ok = (not black) and (not self._black) and (count + self._count == 0)
             self._finish_round(rid, ok)
         else:
-            self._ring_next().send(
-                ("tok", rid, count + self._count, black or self._black)
-            )
+            self._send_token(rid, count + self._count, black or self._black)
             self._black = False
         return True
 
@@ -422,7 +618,7 @@ class _WorkerHost:
         if ok:
             self.quiesced = True
             if self.config.num_nodes > 1:
-                self._ring_next().send(("qsc", rid))
+                self._send_quiesce(rid)
         self.ctrl.send(("detected", rid, ok))
 
     # ------------------------------------------------------------------
@@ -463,6 +659,19 @@ class _WorkerHost:
             self.quiesced = False
             self.node.bootstrap(
                 lambda: kernel.delivery.send_message(ref, selector, args)
+            )
+            return None
+        if op == "grpnew":
+            _, cls, n, args, placement = payload
+            self.quiesced = False
+            return self.node.bootstrap(
+                lambda: kernel.groups.grpnew(cls, n, args, placement=placement)
+            )
+        if op == "broadcast":
+            _, group, selector, args = payload
+            self.quiesced = False
+            self.node.bootstrap(
+                lambda: kernel.groups.broadcast(group, selector, args)
             )
             return None
         if op == "task":
@@ -546,18 +755,9 @@ class _WorkerHost:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
-    def _dispatch(self, conn, msg: tuple) -> None:
+    def _dispatch_ctrl(self, msg: tuple) -> None:
         tag = msg[0]
-        if tag == "am":
-            self._recv_wire(msg[1])
-        elif tag == "tok":
-            self._token = msg[1:]
-        elif tag == "qsc":
-            self.quiesced = True
-            nxt = (self.node_id + 1) % self.config.num_nodes
-            if nxt != 0:
-                self._ring_next().send(msg)
-        elif tag == "cmd":
+        if tag == "cmd":
             _, seq, payload = msg
             try:
                 value = self._do_command(payload)
@@ -567,12 +767,36 @@ class _WorkerHost:
                 self.ctrl.send(("ok", seq, value))
         else:
             self.ctrl.send(
-                ("err", self.node_id, f"unknown message tag {tag!r}")
+                ("err", self.node_id, f"unknown control tag {tag!r}")
             )
+
+    def _dispatch_record(self, rec: tuple) -> None:
+        """Process one decoded wire record.  Errors are reported
+        per-record so a poisoned message cannot sink the rest of its
+        frame (their Safra decrements must still happen)."""
+        tag = rec[0]
+        try:
+            if tag == "msg":
+                self._recv_wire(rec[1])
+            elif tag == "tok":
+                self._token = rec[1:]
+            elif tag == "qsc":
+                self.quiesced = True
+                nxt = (self.node_id + 1) % self.config.num_nodes
+                if nxt != 0:
+                    self._send_quiesce(rec[1])
+            else:  # pragma: no cover - decoder yields only the above
+                raise NetworkError(f"unknown record tag {tag!r}")
+        except Exception:
+            # Protocol errors inside a handler (e.g. a non-picklable
+            # payload on a relayed send) are reported and the worker
+            # keeps serving, so shutdown still completes cleanly.
+            self.ctrl.send(("err", self.node_id, traceback.format_exc()))
 
     def _run_ready(self) -> None:
         node = self.node
         heap = node._heap
+        ran = 0
         while heap:
             entry = heap[0]
             if entry[2] is None:
@@ -584,8 +808,13 @@ class _WorkerHost:
             fn, args = entry[2], entry[3]
             entry[2] = None
             node.run_entry(fn, args)
-            if conn_wait(self._conns, 0):
-                break  # service the network between slices
+            ran += 1
+            if ran & _BURST_MASK == 0:
+                # Burst boundary: push batches out so peers compute
+                # while we do, and yield to the network if it's ready.
+                self._flush_pending()
+                if conn_wait(self._waitables, 0):
+                    break
 
     def _next_timeout(self) -> Optional[float]:
         heap = self.node._heap
@@ -596,25 +825,35 @@ class _WorkerHost:
         return max(0.0, (heap[0][0] - self.clock.now) / 1e6)
 
     def loop(self) -> None:
+        by_waitable = self._by_waitable
         while not self._stop:
             try:
                 self._run_ready()
                 self._maybe_advance_ring()
+                # Everything buffered goes out before we block: a
+                # message parked in an encoder while its destination
+                # idles would stall the partition (and, because its
+                # send was already counted, park the token ring in
+                # failed rounds rather than deadlock — but why wait).
+                self._flush_pending()
                 timeout = self._next_timeout()
-                ready = conn_wait(self._conns, timeout)
-                for conn in ready:
-                    for _ in range(_DRAIN_CAP):
-                        if not conn.poll():
-                            break
-                        self._dispatch(conn, conn.recv())
-                        if self._stop:
-                            return
+                ready = conn_wait(self._waitables, timeout)
+                for waitable in ready:
+                    ch = by_waitable.get(waitable)
+                    if ch is None:  # the control pipe
+                        for _ in range(_DRAIN_CAP):
+                            if not self.ctrl.poll():
+                                break
+                            self._dispatch_ctrl(self.ctrl.recv())
+                            if self._stop:
+                                return
+                    else:
+                        ch.read_available()
+                        for rec in ch.decoder.drain():
+                            self._dispatch_record(rec)
             except (EOFError, OSError):
                 return  # the driver went away; nothing left to serve
             except Exception:
-                # Protocol errors inside a handler (e.g. a
-                # non-picklable payload) are reported and the worker
-                # keeps serving, so shutdown still completes cleanly.
                 try:
                     self.ctrl.send(
                         ("err", self.node_id, traceback.format_exc())
@@ -816,7 +1055,8 @@ class MpMachine:
     # ------------------------------------------------------------------
     def start_workers(self, costs) -> None:
         """Spawn one worker process per node, wired with a control
-        pipe each and a full mesh of peer pipes."""
+        pipe each and a full mesh of peer links — duplex pipes or
+        UNIX-domain socketpairs per ``config.mp.transport``."""
         if self._procs:
             return
         import multiprocessing as _mp
@@ -824,10 +1064,14 @@ class MpMachine:
         methods = _mp.get_all_start_methods()
         ctx = get_context("fork" if "fork" in methods else None)
         nn = self.config.num_nodes
+        use_sockets = self.config.mp.transport == "socket"
         peer_ends: List[Dict[int, Any]] = [dict() for _ in range(nn)]
         for i in range(nn):
             for j in range(i + 1, nn):
-                a, b = ctx.Pipe(duplex=True)
+                if use_sockets:
+                    a, b = socket.socketpair()
+                else:
+                    a, b = ctx.Pipe(duplex=True)
                 peer_ends[i][j] = a
                 peer_ends[j][i] = b
         for i in range(nn):
@@ -841,6 +1085,11 @@ class MpMachine:
             )
             proc.start()
             self._procs.append(proc)
+        # The driver holds no end of the data network: drop our copies
+        # so a dead worker surfaces as EOF on its peers, not a hang.
+        for ends in peer_ends:
+            for end in ends.values():
+                end.close()
 
     def shutdown(self) -> None:
         """Stop and join every worker process.  Idempotent."""

@@ -180,11 +180,14 @@ class HalRuntime:
     def grpnew(self, cls: Type, n: int, *args: Any, placement: str = "cyclic",
                from_node: int = 0):
         """Create an actor group from an external driver."""
-        if self._distributed:
-            raise ReproError(
-                "actor groups are not supported on the mp backend yet"
-            )
         self._ensure_loaded(cls)
+        if self._distributed:
+            # The issuing worker runs the same grp_create fan-out the
+            # in-process kernels do; the spanning-tree messages ride
+            # the batched wire frames like any other AM.
+            return self.machine.command(
+                from_node, ("grpnew", cls, n, args, placement)
+            )
         kernel = self.kernels[from_node]
         return kernel.node.bootstrap(
             lambda: kernel.groups.grpnew(cls, n, args, placement=placement)
@@ -192,9 +195,10 @@ class HalRuntime:
 
     def broadcast(self, group, selector: str, *args: Any, from_node: int = 0) -> None:
         if self._distributed:
-            raise ReproError(
-                "group broadcast is not supported on the mp backend yet"
+            self.machine.command(
+                from_node, ("broadcast", group, selector, args)
             )
+            return
         kernel = self.kernels[from_node]
         kernel.node.bootstrap(
             lambda: kernel.groups.broadcast(group, selector, args)

@@ -1,0 +1,256 @@
+"""Property and white-box tests for the binary wire codec
+(:mod:`repro.platform.wireformat`): header pack/unpack round trips,
+handler-name interning growth, split/partial stream reassembly, and
+the framing/flush bookkeeping the mp backend's batching relies on.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.platform.base import WirePacket
+from repro.platform.wireformat import (
+    DEF,
+    FrameDecoder,
+    FrameEncoder,
+    MAX_INTERNED,
+    encode_payload,
+    iter_messages,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+_handler_names = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    min_size=1,
+    max_size=40,
+)
+
+_payload_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(2**63), 2**63 - 1)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda inner: st.tuples(inner, inner) | st.lists(inner, max_size=3),
+    max_leaves=6,
+)
+
+
+@st.composite
+def packets(draw):
+    handler = draw(_handler_names)
+    # kind is usually the handler (the common case the codec optimises
+    # by sharing the interned id); sometimes distinct.
+    kind = handler if draw(st.booleans()) else draw(_handler_names)
+    return WirePacket(
+        src=draw(st.integers(-1, 127)),
+        dst=draw(st.integers(0, 127)),
+        handler=handler,
+        args=tuple(draw(st.lists(_payload_values, max_size=4))),
+        nbytes=draw(st.integers(1, 2**32 - 1)),
+        kind=kind,
+    )
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @given(st.lists(packets(), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_round_trips_in_one_frame(self, pkts):
+        enc, dec = FrameEncoder(), FrameDecoder()
+        for p in pkts:
+            enc.add_message(p)
+        assert enc.messages == len(pkts)
+        frame = enc.take_frame()
+        assert enc.take_frame() is None  # buffer reset
+        assert enc.messages == 0
+        dec.feed(frame)
+        out = list(iter_messages(dec.drain()))
+        assert out == pkts
+        assert dec.buffered_bytes == 0
+
+    @given(
+        st.lists(packets(), min_size=1, max_size=12),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_and_partial_reads_reassemble(self, pkts, data):
+        """A byte-stream transport may deliver any chunking of any
+        number of frames; the decoder must yield exactly the sent
+        records, in order, with partial frames held back."""
+        enc, dec = FrameEncoder(), FrameDecoder()
+        wire = bytearray()
+        for i, p in enumerate(pkts):
+            enc.add_message(p)
+            if data.draw(st.booleans(), label=f"flush after {i}"):
+                wire += enc.take_frame()
+        last = enc.take_frame()
+        if last:
+            wire += last
+        out = []
+        pos = 0
+        while pos < len(wire):
+            step = data.draw(
+                st.integers(1, len(wire) - pos), label="chunk size"
+            )
+            dec.feed(bytes(wire[pos:pos + step]))
+            pos += step
+            out.extend(iter_messages(dec.drain()))
+        assert out == pkts
+        assert dec.buffered_bytes == 0
+
+    @given(packets())
+    @settings(max_examples=60, deadline=None)
+    def test_control_records_interleave_with_messages(self, p):
+        enc, dec = FrameEncoder(), FrameDecoder()
+        enc.add_token(7, -3, True)
+        enc.add_message(p)
+        enc.add_quiesce(9)
+        dec.feed(enc.take_frame())
+        recs = dec.drain()
+        assert recs[0] == ("tok", 7, -3, True)
+        assert recs[1] == ("msg", p)
+        assert recs[2] == ("qsc", 9)
+
+    def test_header_edge_values(self):
+        """The struct header's extremes survive: the frontend's -1
+        src, the u32 ceilings, an empty args tuple."""
+        p = WirePacket(-1, 32767, "h", (), 2**32 - 1, "h")
+        enc, dec = FrameEncoder(), FrameDecoder()
+        enc.add_message(p)
+        dec.feed(enc.take_frame())
+        assert list(iter_messages(dec.drain())) == [p]
+
+
+# ----------------------------------------------------------------------
+# interning
+# ----------------------------------------------------------------------
+class TestInterning:
+    def test_name_defined_once_per_connection(self):
+        enc, dec = FrameEncoder(), FrameDecoder()
+        p = WirePacket(0, 1, "deliver_keyed", (1,), 8, "deliver_keyed")
+        enc.add_message(p)
+        first = len(enc.take_frame())
+        enc.add_message(p)
+        second = len(enc.take_frame())
+        # The second frame carries no DEF record: it is smaller by the
+        # DEF header + the utf-8 name.
+        assert second == first - (struct.calcsize("!BHH") + len("deliver_keyed"))
+        dec.feed(b"")  # no-op
+        assert dec.interned == ()
+
+    def test_decoder_table_grows_append_only_across_frames(self):
+        enc, dec = FrameEncoder(), FrameDecoder()
+        for i, name in enumerate(["alpha", "beta", "gamma"]):
+            enc.add_message(WirePacket(0, 1, name, (), 8, name))
+            dec.feed(enc.take_frame())
+            got = list(iter_messages(dec.drain()))
+            assert got[0].handler == name
+            assert dec.interned == tuple(["alpha", "beta", "gamma"][: i + 1])
+
+    def test_distinct_kind_interned_separately(self):
+        enc, dec = FrameEncoder(), FrameDecoder()
+        p = WirePacket(0, 1, "deliver", (), 8, "steal_req")
+        enc.add_message(p)
+        dec.feed(enc.take_frame())
+        assert list(iter_messages(dec.drain())) == [p]
+        assert dec.interned == ("deliver", "steal_req")
+
+    @given(st.lists(_handler_names, min_size=1, max_size=30, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_tables_stay_in_step(self, names):
+        """Sender and receiver assign the same dense ids in emission
+        order, whatever the name set."""
+        enc, dec = FrameEncoder(), FrameDecoder()
+        for name in names:
+            enc.add_message(WirePacket(0, 1, name, (), 8, name))
+        dec.feed(enc.take_frame())
+        got = [m.handler for m in iter_messages(dec.drain())]
+        assert got == names
+        assert dec.interned == tuple(names)
+
+    def test_intern_overflow_is_hard_error(self):
+        enc = FrameEncoder()
+        enc._ids = {f"h{i}": i for i in range(MAX_INTERNED + 1)}
+        with pytest.raises(NetworkError, match="intern table overflow"):
+            enc.add_message(WirePacket(0, 1, "fresh", (), 8, "fresh"))
+
+
+# ----------------------------------------------------------------------
+# malformed streams
+# ----------------------------------------------------------------------
+def _frame(body: bytes) -> bytes:
+    return struct.pack("!I", len(body)) + body
+
+
+class TestMalformed:
+    def test_unknown_tag_rejected(self):
+        dec = FrameDecoder()
+        dec.feed(_frame(b"\xee"))
+        with pytest.raises(NetworkError, match="unknown wire record tag"):
+            dec.drain()
+
+    def test_out_of_order_def_rejected(self):
+        dec = FrameDecoder()
+        dec.feed(_frame(struct.pack("!BHH", DEF, 3, 1) + b"x"))
+        with pytest.raises(NetworkError, match="out-of-order intern"):
+            dec.drain()
+
+    def test_undefined_handler_id_rejected(self):
+        enc = FrameEncoder()
+        enc.add_message(WirePacket(0, 1, "h", (), 8, "h"))
+        frame = bytearray(enc.take_frame())
+        # Skip the DEF record so id 0 arrives undefined.
+        def_len = struct.calcsize("!BHH") + 1
+        body = frame[4 + def_len:]
+        dec = FrameDecoder()
+        dec.feed(_frame(bytes(body)))
+        with pytest.raises(NetworkError, match="undefined handler-name id"):
+            dec.drain()
+
+    def test_payload_overrun_rejected(self):
+        body = struct.pack("!BhhHHII", 0x01, 0, 1, 0, 0, 8, 99) + b"xy"
+        dec = FrameDecoder()
+        dec.feed(_frame(body))
+        with pytest.raises(NetworkError, match="overruns its frame"):
+            dec.drain()
+
+    def test_non_picklable_payload_raises_at_encode(self):
+        import threading
+
+        enc = FrameEncoder()
+        p = WirePacket(0, 1, "h", (threading.Lock(),), 8, "h")
+        with pytest.raises(Exception):
+            enc.add_message(p)
+        # Nothing half-written: the buffer still seals cleanly.  (The
+        # DEF for "h" may have been emitted; a later message reuses it.)
+        enc.add_message(WirePacket(0, 1, "h", (1,), 8, "h"))
+        dec = FrameDecoder()
+        dec.feed(enc.take_frame())
+        assert [m.args for m in iter_messages(dec.drain())] == [(1,)]
+
+
+# ----------------------------------------------------------------------
+# payload sharing
+# ----------------------------------------------------------------------
+def test_prepickled_payload_reused_verbatim():
+    """The broadcast path pickles once and hands the same bytes to
+    every destination's encoder."""
+    args = ("root", "handler", (1, 2, 3))
+    payload = encode_payload(args)
+    packets_out = []
+    for dst in (1, 2, 3):
+        enc, dec = FrameEncoder(), FrameDecoder()
+        enc.add_message(WirePacket(0, dst, "t", args, 16, "t"), payload)
+        dec.feed(enc.take_frame())
+        packets_out.extend(iter_messages(dec.drain()))
+    assert [p.args for p in packets_out] == [args] * 3

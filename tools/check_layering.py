@@ -38,14 +38,17 @@ SRC = os.path.join(REPO_ROOT, "src")
 GUARDED = ("repro/runtime", "repro/am")
 
 #: Import prefixes a guarded module may never name.  ``repro.sim`` is
-#: the whole simulator; the two concrete platform modules are the
-#: backends themselves (the ``repro.platform`` package root and
-#: ``repro.platform.base`` remain allowed).
+#: the whole simulator; the concrete platform modules are the backends
+#: themselves, and ``repro.platform.wireformat`` is their transport
+#: machinery — how bytes cross an OS boundary is a backend concern, so
+#: protocol code may not depend on it either (the ``repro.platform``
+#: package root and ``repro.platform.base`` remain allowed).
 FORBIDDEN_PREFIXES = (
     "repro.sim",
     "repro.platform.simbackend",
     "repro.platform.threaded",
     "repro.platform.mp",
+    "repro.platform.wireformat",
 )
 
 
