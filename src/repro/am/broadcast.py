@@ -41,25 +41,40 @@ class TreeMulticaster:
         self._installed = True
 
     def _make_forwarder(self, endpoint: Endpoint):
-        def forward(src: int, root: int, handler: str, args: tuple) -> None:
+        def forward(src: int, root: int, handler: str, args: tuple,
+                    trace_ctx=None) -> None:
             me = endpoint.node_id
             # One payload tuple shared across all children: wire
             # transports that serialise (the mp backend) key a payload
             # cache on tuple identity, so the fan-out pickles once.
+            # The trace context (absent on untraced machines, and on mp
+            # where spans are unsupported) is relayed verbatim — the
+            # runtime layer above records the spans, so every node's
+            # delivery parents to the multicast's root span.
             payload = (root, handler, args)
             for child in self.topology.spanning_tree_children(root, me):
-                endpoint.send(child, _TREE_HANDLER, payload)
-            endpoint.run_local(handler, args)
+                endpoint.send(child, _TREE_HANDLER, payload,
+                              trace_ctx=trace_ctx)
+            if trace_ctx is not None:
+                endpoint.run_local(handler, args + (trace_ctx,))
+            else:
+                endpoint.run_local(handler, args)
         return forward
 
     # ------------------------------------------------------------------
-    def multicast(self, endpoint: Endpoint, handler: str, args: tuple = ()) -> None:
+    def multicast(self, endpoint: Endpoint, handler: str, args: tuple = (),
+                  *, trace_ctx=None) -> None:
         """Deliver ``handler(args)`` once on every node, rooted at
-        ``endpoint``'s node.  Runs locally at the root immediately."""
+        ``endpoint``'s node.  Runs locally at the root immediately.
+        ``trace_ctx`` rides the tree so deliveries join the sender's
+        causal trace (zero wire bytes, like any TraceCtx)."""
         if not self._installed:
             raise HandlerError("TreeMulticaster not installed")
         root = endpoint.node_id
-        endpoint.run_local(_TREE_HANDLER, (root, handler, args))
+        payload = (root, handler, args)
+        if trace_ctx is not None:
+            payload = payload + (trace_ctx,)
+        endpoint.run_local(_TREE_HANDLER, payload)
 
     def tree_edges(self, root: int) -> list[tuple[int, int]]:
         """All (parent, child) edges of the broadcast tree (for tests)."""

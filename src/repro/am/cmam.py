@@ -35,6 +35,7 @@ from repro.am.messages import message_nbytes
 from repro.errors import HandlerError, NetworkError
 from repro.platform.base import NodeExecutor, Transport
 from repro.stats import StatsRegistry
+from repro.tracectx import TraceCtx
 from repro.tracing import TraceLog
 
 
@@ -172,7 +173,11 @@ class Endpoint:
             args, self._packet_bytes
         )
         self._c_sends.n += 1
-        if self._trace_on:
+        if self._trace_on and (trace_ctx is None or trace_ctx.trace_id & 1):
+            # Event records follow the trace's head-sampling verdict
+            # (the trace ID's low bit); context-free sends are always
+            # logged.  At the default rate 1.0 every bit is set, so
+            # this is the historical always-log behaviour.
             self.trace.emit(node.now, node.node_id, "am.send", handler, dst, size)
         if trace_ctx is not None:
             # Out-of-band metadata: appended after sizing (and TraceCtx
@@ -237,7 +242,7 @@ class Endpoint:
             args, self._packet_bytes
         )
         self._c_sends.n += 1
-        if self._trace_on:
+        if self._trace_on and (trace_ctx is None or trace_ctx.trace_id & 1):
             self.trace.emit(node.now, node.node_id, "am.send", handler, dst, size)
         if trace_ctx is not None:
             args = args + (trace_ctx,)
@@ -265,7 +270,11 @@ class Endpoint:
         self.delivered += 1
         self._c_delivered.n += 1
         if self._trace_on:
-            self.trace.emit(node.now, node.node_id, "am.recv", handler, src)
+            # Mirror the send side's head-sampling gate: the context, if
+            # any, rides as the trailing argument (appended by send).
+            tail = args[-1] if args else None
+            if type(tail) is not TraceCtx or tail.trace_id & 1:
+                self.trace.emit(node.now, node.node_id, "am.recv", handler, src)
         fn = self._handler_table.get(handler)
         if fn is None:
             # Raises the canonical HandlerError for unknown names.

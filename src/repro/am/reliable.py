@@ -39,6 +39,7 @@ from repro.am.messages import message_nbytes
 from repro.config import ReliabilityParams
 from repro.errors import HandlerError, ReliabilityError
 from repro.stats import StatsRegistry
+from repro.tracectx import TraceCtx
 
 #: Wire overhead of the envelope's sequence number.
 SEQ_BYTES = 8
@@ -55,12 +56,22 @@ class ReliableTransport:
         endpoint,
         params: ReliabilityParams,
         stats: StatsRegistry,
+        *,
+        spans=None,
     ) -> None:
         self.ep = endpoint
         self.params = params
         self.node = endpoint.node
+        # Span recorder for the error paths: retransmits and delivery
+        # failures force their spans past head sampling (a fault run
+        # must always show its recovery traffic).  None when the
+        # machine is untraced — one cached test per timeout.
+        self._spans = (
+            spans if spans is not None and spans.enabled else None
+        )
         self._seq = 0
-        #: seq -> [dst, handler, args, env_nbytes, attempts, timer]
+        #: seq -> [dst, handler, args, env_nbytes, attempts, timer,
+        #:         sent_time, trace_ctx]
         self._pending: Dict[int, list] = {}
         self._seen: Set[Tuple[int, int]] = set()
         self._c_sent = stats.cell("rel.envelopes")
@@ -126,7 +137,8 @@ class ReliableTransport:
         if trace_ctx is not None:
             # Same contract as the bare endpoint: sized before append.
             args = args + (trace_ctx,)
-        entry = [dst, handler, args, size + SEQ_BYTES, 0, None, self._now()]
+        entry = [dst, handler, args, size + SEQ_BYTES, 0, None, self._now(),
+                 trace_ctx]
         self._pending[seq] = entry
         self._transmit_env(seq, entry, charge_sender)
 
@@ -153,13 +165,35 @@ class ReliableTransport:
             return  # acked while the timer event was in flight
         self._c_timeouts.n += 1
         entry[4] += 1
+        spans = self._spans
         if entry[4] > self.params.max_retries:
+            if spans is not None:
+                tctx = entry[7]
+                spans.force_span(
+                    tctx[0] if tctx is not None else 0,
+                    tctx[1] if tctx is not None else 0,
+                    f"rel failed {entry[1]}", "rel.failed",
+                    self.ep.node_id, self._now(), None, entry[0], seq,
+                )
             raise ReliabilityError(
                 f"node {self.ep.node_id}: no ack from node {entry[0]} for "
                 f"{entry[1]!r} (seq {seq}) after {self.params.max_retries} "
                 "retransmits — peer unreachable"
             )
         self._c_retries.n += 1
+        if spans is not None:
+            # Forced past head sampling: retransmits are recorded even
+            # in unsampled traces (and at sample rate 0, where they
+            # root their own forced trace).  Successive retransmits of
+            # one envelope chain parent→child.
+            tctx = entry[7]
+            tid, sid = spans.force_span(
+                tctx[0] if tctx is not None else 0,
+                tctx[1] if tctx is not None else 0,
+                f"rel retransmit {entry[1]}", "rel.retransmit",
+                self.ep.node_id, self._now(), None, entry[0], entry[4],
+            )
+            entry[7] = TraceCtx(tid, sid, self._now())
         self._transmit_env(seq, entry, True)
 
     def _on_ack(self, src: int, seq: int) -> None:

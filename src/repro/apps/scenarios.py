@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from repro.config import LoadBalanceParams, MpParams, RuntimeConfig
+from repro.config import LoadBalanceParams, MpParams, RuntimeConfig, TracingParams
 from repro.hal.dsl import behavior, method
 from repro.runtime.system import HalRuntime
 
@@ -112,6 +112,7 @@ def run_ping_pong(
     faults=None,
     backend: str = "sim",
     mp: Optional[MpParams] = None,
+    tracing: Optional[TracingParams] = None,
 ) -> ScenarioResult:
     """A ``2n``-hit rally between actors on two different nodes.
 
@@ -122,7 +123,8 @@ def run_ping_pong(
     if num_nodes < 2:
         raise ValueError("ping_pong needs at least 2 nodes")
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed, backend=backend,
-                        mp=mp or MpParams())
+                        mp=mp or MpParams(),
+                        tracing=tracing or TracingParams())
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load_behaviors(PingPonger)
     a = rt.spawn(PingPonger, at=0)
@@ -157,6 +159,7 @@ def run_migration_tour(
     faults=None,
     backend: str = "sim",
     mp: Optional[MpParams] = None,
+    tracing: Optional[TracingParams] = None,
 ) -> ScenarioResult:
     """Tour one actor through ``n`` migrations, then probe it from a
     node holding a stale cached address.
@@ -177,7 +180,8 @@ def run_migration_tour(
     # table) is still visible in the trace.
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed,
                         descriptor_caching=False, backend=backend,
-                        mp=mp or MpParams())
+                        mp=mp or MpParams(),
+                        tracing=tracing or TracingParams())
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load_behaviors(Wanderer)
 
@@ -225,6 +229,7 @@ def run_fibonacci_loadbalance(
     faults=None,
     backend: str = "sim",
     mp: Optional[MpParams] = None,
+    tracing: Optional[TracingParams] = None,
 ) -> ScenarioResult:
     """fib(n) under receiver-initiated work stealing, traced.
 
@@ -239,6 +244,7 @@ def run_fibonacci_loadbalance(
         backend=backend,
         load_balance=LoadBalanceParams(enabled=True),
         mp=mp or MpParams(),
+        tracing=tracing or TracingParams(),
     )
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load(fib_program())
@@ -271,6 +277,7 @@ def run_group_broadcast(
     faults=None,
     backend: str = "sim",
     mp: Optional[MpParams] = None,
+    tracing: Optional[TracingParams] = None,
 ) -> ScenarioResult:
     """``grpnew`` an ``n``-member group, broadcast to it three times,
     audit every member's tally.
@@ -282,7 +289,8 @@ def run_group_broadcast(
     three backends.
     """
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed, backend=backend,
-                        mp=mp or MpParams())
+                        mp=mp or MpParams(),
+                        tracing=tracing or TracingParams())
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load_behaviors(GroupCell)
     group = rt.grpnew(GroupCell, n, placement="cyclic")
@@ -329,6 +337,7 @@ def run_scenario(
     faults=None,
     backend: str = "sim",
     mp: Optional[MpParams] = None,
+    tracing: Optional[TracingParams] = None,
 ) -> ScenarioResult:
     """Run a registered scenario by name; None keeps its defaults."""
     try:
@@ -339,7 +348,7 @@ def run_scenario(
         ) from None
     kwargs: Dict[str, object] = {
         "trace": trace, "seed": seed, "faults": faults, "backend": backend,
-        "mp": mp,
+        "mp": mp, "tracing": tracing,
     }
     if num_nodes is not None:
         kwargs["num_nodes"] = num_nodes

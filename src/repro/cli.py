@@ -149,13 +149,29 @@ def _mp_params(args):
     )
 
 
+def _tracing_params(args):
+    """TracingParams from the sampling flags (None = config defaults:
+    rate 1.0, capacity 65536)."""
+    rate = getattr(args, "sample_rate", None)
+    capacity = getattr(args, "span_capacity", None)
+    if rate is None and capacity is None:
+        return None
+    from repro.config import TracingParams
+    defaults = TracingParams()
+    return TracingParams(
+        sample_rate=defaults.sample_rate if rate is None else rate,
+        span_capacity=capacity or defaults.span_capacity,
+    )
+
+
 def _run_scenario_for_cli(args, faults=None):
     from repro.apps.scenarios import run_scenario
     try:
         return run_scenario(args.app, num_nodes=args.nodes, n=args.n,
                             seed=args.seed, faults=faults,
                             backend=getattr(args, "backend", "sim"),
-                            mp=_mp_params(args))
+                            mp=_mp_params(args),
+                            tracing=_tracing_params(args))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
 
@@ -184,31 +200,50 @@ def _cmd_run(args) -> None:
 def _cmd_trace(args) -> None:
     import json
     from collections import Counter
-    from repro.sim.timeline import chrome_trace, spans_jsonl
+    from repro.timeline import chrome_trace, spans_jsonl
+
+    backend = getattr(args, "backend", "sim")
+    if backend == "mp":
+        # Per the capability matrix (repro.platform.base): span recording
+        # needs a shared recorder, which per-process nodes don't have.
+        raise SystemExit(
+            "error: the mp backend does not support span tracing "
+            "(supports_tracing=no); use --backend sim or threaded"
+        )
 
     res = _run_scenario_for_cli(args)
-    spans = res.runtime.spans.spans
-    if args.format == "chrome":
-        out = args.out or f"{args.app}_trace.json"
-        payload = json.dumps(chrome_trace(spans))
-    else:
-        out = args.out or f"{args.app}_spans.jsonl"
-        payload = spans_jsonl(spans)
-    with open(out, "w") as fh:
-        fh.write(payload)
+    rt = res.runtime
+    try:
+        spans = rt.spans.spans
+        if args.format == "chrome":
+            out = args.out or f"{args.app}_trace.json"
+            payload = json.dumps(chrome_trace(spans))
+        else:
+            out = args.out or f"{args.app}_spans.jsonl"
+            payload = spans_jsonl(spans)
+        with open(out, "w") as fh:
+            fh.write(payload)
 
-    kinds = Counter(s.kind for s in spans)
-    rows = [(k, str(v)) for k, v in sorted(res.summary.items())]
-    rows.append(("traces", len(res.runtime.spans.trace_ids())))
-    rows.append(("spans", len(spans)))
-    rows.extend((f"spans[{k}]", n) for k, n in sorted(kinds.items()))
-    print(render_table(
-        f"Trace — {args.app} (P={res.runtime.num_nodes})",
-        ["", "value"], rows,
-        note=f"wrote {out} "
-             + ("(load in Perfetto / chrome://tracing)"
-                if args.format == "chrome" else "(one span per line)"),
-    ))
+        kinds = Counter(s.kind for s in spans)
+        acct = rt.spans.accounting()
+        rows = [(k, str(v)) for k, v in sorted(res.summary.items())]
+        rows.append(("backend", backend))
+        rows.append(("traces", len(rt.spans.trace_ids())))
+        rows.append(("spans", len(spans)))
+        rows.append(("spans recorded", acct["spans_recorded"]))
+        rows.append(("spans elided (sampling)", acct["spans_elided"]))
+        rows.append(("ring overwrites", acct["ring_overwrites"]))
+        rows.append(("sample rate", acct["sample_rate"]))
+        rows.extend((f"spans[{k}]", n) for k, n in sorted(kinds.items()))
+        print(render_table(
+            f"Trace — {args.app} (P={rt.num_nodes})",
+            ["", "value"], rows,
+            note=f"wrote {out} "
+                 + ("(load in Perfetto / chrome://tracing)"
+                    if args.format == "chrome" else "(one span per line)"),
+        ))
+    finally:
+        rt.close()
 
 
 #: Counter prefixes that tell the fault-injection / self-healing story:
@@ -223,7 +258,9 @@ def _cmd_stats(args) -> None:
     res = _run_scenario_for_cli(args, faults=_fault_plan(args))
     stats = res.runtime.stats
     if args.json:
-        print(json.dumps(stats.as_dict(), indent=2, sort_keys=True))
+        doc = stats.as_dict()
+        doc["tracing"] = res.runtime.spans.accounting()
+        print(json.dumps(doc, indent=2, sort_keys=True))
         return
     rows = [(k, str(v)) for k, v in sorted(res.summary.items())]
     print(render_table(
@@ -344,12 +381,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.set_defaults(fn=_cmd_run)
 
     # Observability: run a traced scenario, export/inspect its spans.
+    def add_tracing_flags(p):
+        p.add_argument("--sample-rate", type=float, default=None,
+                       help="head-sampling rate in [0, 1]: the fraction of "
+                            "traces whose spans are recorded (decided once "
+                            "per trace at its root; error/retransmit paths "
+                            "are always kept; default 1.0 = keep all)")
+        p.add_argument("--span-capacity", type=int, default=None,
+                       help="span ring-buffer capacity; when full the "
+                            "oldest spans are overwritten (default 65536)")
+
     p = sub.add_parser(
         "trace",
         help="run a scenario with causal tracing and export the span "
              "timeline (migration_tour, fibonacci_loadbalance)",
     )
     p.add_argument("app", help="scenario name")
+    p.add_argument("--backend", choices=("sim", "threaded", "mp"),
+                   default="sim",
+                   help="execution backend to trace (mp records no spans "
+                        "and is refused)")
     p.add_argument("--nodes", type=int, default=None, help="partition size")
     p.add_argument("--n", type=int, default=None,
                    help="problem size (scenario-specific)")
@@ -358,6 +409,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome",
                    help="chrome: trace-event JSON for Perfetto; "
                         "jsonl: one span per line")
+    add_tracing_flags(p)
     p.set_defaults(fn=_cmd_trace)
 
     def add_fault_flags(p, *, drop=0.0, dup=0.0, delay=0.0):
@@ -382,8 +434,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="problem size (scenario-specific)")
     p.add_argument("--seed", type=int, default=1995)
     p.add_argument("--json", action="store_true",
-                   help="dump the full stats registry as JSON")
+                   help="dump the full stats registry as JSON (plus span "
+                        "sampling/ring accounting under 'tracing')")
     add_fault_flags(p)
+    add_tracing_flags(p)
     p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser(

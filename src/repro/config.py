@@ -134,6 +134,34 @@ class MpParams:
 
 
 @dataclass(frozen=True)
+class TracingParams:
+    """Always-on causal tracing knobs (see :mod:`repro.tracing`).
+
+    Span recording is cheap enough to leave enabled: spans land in a
+    pre-allocated ring buffer and whole traces are *head-sampled* — a
+    keep-or-elide decision drawn once per root message journey from a
+    dedicated seeded RNG stream and carried in the trace ID's low bit,
+    so downstream hops pay one bit test.  Error/retransmit paths are
+    recorded regardless of the draw, and ``StatsRegistry`` histograms
+    stay exact and unsampled at any rate.
+    """
+
+    #: Fraction of root traces whose spans are recorded.  1.0 records
+    #: everything (the default — what white-box tests rely on); 0.0
+    #: records only forced error-path spans.
+    sample_rate: float = 1.0
+    #: Ring-buffer slots; when full the oldest spans are overwritten
+    #: (and counted), never the newest.
+    span_capacity: int = 65_536
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.sample_rate <= 1.0):
+            raise ValueError("sample_rate must be within [0, 1]")
+        if self.span_capacity < 1:
+            raise ValueError("span_capacity must be >= 1")
+
+
+@dataclass(frozen=True)
 class ReliabilityParams:
     """Reliable-delivery sublayer (acks + timeout/retry + dedupe).
 
@@ -214,6 +242,9 @@ class RuntimeConfig:
     reliability: ReliabilityParams = field(default_factory=ReliabilityParams)
     #: Wire-path knobs for the mp backend (ignored elsewhere).
     mp: MpParams = field(default_factory=MpParams)
+    #: Span-recording knobs (head sampling + ring capacity); only
+    #: consulted when the machine is built with ``trace=True``.
+    tracing: TracingParams = field(default_factory=TracingParams)
 
     #: Abort the simulation after this many events (safety valve).
     max_events: int = 200_000_000

@@ -905,15 +905,18 @@ def _merge_registry(into: StatsRegistry, dump: Dict[str, Any]) -> None:
         t.max_us = max(t.max_us, max_us)
     for k, v in dump["gauges"].items():
         into.max_gauge(k, v)
-    for k, (buckets, count, total, mn, mx) in dump["hists"].items():
+    for k, (buckets, _count, total, mn, mx) in dump["hists"].items():
         h = into.hist(k)
+        h._fold()  # settle any driver-side staged samples first
         for i, n in enumerate(buckets):
             if n and i < Histogram.NUM_BUCKETS:
                 h.buckets[i] += n
-        h.count += count
-        h.total += total
-        h.min = min(h.min, mn)
-        h.max = max(h.max, mx)
+        # count is derived from the buckets on read; total/min/max
+        # accumulate on the private fields behind the folding
+        # properties.
+        h._total += total
+        h._min = min(h._min, mn)
+        h._max = max(h._max, mx)
 
 
 # ======================================================================

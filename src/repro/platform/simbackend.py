@@ -62,8 +62,20 @@ class SimMachine:
         # trace costs are exactly zero on the message hot path.  The
         # span recorder follows the same null-object pattern.
         self.trace = TraceLog(enabled=True) if trace else NullTraceLog()
-        self.spans = SpanRecorder(enabled=True) if trace else NullSpanRecorder()
         self.rng = RngStreams(config.seed)
+        # Head-sampling draws come from a dedicated substream so the
+        # decision sequence is a pure function of the seed and adding
+        # (or removing) tracing never perturbs other RNG consumers.
+        self.spans = (
+            SpanRecorder(
+                enabled=True,
+                capacity=config.tracing.span_capacity,
+                sample_rate=config.tracing.sample_rate,
+                sampler=self.rng.stream("tracing.head"),
+            )
+            if trace
+            else NullSpanRecorder()
+        )
         self.topology: Topology = make_topology(config.topology, config.num_nodes)
         self.nodes: List[SimNode] = [
             SimNode(i, self.sim) for i in range(config.num_nodes)

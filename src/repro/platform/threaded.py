@@ -369,8 +369,21 @@ class ThreadedMachine:
         self.clock = WallClock()
         self.stats = StatsRegistry()
         self.trace = TraceLog(enabled=True) if trace else NullTraceLog()
-        self.spans = SpanRecorder(enabled=True) if trace else NullSpanRecorder()
         self.rng = RngStreams(config.seed)
+        # Same dedicated sampling substream as the sim backend; on this
+        # backend the draw sequence is still deterministic even though
+        # interleaving is not, so which *rooting order* wins a draw may
+        # differ run to run.
+        self.spans = (
+            SpanRecorder(
+                enabled=True,
+                capacity=config.tracing.span_capacity,
+                sample_rate=config.tracing.sample_rate,
+                sampler=self.rng.stream("tracing.head"),
+            )
+            if trace
+            else NullSpanRecorder()
+        )
         self.topology: Topology = make_topology(config.topology, config.num_nodes)
         self.faults = None
         # Live-work accounting: queued entries + armed timers + running

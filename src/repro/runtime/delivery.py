@@ -55,6 +55,10 @@ class DeliveryService:
         # recorded on traced machines.
         self._spans = kernel.spans
         self._spans_on = bool(kernel.spans.enabled)
+        # Span-name caches: one interned "send foo" / "hop foo" string
+        # per selector, so sampled sends skip the per-span f-string.
+        self._send_names: dict = {}
+        self._hop_names: dict = {}
 
     # ==================================================================
     # sender side
@@ -102,10 +106,21 @@ class DeliveryService:
             else:
                 tid, parent = self._spans.new_trace_id(), 0
             msg.trace_id = tid
-            msg.span_id = self._spans.span(
-                tid, parent, f"send {selector}", "send", k.node_id,
-                k.node.now, None, str(ref.address),
-            )
+            # The head-sampling verdict rides the trace ID's low bit:
+            # unsampled sends skip even the span-name construction and
+            # propagate span_id 0.
+            if tid & 1:
+                # The address rides the span raw; exporters repr()
+                # attrs lazily, so sampled sends skip the string build.
+                name = self._send_names.get(selector)
+                if name is None:
+                    name = self._send_names[selector] = f"send {selector}"
+                msg.span_id = self._spans.span(
+                    tid, parent, name, "send", k.node_id,
+                    k.node.now, None, ref.address,
+                )
+            else:
+                self._spans.elided += 1
 
         if is_local:
             actor = desc.actor
@@ -174,8 +189,12 @@ class DeliveryService:
                        msg.sender_node)
             self._c_sent_keyed.n += 1
         nbytes = message_nbytes(payload, k.network_params.packet_bytes)
+        # tuple.__new__ skips the generated NamedTuple constructor: this
+        # site builds a TraceCtx for every traced remote send, and the
+        # bare allocation is less than half the cost.
         tctx = (
-            TraceCtx(msg.trace_id, msg.span_id, self._node.now)
+            tuple.__new__(TraceCtx, (msg.trace_id, msg.span_id,
+                                     self._node.now))
             if self._spans_on and msg.trace_id else None
         )
         if nbytes >= k.config.bulk_threshold_bytes:
@@ -188,21 +207,6 @@ class DeliveryService:
     # ==================================================================
     # receiver side (node-manager role)
     # ==================================================================
-    def _adopt_ctx(self, msg: ActorMessage, selector: str, src: int,
-                   trace_ctx: Optional[TraceCtx]) -> None:
-        """Attach an arriving wire context to ``msg``: record the
-        network hop as a span and make it the parent of whatever this
-        node does with the message next."""
-        if trace_ctx is None or not self._spans_on:
-            return
-        k = self.kernel
-        msg.trace_id = trace_ctx.trace_id
-        msg.sent_at = trace_ctx.sent_at
-        msg.span_id = self._spans.span(
-            trace_ctx.trace_id, trace_ctx.parent_span, f"hop {selector}",
-            "hop", k.node_id, trace_ctx.sent_at, self._node.now, src,
-        )
-
     def on_deliver_keyed(
         self,
         src: int,
@@ -216,7 +220,25 @@ class DeliveryService:
         k = self.kernel
         self._node.charge(self._hash_us)
         msg = ActorMessage(selector, args, reply_to, sender_node=origin)
-        self._adopt_ctx(msg, selector, src, trace_ctx)
+        # Adopt the arriving wire context (inlined on both receive
+        # paths — this runs once per remote delivery): the trace ID and
+        # true send time attach to *every* traced message, sampled or
+        # not, so the delivery histogram stays exact at any rate; the
+        # hop span itself follows the head-sampling bit.
+        if trace_ctx is not None and self._spans_on:
+            tid = trace_ctx.trace_id
+            msg.trace_id = tid
+            msg.sent_at = trace_ctx.sent_at
+            if tid & 1:
+                name = self._hop_names.get(selector)
+                if name is None:
+                    name = self._hop_names[selector] = f"hop {selector}"
+                msg.span_id = self._spans.span(
+                    tid, trace_ctx.parent_span, name,
+                    "hop", k.node_id, trace_ctx.sent_at, self._node.now, src,
+                )
+            else:
+                self._spans.elided += 1
         desc = self._table.get(key)
         if desc is None:
             desc = self._admit_unknown_key(key)
@@ -256,7 +278,21 @@ class DeliveryService:
         self._node.charge(k.costs.descriptor_deref_us)
         desc = self._table.by_addr(addr)
         msg = ActorMessage(selector, args, reply_to, sender_node=origin)
-        self._adopt_ctx(msg, selector, src, trace_ctx)
+        # Wire-context adoption, inlined (see on_deliver_keyed).
+        if trace_ctx is not None and self._spans_on:
+            tid = trace_ctx.trace_id
+            msg.trace_id = tid
+            msg.sent_at = trace_ctx.sent_at
+            if tid & 1:
+                name = self._hop_names.get(selector)
+                if name is None:
+                    name = self._hop_names[selector] = f"hop {selector}"
+                msg.span_id = self._spans.span(
+                    tid, trace_ctx.parent_span, name,
+                    "hop", k.node_id, trace_ctx.sent_at, self._node.now, src,
+                )
+            else:
+                self._spans.elided += 1
         if desc.is_local:
             self.deliver_here(desc, msg)
             if (
@@ -375,11 +411,14 @@ class DeliveryService:
         if not k.config.descriptor_caching:
             return
         if trace_ctx is not None and self._spans_on:
-            self._spans.span(
-                trace_ctx.trace_id, trace_ctx.parent_span,
-                f"backpatch {key}", "backpatch", k.node_id,
-                self._node.now, None, node,
-            )
+            if trace_ctx.trace_id & 1:
+                self._spans.span(
+                    trace_ctx.trace_id, trace_ctx.parent_span,
+                    f"backpatch {key}", "backpatch", k.node_id,
+                    self._node.now, None, node,
+                )
+            else:
+                self._spans.elided += 1
         desc = k.table.get(key)
         if desc is None:
             k.node.charge(k.costs.descriptor_alloc_us + k.costs.nametable_insert_us)

@@ -60,6 +60,9 @@ class Task:
         #: Causal context the spawn was issued under (a
         #: :class:`repro.tracectx.TraceCtx`), carried so the stolen or
         #: remotely spawned task parents to the spawning execution.
+        #: The trace ID's low bit is the head-sampling verdict, so a
+        #: stolen task keeps its trace's keep-or-elide decision with
+        #: no extra field.
         self.trace_ctx = trace_ctx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -23,6 +23,7 @@ from repro.actors.message import ActorMessage
 from repro.errors import SchedulingError
 from repro.runtime.context import Context
 from repro.runtime.dispatcher import GroupBatch, Task
+from repro.stats import Histogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.kernel import Kernel
@@ -52,6 +53,14 @@ class Execution:
         self._h_delivery = kernel.stats.hist("delivery_latency_us")
         self._h_exec = kernel.stats.hist("execution_time_us")
         self._h_mailbox = kernel.stats.hist("mailbox_depth")
+        # Bound-method handle for the colder task/continuation sites;
+        # the per-message sites stage raw samples (one bound append
+        # each) and bulk-fold on a countdown instead.
+        self._rec_exec = self._h_exec.record
+        self._stage_delivery = self._h_delivery.stage
+        self._stage_exec = self._h_exec.stage
+        self._stage_mailbox = self._h_mailbox.stage
+        self._fold_countdown = Histogram.FOLD_AT
 
     # ------------------------------------------------------------------
     # local delivery (generic buffered path)
@@ -62,7 +71,10 @@ class Execution:
         self._node.charge(self._enqueue_us)
         actor.mailbox.enqueue(msg)
         if self._spans_on:
-            self._h_mailbox.record(actor.mailbox.ready_count)
+            # Raw histogram sample: one bound append; bucketing is
+            # batch-folded off the per-message path (repro.stats).
+            # len(queue) is ready_count with the property call skipped.
+            self._stage_mailbox(len(actor.mailbox.queue))
         k.dispatcher.enqueue_actor(actor)
 
     # ------------------------------------------------------------------
@@ -84,13 +96,17 @@ class Execution:
         k = self.kernel
         k.node.charge(k.costs.continuation_fire_us)
         k.stats.incr("exec.continuations_fired")
-        traced = self._spans_on and cont.trace_ctx is not None
-        if not traced:
+        if not self._spans_on or cont.trace_ctx is None:
             cont.invoke()
             return
         tid, parent = cont.trace_ctx
         prev_ctx = k.trace_ctx
-        sid = self._spans.new_span_id()
+        # Head sampling rides the trace ID's low bit: an unsampled
+        # trace still propagates its context (children must not root
+        # fresh traces and re-roll the decision) and still feeds the
+        # exec histogram — only the span record itself is elided.
+        sampled = tid & 1
+        sid = self._spans.new_span_id() if sampled else 0
         k.trace_ctx = (tid, sid)
         t0 = self._node.now
         try:
@@ -98,11 +114,14 @@ class Execution:
         finally:
             k.trace_ctx = prev_ctx
             t1 = self._node.now
-            self._spans.record(
-                tid, sid, parent, f"continuation {cont.cont_id}",
-                "continuation", k.node_id, t0, t1,
-            )
-            self._h_exec.record(t1 - t0)
+            if sampled:
+                self._spans.record(
+                    tid, sid, parent, f"continuation {cont.cont_id}",
+                    "continuation", k.node_id, t0, t1,
+                )
+            else:
+                self._spans.elided += 1
+            self._rec_exec(t1 - t0)
 
     def run_task(self, task: Task) -> None:
         k = self.kernel
@@ -122,7 +141,8 @@ class Execution:
         else:
             tid, parent = self._spans.new_trace_id(), 0
         prev_ctx = k.trace_ctx
-        sid = self._spans.new_span_id()
+        sampled = tid & 1
+        sid = self._spans.new_span_id() if sampled else 0
         k.trace_ctx = (tid, sid)
         t0 = self._node.now
         try:
@@ -133,11 +153,14 @@ class Execution:
         finally:
             k.trace_ctx = prev_ctx
             t1 = self._node.now
-            self._spans.record(
-                tid, sid, parent, f"task {task.fn_name}", "task",
-                k.node_id, t0, t1,
-            )
-            self._h_exec.record(t1 - t0)
+            if sampled:
+                self._spans.record(
+                    tid, sid, parent, f"task {task.fn_name}", "task",
+                    k.node_id, t0, t1,
+                )
+            else:
+                self._spans.elided += 1
+            self._rec_exec(t1 - t0)
 
     def run_group_batch(self, batch: GroupBatch) -> None:
         """Collective scheduling of one broadcast message: the group's
@@ -197,11 +220,16 @@ class Execution:
         # Causal tracing: the execute span covers the method body *and*
         # everything it triggers synchronously (replies, drained pending
         # messages, a migration request), so those all parent here.
-        traced = self._spans_on and msg.trace_id != 0
-        if traced:
+        tid = msg.trace_id if self._spans_on else 0
+        if tid:
             prev_ctx = k.trace_ctx
-            sid = self._spans.new_span_id()
-            k.trace_ctx = (msg.trace_id, sid)
+            # Unsampled traces (even ID) still set the execution
+            # context — spans triggered inside the body must inherit
+            # the trace and its head decision — but allocate no span ID
+            # and record no span; histograms stay exact either way.
+            sampled = tid & 1
+            sid = self._spans.new_span_id() if sampled else 0
+            k.trace_ctx = (tid, sid)
             t0 = self._node.now
         ctx = Context(k, actor, msg, method_name=msg.selector, depth=depth)
         try:
@@ -225,16 +253,33 @@ class Execution:
             if ctx._migrate_to is not None and ctx._migrate_to != k.node_id:
                 k.migration.start(actor, ctx._migrate_to)
         finally:
-            if traced:
+            if tid:
                 k.trace_ctx = prev_ctx
                 t1 = self._node.now
-                self._spans.record(
-                    msg.trace_id, sid, msg.span_id,
-                    f"{actor.behavior.name}.{msg.selector}", "execute",
-                    k.node_id, t0, t1,
-                )
-                self._h_delivery.record(max(0.0, t0 - msg.sent_at))
-                self._h_exec.record(t1 - t0)
+                if sampled:
+                    self._spans.record(
+                        tid, sid, msg.span_id,
+                        f"{actor.behavior.name}.{msg.selector}", "execute",
+                        k.node_id, t0, t1,
+                    )
+                else:
+                    self._spans.elided += 1
+                # Raw histogram samples: these run for every traced
+                # message, sampled or not — exact histograms are the
+                # contract — so each is one bound append; bucketing is
+                # batch-folded (repro.stats).  Negative delivery
+                # latencies (sender's virtual clock ran ahead) clamp
+                # to zero at fold time.
+                self._stage_delivery(t0 - msg.sent_at)
+                self._stage_exec(t1 - t0)
+                n = self._fold_countdown - 1
+                if n:
+                    self._fold_countdown = n
+                else:
+                    self._fold_countdown = Histogram.FOLD_AT
+                    self._h_delivery._fold()
+                    self._h_exec._fold()
+                    self._h_mailbox._fold()
 
     # ------------------------------------------------------------------
     # pending queue re-examination (§6.1)

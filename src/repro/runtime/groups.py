@@ -25,6 +25,7 @@ from repro.actors.message import ActorMessage
 from repro.errors import GroupError
 from repro.runtime.dispatcher import GroupBatch
 from repro.runtime.names import ActorRef, AddrKind, DescState, MailAddress
+from repro.tracectx import TraceCtx
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.kernel import Kernel
@@ -97,6 +98,8 @@ class GroupManager:
 
     def __init__(self, kernel: "Kernel") -> None:
         self.kernel = kernel
+        self._spans = kernel.spans
+        self._spans_on = bool(kernel.spans.enabled)
         self._seq = itertools.count(1)
         #: group id -> list of (member index, actor) living on this node
         self.local_members: Dict[GroupId, List[Tuple[int, Actor]]] = {}
@@ -119,18 +122,35 @@ class GroupManager:
         group = GroupRef(gid, n, placement, k.runtime.num_nodes)
         k.node.charge(k.costs.marshal_us)
         k.stats.incr("groups.created")
+        tctx = None
+        if self._spans_on:
+            c = k.trace_ctx
+            tid, parent = c if c is not None else (self._spans.new_trace_id(), 0)
+            sid = self._spans.span(
+                tid, parent, f"grpnew {gid}", "grp.create", k.node_id,
+                k.node.now, None, n,
+            )
+            if sid:
+                tctx = TraceCtx(tid, sid, k.node.now)
         # Fan the creation out over the spanning tree; the local
         # handler runs immediately at the root.
         k.runtime.multicaster.multicast(
-            k.endpoint, "grp_create", (gid, behavior.name, n, placement, args)
+            k.endpoint, "grp_create", (gid, behavior.name, n, placement, args),
+            trace_ctx=tctx,
         )
         return group
 
     def on_grp_create(
         self, src: int, gid: GroupId, behavior_name: str, n: int,
-        placement: str, args: tuple,
+        placement: str, args: tuple, trace_ctx: Optional[TraceCtx] = None,
     ) -> None:
         k = self.kernel
+        if trace_ctx is not None and self._spans_on:
+            self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"grp serve {gid}", "grp.serve", k.node_id,
+                trace_ctx.sent_at, k.node.now, src,
+            )
         behavior = k.behavior_for(behavior_name)
         group = GroupRef(gid, n, placement, k.runtime.num_nodes)
         if gid in self.known:
@@ -166,13 +186,31 @@ class GroupManager:
         k = self.kernel
         k.node.charge(k.costs.marshal_us)
         k.stats.incr("groups.broadcasts")
+        tctx = None
+        if self._spans_on:
+            c = k.trace_ctx
+            tid, parent = c if c is not None else (self._spans.new_trace_id(), 0)
+            sid = self._spans.span(
+                tid, parent, f"bcast {selector}", "bcast.send", k.node_id,
+                k.node.now, None, group.size,
+            )
+            if sid:
+                tctx = TraceCtx(tid, sid, k.node.now)
         k.runtime.multicaster.multicast(
-            k.endpoint, "grp_bcast", (group.group_id, selector, args)
+            k.endpoint, "grp_bcast", (group.group_id, selector, args),
+            trace_ctx=tctx,
         )
 
-    def on_grp_bcast(self, src: int, gid: GroupId, selector: str, args: tuple) -> None:
+    def on_grp_bcast(self, src: int, gid: GroupId, selector: str, args: tuple,
+                     trace_ctx: Optional[TraceCtx] = None) -> None:
         k = self.kernel
         k.node.charge(k.costs.mcast_forward_us)
+        if trace_ctx is not None and self._spans_on:
+            self._spans.span(
+                trace_ctx.trace_id, trace_ctx.parent_span,
+                f"bcast {selector}", "bcast.deliver", k.node_id,
+                trace_ctx.sent_at, k.node.now, src,
+            )
         members = self.local_members.get(gid)
         if members is None:
             # We have no members of this group (possible for small

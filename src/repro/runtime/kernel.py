@@ -49,7 +49,10 @@ class Kernel:
         #: Causal context of the execution currently on this node's
         #: CPU: ``(trace_id, span_id)`` while a traced message, task or
         #: continuation body runs, else None.  Sends issued from within
-        #: that body parent their spans here.
+        #: that body parent their spans here.  The trace ID's low bit
+        #: carries the head-sampling verdict; an unsampled execution
+        #: still sets ``(trace_id, 0)`` so children inherit the trace
+        #: (and its decision) instead of rooting fresh ones.
         self.trace_ctx = None
         self.network_params = runtime.config.network
 
@@ -73,7 +76,8 @@ class Kernel:
             else runtime.machine.faults is not None
         )
         self.reliable = (
-            ReliableTransport(self.endpoint, rel_cfg, self.stats)
+            ReliableTransport(self.endpoint, rel_cfg, self.stats,
+                              spans=self.spans)
             if rel_on
             else None
         )

@@ -55,6 +55,11 @@ class MigrationService:
         self._mig_seq = 0
         self._outstanding: dict = {}
         self._arrived: dict = {}
+        #: Last FIR span context per chased key (faulty machines only)
+        #: so a watchdog reissue can force its span into the same
+        #: trace; forced spans bypass head sampling (error paths are
+        #: always recorded).
+        self._fir_ctx: dict = {}
 
     # ==================================================================
     # outbound migration
@@ -103,8 +108,9 @@ class MigrationService:
         if self._faults_on:
             # Handshake watchdog: if the ack never lands (commit or ack
             # lost in flight), resend the commit with backoff.  The
-            # receiver dedupes by (old_node, mig_id).
-            entry = [dest, payload, nbytes, 0, None]
+            # receiver dedupes by (old_node, mig_id).  The trace ctx
+            # rides along so resends force spans into the same trace.
+            entry = [dest, payload, nbytes, 0, None, tctx]
             self._outstanding[actor.key] = entry
             self._arm_handshake(actor.key, entry)
 
@@ -228,7 +234,21 @@ class MigrationService:
                 f"{entry[0]} was never acknowledged"
             )
         k.stats.incr("migration.resent")
-        k.endpoint.send(entry[0], "migrate_arrive", entry[1], nbytes=entry[2])
+        tctx = entry[5]
+        if self._spans_on:
+            # A resend is an error-path event: force the span past the
+            # head-sampling decision so fault recovery is always
+            # visible in the trace, whatever the sample rate.
+            tid = tctx.trace_id if tctx is not None else 0
+            parent = tctx.parent_span if tctx is not None else 0
+            tid, sid = self._spans.force_span(
+                tid, parent, f"migrate resend {key}", "migrate.resend",
+                k.node_id, k.node.now, None, entry[0], entry[3],
+            )
+            tctx = TraceCtx(tid, sid, k.node.now)
+            entry[5] = tctx
+        k.endpoint.send(entry[0], "migrate_arrive", entry[1], nbytes=entry[2],
+                        trace_ctx=tctx)
         self._arm_handshake(key, entry)
 
     # ==================================================================
@@ -260,6 +280,8 @@ class MigrationService:
                 k.node_id, k.node.now, None, target,
             )
             tctx = TraceCtx(msg.trace_id, sid, k.node.now)
+            if self._faults_on:
+                self._fir_ctx[desc.key] = (msg.trace_id, sid)
         k.endpoint.send(target, "fir", (desc.key, (k.node_id,)),
                         trace_ctx=tctx)
         if self._faults_on:
@@ -294,7 +316,22 @@ class MigrationService:
             )
         k.stats.incr("fir.reissued")
         k.node.charge(k.costs.fir_relay_us)
-        k.endpoint.send(desc.remote_node, "fir", (desc.key, (k.node_id,)))
+        tctx = None
+        if self._spans_on:
+            # Forced span: a lost FIR/reply is an error path, recorded
+            # regardless of the head-sampling decision (trace 0 roots a
+            # fresh, forced trace when the chase itself was untraced).
+            prev = self._fir_ctx.get(desc.key)
+            tid, parent = prev if prev is not None else (0, 0)
+            tid, sid = self._spans.force_span(
+                tid, parent, f"fir reissue {desc.key}", "fir.reissue",
+                k.node_id, k.node.now, None, desc.retry_attempts,
+            )
+            if sid:
+                self._fir_ctx[desc.key] = (tid, sid)
+                tctx = TraceCtx(tid, sid, k.node.now)
+        k.endpoint.send(desc.remote_node, "fir", (desc.key, (k.node_id,)),
+                        trace_ctx=tctx)
         self._arm_fir_watchdog(desc)
 
     def on_fir(self, src: int, key: MailAddress, chain: Tuple[int, ...],

@@ -18,6 +18,7 @@ traced hot path, and the bucket layout never depends on the data.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Tuple
 
@@ -68,41 +69,125 @@ class Histogram:
 
     Bucket ``i`` covers ``[2**(i-1), 2**i)`` for ``i >= 1``; bucket 0
     covers ``[0, 1)``.  Values are assigned with ``int(v).bit_length()``
-    so recording never allocates.  Percentiles walk the cumulative
+    so bucketing never allocates.  Percentiles walk the cumulative
     counts and interpolate linearly inside the chosen bucket, clamped
     to the observed ``[min, max]`` so tiny samples report sane numbers.
+
+    Recording is split in two so the per-message cost is one list
+    append: writers push raw samples through the bound ``stage``
+    handle, and :meth:`_fold` buckets a whole batch in a tight loop —
+    on read, or whenever the staging buffer reaches ``FOLD_AT``
+    samples (hot sites that bypass :meth:`record` enforce the bound
+    themselves, e.g. the execution layer's per-message countdown).
+    Folding is exact — every staged sample lands in a bucket — it only
+    *defers* the arithmetic off the per-message path.  Negative
+    samples clamp to zero at fold time (delivery latency can go
+    negative when a sender's virtual clock runs ahead).
     """
 
-    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+    __slots__ = ("name", "buckets", "_total", "_min", "_max", "staged",
+                 "stage")
 
     #: 2**40 µs ≈ 12 days of simulated time — far beyond any run here.
     NUM_BUCKETS = 41
 
+    #: Staging-buffer bound: :meth:`record` folds once this many raw
+    #: samples accumulate, so memory stays O(FOLD_AT) per histogram.
+    FOLD_AT = 1 << 15
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.buckets: List[int] = [0] * self.NUM_BUCKETS
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        #: Raw samples awaiting a fold.  Cleared in place so the bound
+        #: ``stage`` handle stays live.
+        self.staged: List[float] = []
+        #: Hot-path handle: ``h.stage(v)`` is a single bound call.
+        self.stage = self.staged.append
 
     def record(self, value: float) -> None:
-        if value < 0.0:
-            value = 0.0
-        i = int(value).bit_length()
-        if i >= self.NUM_BUCKETS:
-            i = self.NUM_BUCKETS - 1
-        self.buckets[i] += 1
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        """Stage one sample (cold-path API; hot sites bind ``stage``)."""
+        self.stage(value)
+        if len(self.staged) >= self.FOLD_AT:
+            self._fold()
+
+    def _fold(self) -> None:
+        """Bucket all staged samples in one batch.
+
+        The batch is sorted first (C-speed Timsort), which turns
+        bucketing into one ``bisect_left`` per occupied power-of-two
+        boundary instead of one ``bit_length`` per sample, and gives
+        the clamped total/min/max via ``sum`` and the endpoints.  The
+        result is bit-for-bit what the per-sample loop produced:
+        ``int(v).bit_length()`` assigns ``v`` to ``[2**(i-1), 2**i)``
+        and truncation can never carry a float across a power-of-two
+        boundary.
+        """
+        staged = self.staged
+        if not staged:
+            return
+        staged.sort()
+        n = len(staged)
+        buckets = self.buckets
+        # Negative samples clamp to zero: they count in bucket 0,
+        # contribute nothing to the total, and pin the minimum at 0.
+        lo = staged[0]
+        if lo < 0.0:
+            lo = 0.0
+            self._total += sum(staged[bisect_left(staged, 0.0):])
+        else:
+            self._total += sum(staged)
+        if lo < self._min:
+            self._min = lo
+        hi = staged[-1]
+        if hi < 0.0:
+            hi = 0.0
+        if hi > self._max:
+            self._max = hi
+        prev = bisect_left(staged, 1.0)
+        buckets[0] += prev
+        bound = 1.0
+        i = 1
+        while prev < n:
+            if i == self.NUM_BUCKETS - 1:
+                buckets[i] += n - prev  # overflow bucket: >= 2**39
+                break
+            bound += bound
+            nxt = bisect_left(staged, bound, prev)
+            buckets[i] += nxt - prev
+            prev = nxt
+            i += 1
+        staged.clear()
+
+    @property
+    def count(self) -> int:
+        """Total samples recorded (folds staged samples; reads are cold)."""
+        self._fold()
+        return sum(self.buckets)
+
+    # The aggregate fields fold on read so callers never see a value
+    # that lags the staged samples; all reads are cold paths.
+    @property
+    def total(self) -> float:
+        self._fold()
+        return self._total
+
+    @property
+    def min(self) -> float:
+        self._fold()
+        return self._min
+
+    @property
+    def max(self) -> float:
+        self._fold()
+        return self._max
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        n = self.count  # folds staged samples before total is read
+        return self._total / n if n else 0.0
 
     @staticmethod
     def _bucket_bounds(i: int) -> Tuple[float, float]:
@@ -143,10 +228,10 @@ class Histogram:
         """In-place reset so cached handles survive a registry reset."""
         for i in range(self.NUM_BUCKETS):
             self.buckets[i] = 0
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self.staged.clear()
 
     def as_dict(self) -> Dict[str, Any]:
         if not self.count:

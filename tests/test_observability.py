@@ -48,13 +48,16 @@ class TestCapacityDrops:
         assert log.dropped == 0
         assert "dropped" not in log.dump()
 
-    def test_span_recorder_counts_drops(self):
+    def test_span_recorder_ring_keeps_newest_and_counts_overwrites(self):
+        # The span ring overwrites the *oldest* spans at capacity (the
+        # recent past is what you debug with) and counts what was lost.
         rec = SpanRecorder(enabled=True, capacity=1)
         rec.span(1, 0, "a", "send", 0, 0.0)
         rec.span(1, 0, "b", "send", 0, 1.0)
         assert len(rec) == 1
-        assert rec.dropped == 1
-        assert "1 spans dropped at capacity 1" in rec.dump()
+        assert rec.overwrites == 1
+        assert [s.name for s in rec.spans] == ["b"]
+        assert "1 older spans overwritten in ring of 1" in rec.dump()
 
 
 # ======================================================================
