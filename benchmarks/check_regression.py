@@ -38,8 +38,11 @@ DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "BENCH_engine.json")
 #: pessimisation in the real-time backends — per-packet pickling or
 #: syscalls creeping back into the mp batch path would halve its
 #: events/sec, far outside the threshold's noise allowance; the
-#: sampled-tracing traffic run catches the span hot path regrowing.
-GATED = ("pingpong", "fanout", "backend_threaded", "backend_mp", "tracing")
+#: shm-ring run additionally catches pessimisation in the ring copy
+#: loop and the spin/Condition wakeup protocol; the sampled-tracing
+#: traffic run catches the span hot path regrowing.
+GATED = ("pingpong", "fanout", "backend_threaded", "backend_mp",
+         "backend_mp_shm", "tracing")
 
 #: Absolute ceiling on ``tracing.overhead_pct``: the throughput cost of
 #: always-on (head-sampled) tracing over the untraced baseline.  Unlike

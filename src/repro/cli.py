@@ -138,7 +138,11 @@ def _mp_params(args):
     transport = getattr(args, "mp_transport", None)
     batch_bytes = getattr(args, "mp_batch_bytes", None)
     batch_msgs = getattr(args, "mp_batch_msgs", None)
-    if transport is None and batch_bytes is None and batch_msgs is None:
+    ring_bytes = getattr(args, "mp_ring_bytes", None)
+    if (
+        transport is None and batch_bytes is None
+        and batch_msgs is None and ring_bytes is None
+    ):
         return None
     from repro.config import MpParams
     defaults = MpParams()
@@ -146,6 +150,7 @@ def _mp_params(args):
         transport=transport or defaults.transport,
         batch_bytes=batch_bytes or defaults.batch_bytes,
         batch_max_msgs=batch_msgs or defaults.batch_max_msgs,
+        ring_bytes=ring_bytes or defaults.ring_bytes,
     )
 
 
@@ -203,12 +208,12 @@ def _cmd_trace(args) -> None:
     from repro.timeline import chrome_trace, spans_jsonl
 
     backend = getattr(args, "backend", "sim")
-    if backend == "mp":
-        # Per the capability matrix (repro.platform.base): span recording
-        # needs a shared recorder, which per-process nodes don't have.
+    from repro.platform.capabilities import supports, unsupported_message
+    if not supports(backend, "supports_tracing"):
+        # Span recording needs a shared recorder, which per-process
+        # nodes don't have; the message names the backends that do.
         raise SystemExit(
-            "error: the mp backend does not support span tracing "
-            "(supports_tracing=no); use --backend sim or threaded"
+            "error: " + unsupported_message(backend, "supports_tracing")
         )
 
     res = _run_scenario_for_cli(args)
@@ -285,35 +290,40 @@ def _cmd_faults(args) -> None:
     res = _run_scenario_for_cli(args, faults=plan)
     rt = res.runtime
     try:
-        report = check_invariants(rt)
-    except InvariantViolation as exc:
-        print(f"FAIL — {exc}", file=sys.stderr)
-        print(
-            f"replay: python -m repro faults {args.app} --seed {args.seed}"
-            f" --drop {args.drop} --dup {args.dup} --delay {args.delay}"
-            + (f" --faults-seed {args.faults_seed}"
-               if args.faults_seed is not None else ""),
-            file=sys.stderr,
-        )
-        raise SystemExit(1)
+        try:
+            report = check_invariants(rt)
+        except InvariantViolation as exc:
+            print(f"FAIL — {exc}", file=sys.stderr)
+            backend = getattr(args, "backend", "sim")
+            print(
+                f"replay: python -m repro faults {args.app} --seed {args.seed}"
+                f" --backend {backend}"
+                f" --drop {args.drop} --dup {args.dup} --delay {args.delay}"
+                + (f" --faults-seed {args.faults_seed}"
+                   if args.faults_seed is not None else ""),
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
 
-    rows = [(k, str(v)) for k, v in sorted(res.summary.items())]
-    pk = report["packets"]
-    rows.append(("packets", f"{pk['sends']} sent + {pk['duplicated']} dup "
-                            f"- {pk['dropped']} dropped = {pk['delivered']} "
-                            "delivered"))
-    rows.append(("forwarding chains", f"{report['chains_checked']} checked, "
-                                      f"max {report['max_chain_hops']} hops"))
-    rows.append(("invariants", "OK"))
-    print(render_table(
-        f"Faults — {args.app} (P={rt.num_nodes}, "
-        f"drop={args.drop} dup={args.dup} delay={args.delay})",
-        ["", "value"], rows,
-        note="packet conservation, chain convergence, quiescence, "
-             "birthplace back-patching all verified",
-    ))
-    print()
-    print(rt.stats.table(prefixes=FAULT_PREFIXES))
+        rows = [(k, str(v)) for k, v in sorted(res.summary.items())]
+        pk = report["packets"]
+        rows.append(("packets", f"{pk['sends']} sent + {pk['duplicated']} dup "
+                                f"- {pk['dropped']} dropped = {pk['delivered']} "
+                                "delivered"))
+        rows.append(("forwarding chains", f"{report['chains_checked']} checked, "
+                                          f"max {report['max_chain_hops']} hops"))
+        rows.append(("invariants", "OK"))
+        print(render_table(
+            f"Faults — {args.app} (P={rt.num_nodes}, "
+            f"drop={args.drop} dup={args.dup} delay={args.delay})",
+            ["", "value"], rows,
+            note="packet conservation, chain convergence, quiescence, "
+                 "birthplace back-patching all verified",
+        ))
+        print()
+        print(rt.stats.table(prefixes=FAULT_PREFIXES))
+    finally:
+        rt.close()
 
 
 def _cmd_tables(args) -> None:
@@ -357,6 +367,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run a scenario on an execution backend and print its "
              "summary (ping_pong, migration_tour, fibonacci_loadbalance)",
     )
+    def add_mp_flags(p):
+        p.add_argument("--mp-transport", choices=("pipe", "socket", "shm"),
+                       default=None,
+                       help="mp interconnect: full-mesh duplex pipes "
+                            "(default), UNIX-domain socketpairs, or "
+                            "shared-memory SPSC rings (no kernel copy)")
+        p.add_argument("--mp-batch-bytes", type=int, default=None,
+                       help="mp: flush a destination's frame at this many "
+                            "buffered bytes (default 32768)")
+        p.add_argument("--mp-batch-msgs", type=int, default=None,
+                       help="mp: ... or at this many buffered messages "
+                            "(default 128)")
+        p.add_argument("--mp-ring-bytes", type=int, default=None,
+                       help="mp shm: data capacity of each per-edge ring "
+                            "in bytes (default 262144; larger frames "
+                            "cross in chunks)")
+
     p.add_argument("app", help="scenario name")
     p.add_argument("--backend", choices=("sim", "threaded", "mp"),
                    default="sim",
@@ -364,16 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "threaded: real-time, one OS thread per node; "
                         "mp: one OS process per node, batched binary "
                         "frames, token-ring quiescence")
-    p.add_argument("--mp-transport", choices=("pipe", "socket"),
-                   default=None,
-                   help="mp interconnect: full-mesh duplex pipes "
-                        "(default) or UNIX-domain socketpairs")
-    p.add_argument("--mp-batch-bytes", type=int, default=None,
-                   help="mp: flush a destination's frame at this many "
-                        "buffered bytes (default 32768)")
-    p.add_argument("--mp-batch-msgs", type=int, default=None,
-                   help="mp: ... or at this many buffered messages "
-                        "(default 128)")
+    add_mp_flags(p)
     p.add_argument("--nodes", type=int, default=None, help="partition size")
     p.add_argument("--n", type=int, default=None,
                    help="problem size (scenario-specific)")
@@ -446,6 +464,11 @@ def main(argv: Optional[List[str]] = None) -> int:
              "audit the run's invariants (exit 1 on violation)",
     )
     p.add_argument("app", help="scenario name")
+    p.add_argument("--backend", choices=("sim", "mp"), default="sim",
+                   help="backend to inject on: sim (fully deterministic) "
+                        "or mp (per-(seed, node) deterministic draw "
+                        "streams; audit runs on merged exact counters)")
+    add_mp_flags(p)
     p.add_argument("--nodes", type=int, default=None, help="partition size")
     p.add_argument("--n", type=int, default=None,
                    help="problem size (scenario-specific)")

@@ -111,26 +111,38 @@ class MpParams:
     duplex pipes carrying whole frames; ``"socket"`` is a full mesh of
     UNIX-domain stream socketpairs driven with raw scatter writes and
     bulk reads — one ``recv`` can pull in many frames, so the syscall
-    count per message drops further on chatty workloads.
+    count per message drops further on chatty workloads; ``"shm"``
+    skips the kernel entirely — per-directed-edge single-producer/
+    single-consumer ring buffers in one ``multiprocessing.shared_memory``
+    arena (:mod:`repro.platform.shmring`), ``ring_bytes`` of data ring
+    per edge, with spin-then-``Condition`` blocking on empty/full.
     """
 
     #: Interconnect between worker processes.
-    transport: Literal["pipe", "socket"] = "pipe"
+    transport: Literal["pipe", "socket", "shm"] = "pipe"
     #: Flush a destination's batch at this many buffered frame bytes.
     batch_bytes: int = 32 * 1024
     #: ... or at this many buffered messages, whichever comes first.
     batch_max_msgs: int = 128
+    #: Data capacity of each shm ring (``transport="shm"`` only).
+    #: Frames larger than this still cross — in chunks — but a ring
+    #: comfortably above ``batch_bytes`` keeps writers out of the
+    #: backpressure path.  Tiny values are legal (tests use them to
+    #: force wraparound and full-ring behaviour).
+    ring_bytes: int = 256 * 1024
 
     def __post_init__(self) -> None:
-        if self.transport not in ("pipe", "socket"):
+        if self.transport not in ("pipe", "socket", "shm"):
             raise ValueError(
                 f"unknown mp transport {self.transport!r}; "
-                "expected 'pipe' or 'socket'"
+                "expected 'pipe', 'socket' or 'shm'"
             )
         if self.batch_bytes < 1:
             raise ValueError("batch_bytes must be >= 1")
         if self.batch_max_msgs < 1:
             raise ValueError("batch_max_msgs must be >= 1")
+        if self.ring_bytes < 1:
+            raise ValueError("ring_bytes must be >= 1")
 
 
 @dataclass(frozen=True)

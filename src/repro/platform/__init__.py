@@ -12,10 +12,12 @@ a backend by name (usually from ``RuntimeConfig.backend``):
     semantics.  Same protocols, no determinism, no fault injection.
 
 ``mp``
-    Distributed: one OS *process* per node, packets pickled over
-    pipes, token-ring quiescence detection.  The only backend where
-    the GIL does not serialise node execution; no determinism, no
-    fault injection, and non-picklable payloads are hard errors.
+    Distributed: one OS *process* per node, batched binary frames
+    over pipes, sockets or shared-memory rings, token-ring quiescence
+    detection.  The only backend where the GIL does not serialise
+    node execution; no determinism (fault injection *is* supported,
+    with per-(seed, node) deterministic draw streams), and
+    non-picklable payloads are hard errors.
 
 Backend modules are imported lazily so constructing a sim machine
 never pays for ``threading`` machinery and vice versa, and so the

@@ -35,13 +35,15 @@ methods in heap entries) untouched.  The layering lint
 ``repro.am`` import execution machinery only from ``repro.platform``.
 
 Feature support differs per backend and is advertised by flags on the
-machine (see the README backend matrix):
+machine.  The single source of truth is the declarative table in
+:mod:`repro.platform.capabilities` (tests pin the class flags, the
+rejection messages and the README matrix against it):
 
 ========================  ===========  ============  ============
 capability                sim          threaded      mp
 ========================  ===========  ============  ============
 ``deterministic``         yes          no            no
-``supports_faults``       yes          no            no
+``supports_faults``       yes          no            yes
 ``supports_tracing``      yes          yes           no
 ``distributed``           no           no            yes
 ========================  ===========  ============  ============
@@ -49,10 +51,14 @@ capability                sim          threaded      mp
 A *distributed* machine runs each node in its own OS process: nothing
 is shared, every message crosses an operating-system boundary as a
 :class:`WirePacket` — batched per destination into compact binary
-frames (:mod:`repro.platform.wireformat`) over a pipe or UNIX-domain
-socket mesh — and quiescence is detected by a token-ring protocol
-rather than shared counters.  The runtime facade consults the flag to
-route driver operations as commands instead of direct calls.
+frames (:mod:`repro.platform.wireformat`) over a pipe mesh, a
+UNIX-domain socket mesh, or shared-memory SPSC rings
+(:mod:`repro.platform.shmring`) — and quiescence is detected by a
+token-ring protocol rather than shared counters.  The runtime facade
+consults the flag to route driver operations as commands instead of
+direct calls.  Fault injection on mp is per-worker: each node derives
+its own injector seed, so the draw stream per (seed, node) is
+reproducible even though the global interleaving is not.
 """
 
 from __future__ import annotations

@@ -22,9 +22,13 @@ The wire path is built for throughput, not per-packet convenience:
   with a one-slot identity cache so a broadcast fan-out serialises its
   payload once per batch rather than once per destination;
 - **transport choice** — ``config.mp.transport`` selects full-mesh
-  duplex pipes (frames ride ``send_bytes``) or full-mesh UNIX-domain
+  duplex pipes (frames ride ``send_bytes``), full-mesh UNIX-domain
   stream socketpairs (raw scatter writes, bulk ``recv`` reads that can
-  pull many frames per syscall; the decoder reassembles split frames).
+  pull many frames per syscall; the decoder reassembles split frames),
+  or shared-memory SPSC rings (``"shm"``: one ring per directed peer
+  edge in a single ``multiprocessing.shared_memory`` arena, frames
+  copied in without a kernel crossing, spin-then-``Condition``
+  blocking on empty/full — :mod:`repro.platform.shmring`).
 
 Batching never changes message *identity*: the Safra counters below
 count messages, not frames — a frame of five counted packets moves the
@@ -51,11 +55,26 @@ token ring:
   circulates a *quiesce* flag (stopping the balancers' polls) and
   reports success to the driver.
 
-Determinism and fault injection are not supported — pipes neither
-drop nor duplicate, and OS scheduling orders delivery.  A payload that
-does not pickle is a **hard error** (:class:`~repro.errors.NetworkError`
-on the sending worker, surfaced to the driver), where the in-process
-backends would happily share the object by reference.
+Determinism is not supported — OS scheduling orders delivery — but
+**fault injection is**: each worker builds its own seeded
+:class:`~repro.sim.faults.FaultInjector` over a per-node derivation of
+the fault seed and consults it on the wire path at frame-record
+granularity (drop/dup/delay/reorder on the sending worker, stall
+windows on the receiver).  The per-(seed, node) draw *stream* is
+deterministic — replaying a seed reproduces the same fault pattern
+relative to each node's local send sequence — even though the global
+interleaving is not; Safra's counters stay conserved because a dropped
+packet is never counted as in flight and a delayed or duplicated copy
+is counted at its actual transmit time while a live heap entry keeps
+the node non-passive.  With a plan installed the kernels auto-attach
+the reliable AM sublayer and protocol watchdogs exactly as on sim, so
+``check_invariants`` can audit packet conservation against the
+injected-fault budget on merged (exact, per-process) counters.
+
+A payload that does not pickle is a **hard error**
+(:class:`~repro.errors.NetworkError` on the sending worker, surfaced
+to the driver), where the in-process backends would happily share the
+object by reference.
 """
 
 from __future__ import annotations
@@ -72,9 +91,10 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.config import RuntimeConfig
 from repro.errors import NetworkError, ReproError, SimulationError
 from repro.platform.base import WirePacket
+from repro.platform.shmring import attach_arena, create_arena
 from repro.platform.threaded import _CHATTER_KINDS, WallClock
 from repro.platform.wireformat import FrameDecoder, FrameEncoder, encode_payload
-from repro.rng import RngStreams
+from repro.rng import RngStreams, _derive_seed
 from repro.stats import Histogram, StatsRegistry
 from repro.topology import Topology, make_topology
 from repro.tracing import NullSpanRecorder, NullTraceLog
@@ -93,6 +113,17 @@ _DRAIN_CAP = 64
 #: after *every* handler (PR 5) cost one poll syscall per event; a
 #: small power-of-two batch keeps both latency and syscalls low.
 _BURST_MASK = 0x07
+
+#: Shm transport: poll iterations before parking on the Condition.
+#: The common case (a peer's frame lands within microseconds) never
+#: touches the futex-ful cross-process lock.
+_SHM_SPIN = 100
+
+#: Shm transport: Condition-wait bound.  The sleeping/writer_wait
+#: handshake is a Dekker-style store→load protocol that can miss a
+#: wakeup under store buffering; the bounded wait converts that into
+#: a <=2 ms stall instead of a hang (DESIGN.md §5f).
+_SHM_WAIT_S = 0.002
 
 
 def _pickling_errors():
@@ -184,6 +215,97 @@ def _make_channel(end: Any) -> Any:
     if isinstance(end, socket.socket):
         return _SocketChannel(end)
     return _PipeChannel(end)
+
+
+class _ShmChannel:
+    """Peer link over a pair of shared-memory SPSC byte rings (one per
+    direction; :mod:`repro.platform.shmring`).
+
+    Unlike the pipe/socket channels there is no OS waitable: readiness
+    is a head/tail compare, blocking is spin-then-``Condition``.  A
+    full outbound ring raises the ring's ``writer_wait`` flag and
+    parks on *this* worker's condition (the consumer notifies after
+    freeing space); while waiting, ``drain_hook`` absorbs this
+    worker's own inbound rings into their decoders — buffer-only, no
+    dispatch, so it is safe mid-handler — which breaks the two-rings-
+    both-full write cycle.  Frames larger than the ring cross in
+    chunks; the decoder reassembles, exactly as on the socket path."""
+
+    __slots__ = (
+        "out_ring", "in_ring", "encoder", "decoder", "dirty",
+        "_arena", "_peer", "_my_cond", "_peer_cond", "drain_hook",
+    )
+
+    def __init__(self, arena, conds, me: int, peer: int) -> None:
+        self.out_ring = arena.ring(me, peer)
+        self.in_ring = arena.ring(peer, me)
+        self.encoder = FrameEncoder()
+        self.decoder = FrameDecoder()
+        self.dirty = False
+        self._arena = arena
+        self._peer = peer
+        self._my_cond = conds[me]
+        self._peer_cond = conds[peer]
+        #: Host-installed: feed *all* inbound rings to their decoders.
+        self.drain_hook = None
+
+    def send_frame(self, frame: bytes) -> None:
+        mv = memoryview(frame)
+        off = 0
+        total = len(mv)
+        spins = 0
+        out = self.out_ring
+        while off < total:
+            n = out.write_some(mv[off:] if off else mv)
+            if n:
+                off += n
+                spins = 0
+                self._wake_peer()
+                continue
+            # Full ring: keep our own inbound moving, spin, then park.
+            hook = self.drain_hook
+            if hook is not None:
+                hook()
+            spins += 1
+            if spins < _SHM_SPIN:
+                continue
+            out.set_writer_wait()
+            try:
+                if out.writable:
+                    continue  # consumer freed space during the spin
+                with self._my_cond:
+                    self._my_cond.wait(_SHM_WAIT_S)
+            finally:
+                out.clear_writer_wait()
+            spins = 0
+
+    def _wake_peer(self) -> None:
+        if self._arena.sleeping(self._peer):
+            cond = self._peer_cond
+            with cond:
+                cond.notify()
+
+    def read_available(self) -> bool:
+        """Move every published inbound byte into the decoder; True if
+        anything arrived.  Frees ring space as a side effect, so a
+        writer parked on the reverse direction gets notified here."""
+        got = False
+        in_ring = self.in_ring
+        feed = self.decoder.feed
+        while True:
+            data = in_ring.read_some()
+            if not data:
+                break
+            got = True
+            feed(data)
+            if in_ring.writer_waiting:
+                cond = self._peer_cond
+                with cond:
+                    cond.notify()
+        return got
+
+    def close(self) -> None:
+        """Nothing to close per channel; the arena is shared."""
 
 
 # ======================================================================
@@ -312,12 +434,17 @@ class _WireTransport:
     #: Signals the AM endpoint that no peer-endpoint lookup is possible.
     wire_only = True
 
-    def __init__(self, host: "_WorkerHost", params, stats: StatsRegistry) -> None:
+    def __init__(
+        self, host: "_WorkerHost", params, stats: StatsRegistry, faults=None
+    ) -> None:
         self.host = host
         self.params = params
         self.stats = stats
-        self.faults = None
-        self._faults_on = False
+        #: Worker-local :class:`~repro.sim.faults.FaultInjector` (or
+        #: None).  The AM endpoint caches ``_faults_on`` at
+        #: construction, so both are fixed before the kernel is built.
+        self.faults = faults
+        self._faults_on = faults is not None
         self._c_messages = stats.cell("net.messages")
         self._c_bytes = stats.cell("net.bytes")
 
@@ -344,6 +471,27 @@ class _WireTransport:
         packet = WirePacket(src, dst, args[1], args[2], nbytes, label or args[1])
         self._c_messages.n += 1
         self._c_bytes.n += nbytes
+        if self._faults_on:
+            faults = self.faults
+            rule = faults.rule_for(packet.kind)
+            if rule is not None:
+                host = self.host
+                now = host.node.time()
+                extras = faults.sample(rule, packet.kind, src, dst, now)
+                # [] = dropped: the sender paid the wire (net.* above,
+                # mirroring the sim's faulty path) but the packet never
+                # reaches send_wire, so the Safra count never moves and
+                # conservation holds by construction.  A delayed or
+                # duplicated copy transmits later from the worker heap:
+                # the live (non-poll) entry keeps this node non-passive,
+                # so the token ring cannot certify quiescence around it,
+                # and its count moves at actual transmit time.
+                for extra in extras:
+                    if extra <= 0.0:
+                        host.send_wire(packet)
+                    else:
+                        host.node.post(now + extra, host.send_wire, (packet,))
+                return host.clock.now
         self.host.send_wire(packet)
         return self.host.clock.now
 
@@ -357,11 +505,13 @@ class _WorkerMachine:
     ``runtime.machine``."""
 
     deterministic = False
-    supports_faults = False
+    supports_faults = True
     supports_tracing = False
     distributed = True
 
-    def __init__(self, host: "_WorkerHost", config: RuntimeConfig) -> None:
+    def __init__(
+        self, host: "_WorkerHost", config: RuntimeConfig, fault_plan=None
+    ) -> None:
         self.config = config
         self.stats = StatsRegistry()
         self.trace = NullTraceLog()
@@ -369,7 +519,25 @@ class _WorkerMachine:
         self.rng = RngStreams(config.seed)
         self.topology: Topology = make_topology(config.topology, config.num_nodes)
         self.faults = None
-        self.network = _WireTransport(host, config.network, self.stats)
+        if fault_plan is not None:
+            # One injector per worker, seeded per (fault seed, node):
+            # each node's draw stream is independent and reproducible
+            # against its own send sequence.  Built BEFORE the network
+            # and kernel — the endpoint caches ``_faults_on`` and the
+            # kernel attaches the reliable sublayer iff
+            # ``machine.faults is not None``, both at construction.
+            import dataclasses
+
+            from repro.sim.faults import FaultInjector
+
+            base = fault_plan.seed if fault_plan.seed is not None else config.seed
+            node_plan = dataclasses.replace(
+                fault_plan, seed=_derive_seed(base, f"mp-node-{host.node_id}")
+            )
+            self.faults = FaultInjector(node_plan, config.seed, self.stats)
+        self.network = _WireTransport(
+            host, config.network, self.stats, faults=self.faults
+        )
         # Keyed by node id so Kernel's ``machine.nodes[node_id]`` works
         # even though only this worker's node exists in-process.
         self.nodes: Dict[int, _WorkerNode] = {host.node_id: host.node}
@@ -381,7 +549,9 @@ class _WorkerRuntime:
     the machine shim above.  Protocol code only ever touches this
     surface, so the kernel runs unmodified."""
 
-    def __init__(self, host: "_WorkerHost", config: RuntimeConfig, costs) -> None:
+    def __init__(
+        self, host: "_WorkerHost", config: RuntimeConfig, costs, fault_plan=None
+    ) -> None:
         from repro.am.broadcast import TreeMulticaster
         from repro.runtime.frontend import FrontEnd
         from repro.runtime.kernel import Kernel
@@ -389,7 +559,7 @@ class _WorkerRuntime:
         self.host = host
         self.config = config
         self.costs = costs
-        self.machine = _WorkerMachine(host, config)
+        self.machine = _WorkerMachine(host, config, fault_plan)
         self.endpoint_directory: Dict[int, Any] = {}
         self.frontend = FrontEnd(self)
         self.kernels = [Kernel(self, host.node_id)]
@@ -424,6 +594,8 @@ class _WorkerHost:
         costs,
         ctrl,
         peers: Dict[int, Any],
+        shm: Optional[tuple] = None,
+        fault_plan=None,
     ) -> None:
         self.node_id = node_id
         self.config = config
@@ -441,15 +613,36 @@ class _WorkerHost:
         self._token: Optional[tuple] = None     # stashed inbound token
         self._detect_rid: Optional[int] = None  # node 0: active request
         self._initiated_rid: Optional[int] = None  # node 0: round launched
-        self.channels: Dict[int, Any] = {
-            nid: _make_channel(end) for nid, end in peers.items()
-        }
-        self._by_waitable = {
-            ch.waitable: ch for ch in self.channels.values()
-        }
-        self._waitables = [ctrl] + [
-            self.channels[k].waitable for k in sorted(self.channels)
-        ]
+        self._arena = None
+        if shm is not None:
+            # Shm transport: attach the driver's arena (untracked) and
+            # build ring channels; there are no OS waitables beyond the
+            # control pipe — readiness is a head/tail compare.
+            arena_name, conds = shm
+            self._arena = attach_arena(
+                arena_name, config.num_nodes, config.mp.ring_bytes
+            )
+            self._my_cond = conds[node_id]
+            self.channels: Dict[int, Any] = {
+                nid: _ShmChannel(self._arena, conds, node_id, nid)
+                for nid in range(config.num_nodes)
+                if nid != node_id
+            }
+            for ch in self.channels.values():
+                ch.drain_hook = self._absorb_inbound
+            self._by_waitable: Dict[Any, Any] = {}
+            self._waitables = [ctrl]
+        else:
+            self.channels = {
+                nid: _make_channel(end) for nid, end in peers.items()
+            }
+            self._by_waitable = {
+                ch.waitable: ch for ch in self.channels.values()
+            }
+            self._waitables = [ctrl] + [
+                self.channels[k].waitable for k in sorted(self.channels)
+            ]
+        self._chan_list = [self.channels[k] for k in sorted(self.channels)]
         #: Channels that may hold unflushed outbound bytes.
         self._dirty: List[Any] = []
         self._batch_bytes = config.mp.batch_bytes
@@ -461,8 +654,11 @@ class _WorkerHost:
         #: tuple's id could be recycled).
         self._pay_obj: Any = None
         self._pay_bytes: bytes = b""
-        self.runtime = _WorkerRuntime(self, config, costs)
+        self.runtime = _WorkerRuntime(self, config, costs, fault_plan)
         self.kernel = self.runtime.kernels[0]
+        #: Worker-local injector (None without a plan); consulted on
+        #: the receive path for stall windows.
+        self._faults = self.runtime.machine.faults
         stats = self.runtime.machine.stats
         self._c_frames = stats.cell("wire.frames")
         self._c_frame_bytes = stats.cell("wire.frame_bytes")
@@ -535,6 +731,23 @@ class _WorkerHost:
             self._black = True
             self.quiesced = False
         endpoint = self.kernel.endpoint
+        faults = self._faults
+        if faults is not None and faults.node_faulted(self.node_id):
+            # Stall window on this node: the packet *has* arrived (its
+            # Safra decrement above already happened — conservation is
+            # a wire property, not a dispatch property), but delivery
+            # waits out the window on the worker heap.  The live entry
+            # keeps this node non-passive, so the token ring cannot
+            # certify quiescence across a stalled delivery.
+            now = self.clock.now
+            shifted = faults.stall_shift(self.node_id, now)
+            if shifted > now:
+                self.node.post(
+                    shifted,
+                    endpoint._deliver,
+                    (packet.src, packet.handler, packet.args),
+                )
+                return
         self.node.run_entry(
             endpoint._deliver, (packet.src, packet.handler, packet.args)
         )
@@ -568,7 +781,26 @@ class _WorkerHost:
         # it (Safra would still be correct without this check — the
         # sender's counter covers in-flight messages — but rounds
         # converge faster when the token never overtakes local input).
-        return not conn_wait(self._waitables, 0)
+        return not self._net_ready()
+
+    def _net_ready(self) -> bool:
+        """Unread input exists: published ring bytes (shm) or readable
+        waitables (pipe/socket); the control pipe counts either way."""
+        if self._arena is not None:
+            for ch in self._chan_list:
+                if ch.in_ring.readable:
+                    return True
+            return self.ctrl.poll()
+        return bool(conn_wait(self._waitables, 0))
+
+    def _absorb_inbound(self) -> None:
+        """Feed every inbound ring to its decoder — buffer only, no
+        dispatch, so it is safe mid-handler.  Installed as the shm
+        channels' ``drain_hook``: a writer parked on a full outbound
+        ring keeps its own consumers' space moving, which breaks the
+        both-rings-full write cycle between two busy peers."""
+        for ch in self._chan_list:
+            ch.read_available()
 
     def _maybe_advance_ring(self) -> None:
         # One step can unblock the next (dropping a stale token clears
@@ -701,6 +933,8 @@ class _WorkerHost:
             return None
         if op == "snap":
             return self._snapshot()
+        if op == "audit":
+            return self._audit()
         if op == "detect":
             # Only node 0 coordinates; a newer request supersedes any
             # round still waiting to start.
@@ -727,6 +961,23 @@ class _WorkerHost:
 
         cont = kernel.continuations.new(1, fire, created_at=kernel.node.now)
         return ReplyTarget(kernel.node_id, cont.cont_id, 0)
+
+    def _audit(self) -> Dict[str, Any]:
+        """This worker's slice of the invariant audit: retained-work
+        problems and the name-table view (both computed against the
+        real kernel, in-process), plus the node's fault ledger — the
+        driver chases forwarding chains over the merged tables
+        (:func:`repro.sim.invariants.check_invariants`)."""
+        from repro.sim.invariants import kernel_audit
+
+        report = kernel_audit(self.kernel)
+        report["node"] = self.node_id
+        faults = self._faults
+        report["ledger"] = list(faults.ledger) if faults is not None else []
+        report["fault_summary"] = (
+            faults.summary() if faults is not None else {}
+        )
+        return report
 
     def _snapshot(self) -> Dict[str, Any]:
         locations = {}
@@ -813,7 +1064,7 @@ class _WorkerHost:
                 # Burst boundary: push batches out so peers compute
                 # while we do, and yield to the network if it's ready.
                 self._flush_pending()
-                if conn_wait(self._waitables, 0):
+                if self._net_ready():
                     break
 
     def _next_timeout(self) -> Optional[float]:
@@ -825,6 +1076,14 @@ class _WorkerHost:
         return max(0.0, (heap[0][0] - self.clock.now) / 1e6)
 
     def loop(self) -> None:
+        if self._arena is not None:
+            self._loop_shm()
+        else:
+            self._loop_wait()
+
+    def _loop_wait(self) -> None:
+        """Pipe/socket event loop: block in ``connection.wait`` on the
+        control pipe and every peer waitable."""
         by_waitable = self._by_waitable
         while not self._stop:
             try:
@@ -861,17 +1120,96 @@ class _WorkerHost:
                 except OSError:
                     return
 
+    def _loop_shm(self) -> None:
+        """Shm event loop: readiness is a head/tail compare, not a
+        waitable — poll the rings and the control pipe, park on this
+        worker's Condition (sleeping flag raised) only when nothing
+        progressed and no heap entry is due."""
+        chans = self._chan_list
+        node = self.node
+        while not self._stop:
+            try:
+                before = node.events_run
+                self._run_ready()
+                self._maybe_advance_ring()
+                self._flush_pending()
+                progressed = node.events_run != before
+                if self.ctrl.poll():
+                    progressed = True
+                    for _ in range(_DRAIN_CAP):
+                        if not self.ctrl.poll():
+                            break
+                        self._dispatch_ctrl(self.ctrl.recv())
+                        if self._stop:
+                            return
+                for ch in chans:
+                    if ch.read_available():
+                        progressed = True
+                    # A blocked send's drain_hook may have buffered
+                    # records behind our back: drain decoders
+                    # unconditionally, not just on fresh ring bytes.
+                    for rec in ch.decoder.drain():
+                        progressed = True
+                        self._dispatch_record(rec)
+                if progressed:
+                    continue
+                timeout = self._next_timeout()
+                if timeout == 0.0:
+                    continue  # a heap entry is already due
+                self._sleep_shm(timeout)
+            except (EOFError, OSError):
+                return  # the driver went away; nothing left to serve
+            except Exception:
+                try:
+                    self.ctrl.send(
+                        ("err", self.node_id, traceback.format_exc())
+                    )
+                except OSError:
+                    return
 
-def _worker_main(node_id: int, config: RuntimeConfig, costs, ctrl, peers) -> None:
+    def _sleep_shm(self, timeout: Optional[float]) -> None:
+        """Park with the sleeping flag raised so peers (and the
+        driver) notify this worker's Condition.  The readiness recheck
+        *inside* the lock shrinks — the bounded wait closes — the
+        Dekker window between a peer's tail publish and its read of
+        our sleeping flag (DESIGN.md §5f)."""
+        wait = _SHM_WAIT_S if timeout is None else min(timeout, _SHM_WAIT_S)
+        if wait <= 0.0:
+            return
+        arena = self._arena
+        cond = self._my_cond
+        arena.set_sleeping(self.node_id, True)
+        try:
+            with cond:
+                if not self._net_ready():
+                    cond.wait(wait)
+        finally:
+            arena.set_sleeping(self.node_id, False)
+
+
+def _worker_main(
+    node_id: int,
+    config: RuntimeConfig,
+    costs,
+    ctrl,
+    peers,
+    shm: Optional[tuple] = None,
+    fault_plan=None,
+) -> None:
     """Process entry point (module-level so a spawn start method can
     pickle it; the fork path just inherits everything)."""
+    host = None
     try:
-        _WorkerHost(node_id, config, costs, ctrl, peers).loop()
+        host = _WorkerHost(node_id, config, costs, ctrl, peers, shm, fault_plan)
+        host.loop()
     except BaseException:  # noqa: BLE001 - last-resort report to driver
         try:
             ctrl.send(("err", node_id, traceback.format_exc()))
         except OSError:
             pass
+    finally:
+        if host is not None and host._arena is not None:
+            host._arena.close()
 
 
 # ======================================================================
@@ -1002,9 +1340,13 @@ class MpMachine:
     (the runtime calls it once it knows the cost model)."""
 
     deterministic = False
-    supports_faults = False
+    supports_faults = True
     supports_tracing = False
     distributed = True
+    #: Per-process counters are single-threaded (exact) and merged
+    #: after quiescence, so conservation arithmetic is trustworthy
+    #: even though the machine itself is not deterministic.
+    counters_exact = True
 
     #: Driver wait quantum while a detection round is in flight.
     _POLL_S = 0.0005
@@ -1016,12 +1358,16 @@ class MpMachine:
         trace: bool = False,
         faults=None,
     ) -> None:
-        if faults is not None and not getattr(faults, "empty", False):
-            raise ReproError(
-                "the mp backend does not support fault injection; "
-                "run fault plans on backend='sim'"
-            )
         self.config = config
+        #: The fault plan shipped to every worker (each derives its own
+        #: per-node injector seed); None when no faults are injected.
+        #: The driver itself holds no injector — ``self.faults`` stays
+        #: None and the merged ledger comes back through ``audit()``.
+        self.fault_plan = (
+            faults
+            if faults is not None and not getattr(faults, "empty", True)
+            else None
+        )
         self.clock = WallClock()
         self.stats = StatsRegistry()
         self.trace = NullTraceLog()
@@ -1052,6 +1398,8 @@ class MpMachine:
         self._actors = 0
         self._worker_error: Optional[str] = None
         self._shut = False
+        self._arena = None
+        self._conds: Optional[List[Any]] = None
 
     # ------------------------------------------------------------------
     # boot / teardown
@@ -1067,22 +1415,38 @@ class MpMachine:
         methods = _mp.get_all_start_methods()
         ctx = get_context("fork" if "fork" in methods else None)
         nn = self.config.num_nodes
-        use_sockets = self.config.mp.transport == "socket"
+        transport = self.config.mp.transport
+        use_sockets = transport == "socket"
+        shm_info = None
         peer_ends: List[Dict[int, Any]] = [dict() for _ in range(nn)]
-        for i in range(nn):
-            for j in range(i + 1, nn):
-                if use_sockets:
-                    a, b = socket.socketpair()
-                else:
-                    a, b = ctx.Pipe(duplex=True)
-                peer_ends[i][j] = a
-                peer_ends[j][i] = b
+        if transport == "shm":
+            # One arena of per-edge rings plus one Condition per worker
+            # (park/notify for empty rings, full rings and control
+            # commands alike).  Conditions travel as Process args —
+            # inheritable under fork and spawn — while the arena goes
+            # by *name*: SharedMemory itself does not pickle, and the
+            # worker must attach untracked anyway (shmring docstring).
+            self._arena = create_arena(nn, self.config.mp.ring_bytes)
+            self._conds = [ctx.Condition() for _ in range(nn)]
+            shm_info = (self._arena.name, self._conds)
+        else:
+            for i in range(nn):
+                for j in range(i + 1, nn):
+                    if use_sockets:
+                        a, b = socket.socketpair()
+                    else:
+                        a, b = ctx.Pipe(duplex=True)
+                    peer_ends[i][j] = a
+                    peer_ends[j][i] = b
         for i in range(nn):
             parent, child = ctx.Pipe(duplex=True)
             self._ctrl.append(parent)
             proc = ctx.Process(
                 target=_worker_main,
-                args=(i, self.config, costs, child, peer_ends[i]),
+                args=(
+                    i, self.config, costs, child, peer_ends[i],
+                    shm_info, self.fault_plan,
+                ),
                 name=f"repro-mp-node-{i}",
                 daemon=True,
             )
@@ -1094,16 +1458,26 @@ class MpMachine:
             for end in ends.values():
                 end.close()
 
+    def _notify_worker(self, node: int) -> None:
+        """Shm mode: kick the worker's Condition after a control send —
+        a parked worker would otherwise only notice at its next bounded
+        wakeup (≤ ``_SHM_WAIT_S``)."""
+        if self._conds is not None:
+            cond = self._conds[node]
+            with cond:
+                cond.notify()
+
     def shutdown(self) -> None:
         """Stop and join every worker process.  Idempotent."""
         if self._shut:
             return
         self._shut = True
-        for conn in self._ctrl:
+        for node, conn in enumerate(self._ctrl):
             try:
                 conn.send(("cmd", next(self._seq), ("stop",)))
             except (OSError, ValueError):
                 pass
+            self._notify_worker(node)
         for proc in self._procs:
             proc.join(timeout=2.0)
         for proc in self._procs:
@@ -1112,6 +1486,12 @@ class MpMachine:
                 proc.join(timeout=1.0)
         for conn in self._ctrl:
             conn.close()
+        if self._arena is not None:
+            # Workers have joined (or been killed): release the
+            # driver's mapping and destroy the segment.
+            self._arena.close()
+            self._arena.unlink()
+            self._arena = None
 
     # ------------------------------------------------------------------
     # control plane
@@ -1158,6 +1538,7 @@ class MpMachine:
                 f"the mp backend requires picklable driver payloads "
                 f"(module-level behaviours/tasks, plain-data args): {exc}"
             ) from exc
+        self._notify_worker(node)
         while True:
             msg = conn.recv()
             if msg[0] == "ok" and msg[1] == seq:
@@ -1169,7 +1550,7 @@ class MpMachine:
         """Send the same command to every worker; wait for all acks."""
         self._raise_worker_error()
         seqs = []
-        for conn in self._ctrl:
+        for node, conn in enumerate(self._ctrl):
             seq = next(self._seq)
             seqs.append(seq)
             try:
@@ -1179,6 +1560,7 @@ class MpMachine:
                     f"the mp backend requires picklable driver payloads "
                     f"(module-level behaviours/tasks, plain-data args): {exc}"
                 ) from exc
+            self._notify_worker(node)
         values = []
         for conn, seq in zip(self._ctrl, seqs):
             while True:
@@ -1320,6 +1702,35 @@ class MpMachine:
             stub.events_run = snap["events_run"]
             stub.now = snap["now"]
         self.console_lines = sorted(console)
+
+    #: Bound on the reliable-layer settle wait in :meth:`audit`.
+    _AUDIT_SETTLE_S = 5.0
+
+    def audit(self) -> List[Dict[str, Any]]:
+        """Collect every worker's invariant-audit slice (retained-work
+        problems, name-table view, fault ledger) and refresh the merged
+        stats, so the driver-side ``check_invariants`` sees exact
+        post-quiescence counters.  See ``_WorkerHost._audit``.
+
+        Steal chatter is excluded from Safra counting, so its reliable
+        envelopes can be dropped *behind* the token and still be
+        mid-retransmit when the ring certifies quiescence.  That
+        residue self-heals (retransmit timers keep firing after
+        certification; the balancers have stopped, so it strictly
+        drains) — settle-wait for it, bounded, and let a *persistent*
+        unacked envelope surface as the real violation it is."""
+        import time as _time
+
+        deadline = _time.monotonic() + self._AUDIT_SETTLE_S
+        while True:
+            reports = self.broadcast_command(("audit",))
+            if not any(r["rel_pending"] for r in reports):
+                break
+            if _time.monotonic() >= deadline:  # pragma: no cover
+                break
+            _time.sleep(0.002)
+        self._refresh()
+        return reports
 
     def locate(self, address) -> Optional[int]:
         self._refresh()

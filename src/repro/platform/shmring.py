@@ -1,0 +1,272 @@
+"""Single-producer/single-consumer byte rings in shared memory.
+
+The mp backend's third transport (``MpParams(transport="shm")``) moves
+frames between worker processes without a kernel copy: one
+:mod:`multiprocessing.shared_memory` arena holds a ring buffer per
+*directed* peer edge, and the PR 6 binary frames
+(:mod:`repro.platform.wireformat`) are copied straight into it.  Frames
+are already length-prefixed and the decoder reassembles arbitrary byte
+chunks, so the ring carries a raw byte stream — no record framing of
+its own, and a frame larger than the ring simply crosses in chunks.
+
+Ring layout (offsets within one ring region)::
+
+    0   u64 head     consumer's read position  (monotonic, mod capacity)
+    8   u64 tail     producer's write position (monotonic, mod capacity)
+    16  u8  writer_wait   producer parked waiting for space
+    64  data[capacity]
+
+Arena layout (``num_nodes`` = P)::
+
+    P * 64                      per-worker status slots (sleeping flag)
+    P * (P-1) ring regions      one per ordered pair (src, dst), src != dst
+
+**Memory ordering.** Each index has exactly one writer: the producer
+owns ``tail``, the consumer owns ``head``; each side keeps its own
+index in a local mirror and only ever *loads* the foreign one.  The
+indices are monotonic u64s at 8-byte-aligned offsets, so on the ISAs
+CPython runs on (x86-64, AArch64) the store and load are single
+instructions and cannot tear; as defence in depth every load is
+validated (``0 <= tail - head <= capacity``) and an inconsistent
+snapshot is treated conservatively — "full" for the producer, "empty"
+for the consumer — and retried on the next poll.  Data is written
+*before* the tail store that publishes it (program order; x86-TSO
+orders the stores, and a stale read on a weaker machine only delays
+consumption by one poll).  Empty/full blocking uses a spin phase, then
+a ``multiprocessing.Condition`` with a **bounded timeout**: the
+sleeping/writer_wait flags and the index stores form a Dekker-style
+store→load protocol that can miss a wakeup under store buffering, and
+the timeout converts that worst case into a bounded stall instead of a
+hang (see DESIGN.md §5f).
+
+**Teardown.** The driver creates the arena (and is registered with the
+``resource_tracker``); workers attach *untracked* by name — on 3.13+
+via ``track=False``, earlier by suppressing the tracker's register
+call around the attach, so worker exits neither unlink the segment nor
+unregister the driver's claim.  The driver ``close()``s and
+``unlink()``s in ``MpMachine.shutdown``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+#: Bytes reserved at the front of each ring region for the indices.
+RING_HEADER = 64
+#: Bytes per worker status slot (sleeping flag at offset 0).
+STATUS_SLOT = 64
+
+_U64 = struct.Struct("<Q")
+
+_HEAD_OFF = 0
+_TAIL_OFF = 8
+_WAIT_OFF = 16
+
+
+class RingBuffer:
+    """A SPSC byte ring over any writable buffer.
+
+    The buffer's first :data:`RING_HEADER` bytes hold the shared
+    indices; ``capacity`` data bytes follow.  One process (or test
+    role) must be the sole producer and one the sole consumer; a
+    single-process test may be both.  Buffer-agnostic on purpose: the
+    hypothesis property tests drive it over a plain ``bytearray``,
+    production wraps a ``SharedMemory`` view.
+    """
+
+    __slots__ = ("_buf", "_data", "capacity", "_head", "_tail")
+
+    def __init__(self, buf, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        view = memoryview(buf)
+        if len(view) < RING_HEADER + capacity:
+            raise ValueError(
+                f"buffer of {len(view)} bytes cannot hold header "
+                f"({RING_HEADER}) + capacity ({capacity})"
+            )
+        self._buf = view
+        self._data = view[RING_HEADER:RING_HEADER + capacity]
+        self.capacity = capacity
+        # Local mirrors of the own-side indices (see module docstring);
+        # both sides attach before any traffic, when both are zero —
+        # or re-read whatever an earlier attachment left behind.
+        self._head = _U64.unpack_from(view, _HEAD_OFF)[0]
+        self._tail = _U64.unpack_from(view, _TAIL_OFF)[0]
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def write_some(self, data) -> int:
+        """Copy as much of ``data`` as fits and publish it.  Returns
+        the number of bytes written (0 when the ring is full or the
+        head snapshot was inconsistent)."""
+        cap = self.capacity
+        tail = self._tail
+        head = _U64.unpack_from(self._buf, _HEAD_OFF)[0]
+        used = tail - head
+        if used < 0 or used > cap:
+            return 0  # torn foreign-index read: treat as full, retry
+        space = cap - used
+        if space == 0:
+            return 0
+        n = len(data)
+        if n > space:
+            n = space
+        pos = tail % cap
+        first = cap - pos
+        if n <= first:
+            self._data[pos:pos + n] = data[:n]
+        else:
+            self._data[pos:] = data[:first]
+            self._data[:n - first] = data[first:n]
+        tail += n
+        self._tail = tail
+        _U64.pack_into(self._buf, _TAIL_OFF, tail)
+        return n
+
+    @property
+    def writable(self) -> bool:
+        head = _U64.unpack_from(self._buf, _HEAD_OFF)[0]
+        used = self._tail - head
+        return 0 <= used < self.capacity
+
+    def set_writer_wait(self) -> None:
+        self._buf[_WAIT_OFF] = 1
+
+    def clear_writer_wait(self) -> None:
+        self._buf[_WAIT_OFF] = 0
+
+    @property
+    def writer_waiting(self) -> bool:
+        return self._buf[_WAIT_OFF] != 0
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def read_some(self, limit: Optional[int] = None) -> bytes:
+        """Take every currently published byte (up to ``limit``) and
+        free its space.  Returns ``b""`` when nothing is available."""
+        cap = self.capacity
+        head = self._head
+        tail = _U64.unpack_from(self._buf, _TAIL_OFF)[0]
+        avail = tail - head
+        if avail <= 0 or avail > cap:
+            return b""  # empty, or torn read: treat as empty, retry
+        if limit is not None and avail > limit:
+            avail = limit
+        pos = head % cap
+        first = cap - pos
+        if avail <= first:
+            out = bytes(self._data[pos:pos + avail])
+        else:
+            out = bytes(self._data[pos:]) + bytes(self._data[:avail - first])
+        head += avail
+        self._head = head
+        _U64.pack_into(self._buf, _HEAD_OFF, head)
+        return out
+
+    @property
+    def readable(self) -> bool:
+        tail = _U64.unpack_from(self._buf, _TAIL_OFF)[0]
+        avail = tail - self._head
+        return 0 < avail <= self.capacity
+
+
+# ======================================================================
+# arena: one SharedMemory segment holding every ring + status slot
+# ======================================================================
+def arena_size(num_nodes: int, ring_bytes: int) -> int:
+    edges = num_nodes * (num_nodes - 1)
+    return num_nodes * STATUS_SLOT + edges * (RING_HEADER + ring_bytes)
+
+
+def _ring_offset(num_nodes: int, ring_bytes: int, src: int, dst: int) -> int:
+    idx = src * (num_nodes - 1) + (dst if dst < src else dst - 1)
+    return num_nodes * STATUS_SLOT + idx * (RING_HEADER + ring_bytes)
+
+
+class ShmArena:
+    """Typed view over the shared segment: per-edge rings and
+    per-worker sleeping flags."""
+
+    def __init__(self, shm, num_nodes: int, ring_bytes: int) -> None:
+        self._shm = shm
+        self.num_nodes = num_nodes
+        self.ring_bytes = ring_bytes
+        self._view = memoryview(shm.buf)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def ring(self, src: int, dst: int) -> RingBuffer:
+        if src == dst:
+            raise ValueError("no self-edge rings")
+        off = _ring_offset(self.num_nodes, self.ring_bytes, src, dst)
+        return RingBuffer(
+            self._view[off:off + RING_HEADER + self.ring_bytes],
+            self.ring_bytes,
+        )
+
+    # -- per-worker sleeping flag (consumer parked on its Condition) --
+    def set_sleeping(self, node: int, flag: bool) -> None:
+        self._view[node * STATUS_SLOT] = 1 if flag else 0
+
+    def sleeping(self, node: int) -> bool:
+        return self._view[node * STATUS_SLOT] != 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release this process's mapping (keeps the segment alive).
+
+        Best-effort: a worker that still holds live ring views cannot
+        release the export chain (``BufferError``), and doesn't need
+        to — the mapping dies with the process moments later.  The
+        driver never creates ring views, so its close is clean."""
+        try:
+            self._view.release()
+            self._shm.close()
+        except BufferError:  # pragma: no cover - worker exit path
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (driver only, after workers joined)."""
+        self._shm.unlink()
+
+
+def create_arena(num_nodes: int, ring_bytes: int) -> ShmArena:
+    """Driver side: create and zero a fresh segment (registered with
+    the resource tracker, so a crashed driver still gets cleaned up)."""
+    from multiprocessing import shared_memory
+
+    size = arena_size(num_nodes, ring_bytes)
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    # POSIX shm is zero-filled on creation; make it explicit anyway so
+    # a recycled name can never leak stale indices.
+    shm.buf[:size] = bytes(size)
+    return ShmArena(shm, num_nodes, ring_bytes)
+
+
+def attach_arena(name: str, num_nodes: int, ring_bytes: int) -> ShmArena:
+    """Worker side: attach by name *without* registering with the
+    resource tracker — the driver owns the segment's lifetime and a
+    worker exit must not unlink it (nor, pre-3.13, double-register it
+    and spray tracker warnings)."""
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python <= 3.12: no track parameter; the attach path
+        # unconditionally registers, so suppress it for this call.
+        from multiprocessing import resource_tracker
+
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig
+    return ShmArena(shm, num_nodes, ring_bytes)

@@ -361,10 +361,9 @@ class ThreadedMachine:
         faults=None,
     ) -> None:
         if faults is not None and not getattr(faults, "empty", False):
-            raise ReproError(
-                "the threaded backend does not support fault injection; "
-                "run fault plans on backend='sim'"
-            )
+            from repro.platform.capabilities import unsupported_message
+
+            raise ReproError(unsupported_message("threaded", "supports_faults"))
         self.config = config
         self.clock = WallClock()
         self.stats = StatsRegistry()

@@ -78,7 +78,8 @@ class TestProtocolConformance:
         try:
             assert sim.deterministic and sim.supports_faults
             assert not thr.deterministic and not thr.supports_faults
-            assert not mpm.deterministic and not mpm.supports_faults
+            assert not mpm.deterministic and mpm.supports_faults
+            assert mpm.counters_exact  # merged per-process books are exact
             assert not sim.distributed and not thr.distributed
             assert mpm.distributed
         finally:
@@ -288,6 +289,25 @@ class _Holder:
 
 
 @behavior
+class _Relay:
+    """Fans messages out to a remote peer: real wire traffic for the
+    fault-injection tests (driver commands land locally and never
+    cross the mesh)."""
+
+    def __init__(self):
+        self.peer = None
+
+    @method
+    def set_peer(self, ctx, peer):
+        self.peer = peer
+
+    @method
+    def fan(self, ctx, n):
+        for _ in range(n):
+            ctx.send(self.peer, "take", 1)
+
+
+@behavior
 class _Poison:
     """Sends a non-picklable object across the wire on demand."""
 
@@ -325,13 +345,47 @@ class TestMpBackend:
         finally:
             rt.close()
 
-    def test_faults_rejected(self):
-        from repro.platform.mp import MpMachine
-        from repro.sim.faults import FaultPlan
+    def test_fault_plan_accepted_and_injected(self):
+        """mp supports fault plans: the plan ships to the workers,
+        each derives a per-node injector, the reliable sublayer
+        auto-attaches, and the merged books balance against the
+        recorded fault budget (PR 8 lifted the old rejection)."""
+        from repro.runtime.system import HalRuntime
+        from repro.sim.faults import FaultPlan, FaultRule
+        from repro.sim.invariants import check_invariants
 
-        plan = FaultPlan.protocol_chaos(drop=0.1)
-        with pytest.raises(ReproError, match="fault injection"):
-            MpMachine(RuntimeConfig(num_nodes=2), faults=plan)
+        rt = _mp_runtime(2, seed=7)
+        try:
+            assert rt.machine.fault_plan is None  # no plan → not shipped
+        finally:
+            rt.close()
+
+        # Deterministic mode: the sender's injector must drop exactly
+        # the first two keyed-delivery packets (the retransmit is the
+        # same wire kind, so it eats the second drop) — every fan()
+        # message still lands.
+        plan = FaultPlan(by_kind={"deliver_keyed": FaultRule(drop_count=2)})
+        rt = HalRuntime(
+            RuntimeConfig(num_nodes=2, backend="mp", seed=7), faults=plan
+        )
+        try:
+            assert rt.machine.fault_plan is plan
+            a = rt.spawn(_Relay, at=0)
+            b = rt.spawn(_Holder, at=1)
+            rt.send(a, "set_peer", b)
+            rt.run()
+            rt.send(a, "fan", 10)
+            rt.run()
+            assert rt.call(b, "poke") == 11
+            report = check_invariants(rt)
+            pk = report["packets"]
+            assert pk["dropped"] == 2
+            assert pk["sends"] + pk["duplicated"] - pk["dropped"] == (
+                pk["delivered"]
+            )
+            assert rt.stats.counter("rel.retries") >= 2
+        finally:
+            rt.close()
 
     def test_non_picklable_wire_payload_is_hard_error(self):
         """An in-process backend would happily pass a Lock by
@@ -480,6 +534,102 @@ class TestMpSocketTransport:
             rt.send(a, "boom")
             with pytest.raises(ReproError, match="non-picklable"):
                 rt.run()
+        finally:
+            rt.close()
+
+
+class TestMpShmTransport:
+    """The same mp semantics over shared-memory SPSC rings: no kernel
+    copy, readiness by head/tail compare, spin-then-Condition parking."""
+
+    def _runtime(self, n=2, **mp_kw):
+        from repro.config import MpParams
+
+        return _mp_runtime(n, mp=MpParams(transport="shm", **mp_kw))
+
+    def test_spawn_send_call_quiesce(self):
+        rt = self._runtime(3)
+        try:
+            a = rt.spawn(_Holder, at=0)
+            b = rt.spawn(_Holder, at=2)
+            rt.send(b, "take", 7)
+            rt.run()
+            assert rt.call(a, "poke") == 1
+            assert rt.call(b, "poke") == 2
+            assert rt.quiescent()
+        finally:
+            rt.close()
+
+    def test_tiny_ring_forces_chunked_frames(self):
+        """A 64-byte ring is far smaller than a single frame: every
+        frame must cross in several write_some chunks with the decoder
+        reassembling, and full-ring backpressure (writer_wait parking)
+        is exercised on every send."""
+        rt = self._runtime(2, ring_bytes=64)
+        try:
+            a = rt.spawn(_Holder, at=0)
+            b = rt.spawn(_Holder, at=1)
+            for _ in range(20):
+                rt.send(b, "take", a)
+            rt.run()
+            assert rt.call(b, "poke") == 21
+            assert rt.quiescent()
+        finally:
+            rt.close()
+
+    def test_non_picklable_payload_still_hard_error(self):
+        rt = self._runtime(2)
+        try:
+            a = rt.spawn(_Poison, at=0)
+            b = rt.spawn(_Holder, at=1)
+            rt.send(a, "set_peer", b)
+            rt.run()
+            rt.send(a, "boom")
+            with pytest.raises(ReproError, match="non-picklable"):
+                rt.run()
+        finally:
+            rt.close()
+
+    def test_arena_unlinked_on_shutdown(self):
+        """The driver owns the segment: shutdown must close and unlink
+        it (a leaked segment would survive in /dev/shm)."""
+        from multiprocessing import shared_memory
+
+        rt = self._runtime(2)
+        a = rt.spawn(_Holder, at=0)
+        rt.run()
+        name = rt.machine._arena.name
+        rt.close()
+        assert rt.machine._arena is None
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_faults_over_shm(self):
+        """Fault injection composes with the shm transport: drops are
+        retransmitted across the rings and the audit stays green."""
+        from repro.config import MpParams
+        from repro.runtime.system import HalRuntime
+        from repro.sim.faults import FaultPlan, FaultRule
+        from repro.sim.invariants import check_invariants
+
+        plan = FaultPlan(by_kind={"deliver_keyed": FaultRule(drop_count=1)})
+        rt = HalRuntime(
+            RuntimeConfig(
+                num_nodes=2, backend="mp", seed=7,
+                mp=MpParams(transport="shm"),
+            ),
+            faults=plan,
+        )
+        try:
+            a = rt.spawn(_Relay, at=0)
+            b = rt.spawn(_Holder, at=1)
+            rt.send(a, "set_peer", b)
+            rt.run()
+            rt.send(a, "fan", 8)
+            rt.run()
+            assert rt.call(b, "poke") == 9
+            report = check_invariants(rt)
+            assert report["packets"]["dropped"] == 1
         finally:
             rt.close()
 

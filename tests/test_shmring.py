@@ -1,0 +1,277 @@
+"""Property and white-box tests for the shared-memory SPSC ring
+(:mod:`repro.platform.shmring`), mirroring ``test_wireformat.py``:
+byte-exact transfer across wraparound at arbitrary chunk sizes,
+full-ring backpressure, interleaved producer/consumer schedules, and
+malformed-record rejection once frames ride the ring.
+
+The ring is buffer-agnostic on purpose: everything here drives it over
+a plain ``bytearray`` — single process, both roles — which makes the
+index arithmetic (monotonic u64s, modulo only at data access) directly
+observable.  Cross-process behaviour (Conditions, sleeping flags,
+teardown) is covered by ``test_platform.py::TestMpShmTransport``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.platform.base import WirePacket
+from repro.platform.shmring import (
+    RING_HEADER,
+    RingBuffer,
+    ShmArena,
+    arena_size,
+)
+from repro.platform.wireformat import FrameDecoder, FrameEncoder, iter_messages
+
+
+def _ring(capacity: int) -> RingBuffer:
+    return RingBuffer(bytearray(RING_HEADER + capacity), capacity)
+
+
+def _pump_through(ring: RingBuffer, data: bytes, read_limit=None) -> bytes:
+    """Single-threaded producer/consumer: write until blocked, then
+    read, until all of ``data`` crossed."""
+    out = bytearray()
+    view = memoryview(data)
+    off = 0
+    stalls = 0
+    while off < len(data) or ring.readable:
+        n = ring.write_some(view[off:]) if off < len(data) else 0
+        off += n
+        got = ring.read_some(read_limit)
+        out += got
+        stalls = stalls + 1 if (not n and not got) else 0
+        assert stalls < 3, "ring wedged: neither writable nor readable"
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingBuffer(bytearray(RING_HEADER), 0)
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            RingBuffer(bytearray(RING_HEADER + 7), 8)
+
+    def test_fresh_ring_is_empty_and_writable(self):
+        r = _ring(16)
+        assert not r.readable
+        assert r.writable
+        assert r.read_some() == b""
+
+
+# ----------------------------------------------------------------------
+# wraparound at arbitrary frame/chunk sizes
+# ----------------------------------------------------------------------
+class TestWraparound:
+    @given(
+        capacity=st.integers(1, 64),
+        chunks=st.lists(st.binary(min_size=1, max_size=96), max_size=30),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_byte_stream_is_exact_across_wraparound(self, capacity, chunks):
+        """Whatever the capacity and chunk sizes — chunks smaller than,
+        equal to, and far larger than the ring — the consumer sees the
+        producer's exact byte stream, in order."""
+        ring = _ring(capacity)
+        data = b"".join(chunks)
+        assert _pump_through(ring, data) == data
+        assert not ring.readable
+
+    @given(
+        capacity=st.integers(2, 32),
+        data=st.binary(min_size=8, max_size=200),
+        limit=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_read_limit_preserves_order(self, capacity, data, limit):
+        """A consumer that takes at most ``limit`` bytes per poll (so
+        head crosses the wrap point at odd offsets) still reassembles
+        the stream exactly."""
+        ring = _ring(capacity)
+        assert _pump_through(ring, data, read_limit=limit) == data
+
+    def test_indices_are_monotonic_not_wrapped(self):
+        """head/tail only ever grow; the modulo happens at data
+        access.  Pushing more than capacity total bytes through must
+        leave both counters past capacity."""
+        ring = _ring(8)
+        total = 50
+        _pump_through(ring, bytes(range(total % 256)) * (total // 256 + 1))
+        assert ring._tail == ring._head
+        assert ring._tail > ring.capacity
+
+
+# ----------------------------------------------------------------------
+# full-ring backpressure
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_full_ring_refuses_writes(self):
+        ring = _ring(4)
+        assert ring.write_some(b"abcdef") == 4  # partial: ring now full
+        assert not ring.writable
+        assert ring.write_some(b"x") == 0
+        assert ring.read_some() == b"abcd"
+        assert ring.writable
+
+    def test_space_frees_exactly_as_read(self):
+        ring = _ring(4)
+        ring.write_some(b"abcd")
+        assert ring.read_some(2) == b"ab"
+        assert ring.write_some(b"efg") == 2  # only the freed space
+        assert ring.read_some() == b"cdef"
+
+    def test_writer_wait_flag_round_trip(self):
+        ring = _ring(4)
+        assert not ring.writer_waiting
+        ring.set_writer_wait()
+        assert ring.writer_waiting
+        ring.clear_writer_wait()
+        assert not ring.writer_waiting
+
+    def test_torn_foreign_index_is_conservative(self):
+        """An impossible head/tail snapshot (corruption or a torn
+        read) must read as 'full' to the producer and 'empty' to the
+        consumer — never as free space or phantom data."""
+        import struct
+
+        ring = _ring(8)
+        ring.write_some(b"ab")
+        # Corrupt the foreign index past any valid value.
+        struct.pack_into("<Q", ring._buf, 0, 2**63)  # head >> tail
+        assert ring.write_some(b"x") == 0
+        assert not ring.writable
+        ring2 = _ring(8)
+        struct.pack_into("<Q", ring2._buf, 8, 2**63)  # tail - head > cap
+        assert ring2.read_some() == b""
+        assert not ring2.readable
+
+
+# ----------------------------------------------------------------------
+# interleaved producer/consumer schedules
+# ----------------------------------------------------------------------
+class TestInterleaving:
+    @given(
+        capacity=st.integers(1, 24),
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(1, 16)), max_size=60
+        ),
+        payload=st.integers(0, 255),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_schedules_never_lose_or_invent_bytes(
+        self, capacity, ops, payload
+    ):
+        """Drive write/read in an arbitrary interleaving; the consumed
+        stream is always a prefix of the produced stream."""
+        ring = _ring(capacity)
+        produced = bytearray()
+        consumed = bytearray()
+        counter = payload
+        for is_write, size in ops:
+            if is_write:
+                chunk = bytes((counter + i) % 256 for i in range(size))
+                n = ring.write_some(chunk)
+                produced += chunk[:n]
+                counter = (counter + n) % 256
+            else:
+                consumed += ring.read_some(size)
+        consumed += ring.read_some()
+        assert bytes(consumed) == bytes(produced)
+
+
+# ----------------------------------------------------------------------
+# frames over the ring: reassembly + malformed-record rejection
+# ----------------------------------------------------------------------
+def _packet(i: int) -> WirePacket:
+    return WirePacket(0, 1, "h", (i, "x" * (i % 7)), 20 + i, "h")
+
+
+class TestFramesOverRing:
+    @given(
+        capacity=st.integers(8, 48),
+        count=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_encoder_ring_decoder_round_trip(self, capacity, count):
+        """Frames far larger than the ring cross in chunks and decode
+        byte-exactly — the property the shm transport rests on."""
+        enc, dec = FrameEncoder(), FrameDecoder()
+        pkts = [_packet(i) for i in range(count)]
+        ring = _ring(capacity)
+        for _ in range(2):  # two frames back to back, shared intern state
+            for p in pkts:
+                enc.add_message(p)
+            view = memoryview(enc.take_frame())
+            off = 0
+            while off < len(view):
+                n = ring.write_some(view[off:])
+                off += n
+                dec.feed(ring.read_some())
+        out = list(iter_messages(dec.drain()))
+        assert out == pkts + pkts
+
+    def test_malformed_record_rejected_after_ring_crossing(self):
+        """Corruption inside the ring surfaces as the decoder's
+        NetworkError, not as silent garbage."""
+        enc, dec = FrameEncoder(), FrameDecoder()
+        enc.add_message(_packet(3))
+        frame = bytearray(enc.take_frame())
+        frame[4] = 0xEE  # clobber the first record's tag
+        ring = _ring(16)
+        view = memoryview(bytes(frame))
+        off = 0
+        while off < len(view):
+            off += ring.write_some(view[off:])
+            dec.feed(ring.read_some())
+        with pytest.raises(NetworkError, match="unknown wire record tag"):
+            list(dec.drain())
+
+
+# ----------------------------------------------------------------------
+# arena layout
+# ----------------------------------------------------------------------
+class _FakeShm:
+    """Stand-in SharedMemory: a bytearray with the same surface."""
+
+    def __init__(self, size: int) -> None:
+        self.buf = bytearray(size)
+        self.name = "fake"
+
+    def close(self) -> None:
+        pass
+
+    def unlink(self) -> None:
+        pass
+
+
+class TestArenaLayout:
+    @given(nn=st.integers(2, 6), ring_bytes=st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_edges_are_disjoint_and_in_bounds(self, nn, ring_bytes):
+        """Every directed edge gets its own non-overlapping region:
+        filling one ring never corrupts another, nor a status slot."""
+        arena = ShmArena(_FakeShm(arena_size(nn, ring_bytes)), nn, ring_bytes)
+        rings = {
+            (s, d): arena.ring(s, d)
+            for s in range(nn) for d in range(nn) if s != d
+        }
+        for (s, d), ring in rings.items():
+            ring.write_some(bytes([(s * 7 + d) % 256]) * ring_bytes)
+        arena.set_sleeping(nn - 1, True)
+        for (s, d), ring in rings.items():
+            data = ring.read_some()
+            assert data == bytes([(s * 7 + d) % 256]) * ring_bytes
+        assert arena.sleeping(nn - 1)
+
+    def test_self_edge_refused(self):
+        arena = ShmArena(_FakeShm(arena_size(2, 8)), 2, 8)
+        with pytest.raises(ValueError, match="self-edge"):
+            arena.ring(1, 1)

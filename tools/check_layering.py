@@ -49,6 +49,7 @@ FORBIDDEN_PREFIXES = (
     "repro.platform.threaded",
     "repro.platform.mp",
     "repro.platform.wireformat",
+    "repro.platform.shmring",
 )
 
 
