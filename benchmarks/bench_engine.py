@@ -241,6 +241,53 @@ def run_systolic_app(n: int, num_nodes: int) -> Dict:
     }
 
 
+def run_dispatch_app(n: int) -> Dict:
+    """The naive actor form of fib(n) on one node: every request the
+    compiler planned static is eligible for inline stack dispatch.
+
+    One node on purpose — the workload measures the *dispatch* path,
+    and the actor form scatters children round-robin, so any p > 1
+    makes most sends remote and the hit rate a placement artefact.
+    ``local_hit_rate`` is the fraction of local deliveries that took
+    the compiled inline path (static or lookup) instead of the generic
+    mailbox path; it is regression-gated (see check_regression.py).
+    """
+    from repro.apps.fibonacci import FibActor, fib_program, fib_value
+    from repro.config import RuntimeConfig
+    from repro.runtime.system import HalRuntime
+
+    t0 = time.perf_counter()
+    rt = HalRuntime(RuntimeConfig(num_nodes=1, seed=1995))
+    try:
+        rt.load(fib_program())
+        root = rt.spawn(FibActor, at=0)
+        value = rt.call(root, "compute", n)
+        wall = time.perf_counter() - t0
+        if value != fib_value(n):
+            raise AssertionError(f"dispatch benchmark: fib({n}) = {value}")
+        inline_static = rt.stats.counter("exec.inline_static")
+        inline_lookup = rt.stats.counter("exec.inline_lookup")
+        local_generic = rt.stats.counter("delivery.local_generic")
+        inline = inline_static + inline_lookup
+        local = inline + local_generic
+        events = rt.machine.events_executed
+        return {
+            "n": n,
+            "nodes": 1,
+            "wall_s": round(wall, 6),
+            "sim_events": events,
+            "events_per_sec": round(events / wall) if wall > 0 else 0,
+            "sim_time_us": round(rt.now, 3),
+            "inline_static": inline_static,
+            "inline_lookup": inline_lookup,
+            "inline_refused": rt.stats.counter("exec.inline_refused"),
+            "local_generic": local_generic,
+            "local_hit_rate": round(inline / local, 4) if local else 0.0,
+        }
+    finally:
+        rt.close()
+
+
 #: Head-sampling rate the always-on tracing bench runs at: one traced
 #: journey in 16 keeps its spans, the rest pay only the elision branch.
 TRACING_SAMPLE_RATE = 1.0 / 16
@@ -485,6 +532,10 @@ def run_bench(*, quick: bool = False, repeats: int = 3,
             "fibonacci": run_fib_app(fib_n, num_nodes=8),
             "systolic": run_systolic_app(sys_n, num_nodes=16),
         }
+        # Compiled dispatch: actor-form fib on one node, counting how
+        # many local deliveries the static/lookup plans turned into
+        # direct stack invocations.
+        results["dispatch"] = run_dispatch_app(10 if quick else 16)
         # The gated overhead number is a median of per-round ratios;
         # give it at least 5 rounds in full mode so one noisy round on
         # a shared runner cannot swing the gate.
@@ -537,6 +588,14 @@ def render(results: Dict) -> str:
             f"app:{name:<9} n={r['n']:<4} nodes={r['nodes']:<3} "
             f"sim_events={r['sim_events']:>9,}  "
             f"host={r['events_per_sec']:>11,} ev/s"
+        )
+    dp = results.get("dispatch")
+    if dp:
+        lines.append(
+            f"dispatch   n={dp['n']:<4} nodes={dp['nodes']:<3} "
+            f"inline={dp['inline_static'] + dp['inline_lookup']:>9,}  "
+            f"generic={dp['local_generic']:>7,}  "
+            f"local_hit_rate={dp['local_hit_rate']:.2%}"
         )
     tr = results.get("tracing")
     if tr:

@@ -50,6 +50,15 @@ GATED = ("pingpong", "fanout", "backend_threaded", "backend_mp",
 #: baseline — overhead past it means the elision branch grew work.
 TRACING_BUDGET_PCT = 10.0
 
+#: Absolute floor on ``dispatch.local_hit_rate``: the fraction of local
+#: deliveries in the actor-form fib workload that took the compiled
+#: inline path (static or lookup) instead of the generic mailbox path.
+#: A hit rate is a counter ratio, not a wall-clock measure, so it has
+#: no noise allowance — dropping below the floor means the compiler
+#: stopped planning the sites static or the runtime stopped honouring
+#: the plans.
+DISPATCH_HIT_RATE_FLOOR = 0.95
+
 
 def _events_per_sec(entry: dict) -> int:
     """All three result shapes: microbenchmarks nest under
@@ -74,6 +83,10 @@ def main(argv: List[str] | None = None) -> int:
                     default=TRACING_BUDGET_PCT,
                     help="max tolerated tracing.overhead_pct, an absolute "
                          "percentage (default 10.0)")
+    ap.add_argument("--dispatch-floor", type=float,
+                    default=DISPATCH_HIT_RATE_FLOOR,
+                    help="min tolerated dispatch.local_hit_rate, an "
+                         "absolute fraction (default 0.95)")
     args = ap.parse_args(argv)
 
     with open(args.baseline) as fh:
@@ -130,6 +143,34 @@ def main(argv: List[str] | None = None) -> int:
             failures.append(
                 "tracing.on: the sampled run recorded no spans — "
                 "always-on tracing must still keep sampled traces"
+            )
+
+    # Absolute dispatch hit-rate floor.  Like the tracing budget, a
+    # current result without a dispatch entry is a hard failure: the
+    # hit rate is the acceptance bar for compiled static dispatch, and
+    # a run that didn't measure it would un-gate the inline path.
+    dp = cur.get("dispatch")
+    if not isinstance(dp, dict) or "local_hit_rate" not in dp:
+        failures.append(
+            "dispatch: entry missing from current results — run "
+            "bench_engine.py without --skip-apps so the local dispatch "
+            "hit rate can be checked"
+        )
+    else:
+        rate = dp["local_hit_rate"]
+        inline = dp.get("inline_static", 0) + dp.get("inline_lookup", 0)
+        print(f"{'dispatch':<16} local_hit_rate {rate:.2%} "
+              f"(floor {args.dispatch_floor:.0%}, {inline:,} inline sends)")
+        if rate < args.dispatch_floor:
+            failures.append(
+                f"dispatch: local hit rate {rate:.2%} is below the "
+                f"{args.dispatch_floor:.0%} floor — compiled sends are "
+                "falling back to the generic mailbox path"
+            )
+        if dp.get("inline_static", 0) <= 0:
+            failures.append(
+                "dispatch: the workload performed no inline static "
+                "sends — static plans are not reaching the runtime"
             )
 
     if failures:

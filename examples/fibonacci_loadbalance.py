@@ -28,6 +28,14 @@ def main(n: int = 20, nodes: int = 8) -> None:
           f"(speedup {base.elapsed_us / lb.elapsed_us:4.1f}x, "
           f"{lb.steals} steals)")
 
+    # The naive actor form (one actor per call, written plain-def and
+    # continuation-split by the AST frontend) validates the compiled
+    # task form at a smaller n.
+    an = min(n, 14)
+    actors = run_fib(an, 1, load_balance=False, use_actors=True)
+    print(f"{'actor form, fib(%d)' % an:>28}: {actors.elapsed_us / 1e6:8.4f} s "
+          f"({fib_calls(an):,} actors, static dispatch)")
+
     print(f"\ncontext (modelled from the paper's published fib(33) numbers):")
     print(f"{'Cilk, 1 SPARC node':>28}: {cilk_model_us(n) / 1e6:8.4f} s")
     print(f"{'optimised C':>28}: {c_model_us(n) / 1e6:8.4f} s")

@@ -34,8 +34,17 @@ _BEHAVIOR_ATTR = "__hal_behavior__"
 
 def method(fn: Callable) -> Callable:
     """Mark ``fn`` as message-invocable.  Methods take ``(self, ctx,
-    *args)`` and may be plain functions or generators (generators are
-    the request/reply form; see :mod:`repro.hal.dependence`)."""
+    *args)``; request/reply methods may be written in either frontend
+    style, transparently:
+
+    - **plain def** — ``v = ctx.request(ref, "sel", x)`` with no
+      ``yield``; the HAL compiler's AST frontend
+      (:mod:`repro.hal.lower`) finds the request sites, groups
+      independent ones into shared joins, and rewrites the body into
+      generator form at load time;
+    - **explicit generator** — hand-written ``yield`` split points
+      (see :mod:`repro.hal.dependence`).
+    """
     setattr(fn, _METHOD_ATTR, True)
     return fn
 
@@ -50,6 +59,10 @@ class Behavior:
     def __init__(self, cls: Type) -> None:
         self.cls = cls
         self.name: str = cls.__name__
+        #: The method table dispatch consults.  The HAL compiler
+        #: replaces plain-def request methods here with their lowered
+        #: generator form at load time (the class attribute keeps the
+        #: original, so subclassing and direct calls are unaffected).
         self.methods: Dict[str, Callable] = {}
         for attr_name, fn in inspect.getmembers(cls, callable):
             if is_hal_method(fn):

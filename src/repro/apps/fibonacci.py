@@ -14,6 +14,9 @@ Two implementations:
   random-polling load balancing redistributes the imbalanced tree.
 - :class:`FibActor` — the naive actor form (one actor per call),
   useful at small ``n`` to validate the creation-elision optimisation.
+  Written plain-def (no ``yield``): the AST frontend inserts its
+  grouped split point and static dispatch plans.  Its hand-written
+  generator twin :class:`FibActorGen` pins frontend equivalence.
 
 Static placement (the "without dynamic load balancing" columns of
 Table 4) scatters subtree roots over nodes only near the top of the
@@ -93,7 +96,16 @@ def fib_task(ctx, n: int, target, depth: int) -> None:
 # ----------------------------------------------------------------------
 @behavior
 class FibActor:
-    """One actor per call; children are created dynamically."""
+    """One actor per call; children are created dynamically.
+
+    Written in the plain-def frontend style: no ``yield`` anywhere.
+    The compiler's AST frontend proves the two requests independent
+    (neither reads the other's reply), groups them into one shared
+    two-slot join, and CPS-rewrites the body into generator form —
+    and, because each request's receiver type is uniquely inferred
+    from ``ctx.new(FibActor, ...)``, plans the sites for static
+    dispatch (local children are invoked directly on the stack).
+    """
 
     def __init__(self):
         pass
@@ -106,6 +118,29 @@ class FibActor:
         p = ctx.num_nodes
         left = ctx.new(FibActor, at=(ctx.node + 1) % p)
         right = ctx.new(FibActor, at=(ctx.node + 2) % p)
+        a = ctx.request(left, "compute", n - 1)
+        b = ctx.request(right, "compute", n - 2)
+        return a + b
+
+
+@behavior
+class FibActorGen:
+    """Hand-written generator twin of :class:`FibActor` (the explicit
+    split-point DSL).  Kept as the equivalence fixture: both frontends
+    must produce the identical continuation structure and final state,
+    pinned by tests on every backend."""
+
+    def __init__(self):
+        pass
+
+    @method
+    def compute(self, ctx, n):
+        ctx.charge(TASK_GRAIN_US)
+        if n < 2:
+            return n
+        p = ctx.num_nodes
+        left = ctx.new(FibActorGen, at=(ctx.node + 1) % p)
+        right = ctx.new(FibActorGen, at=(ctx.node + 2) % p)
         a, b = yield [
             ctx.request(left, "compute", n - 1),
             ctx.request(right, "compute", n - 2),

@@ -72,6 +72,27 @@ class PingPonger:
 
 
 @behavior
+class Referee:
+    """Settles a rally by collecting both scores with one request join.
+
+    Written in the plain-def frontend style — no ``yield``: the HAL
+    compiler proves the two requests independent, groups them into a
+    shared two-slot join continuation, and rewrites the body into the
+    generator form the runtime executes.
+    """
+
+    def __init__(self):
+        self.last_total = 0
+
+    @method
+    def tally(self, ctx, a, b):
+        sa = ctx.request(a, "score")
+        sb = ctx.request(b, "score")
+        self.last_total = sa + sb
+        return self.last_total
+
+
+@behavior
 class GroupCell:
     """One member of an actor group; accumulates broadcast deliveries.
 
@@ -126,7 +147,7 @@ def run_ping_pong(
                         mp=mp or MpParams(),
                         tracing=tracing or TracingParams())
     rt = HalRuntime(cfg, trace=trace, faults=faults)
-    rt.load_behaviors(PingPonger)
+    rt.load_behaviors(PingPonger, Referee)
     a = rt.spawn(PingPonger, at=0)
     b = rt.spawn(PingPonger, at=1)
     rt.send(a, "set_peer", b)
@@ -135,9 +156,13 @@ def run_ping_pong(
     rally = 2 * n
     rt.send(a, "ping", rally - 1)
     rt.run()
+    # The referee's plain-def tally is the lowered-frontend exercise:
+    # one grouped join collects both scores.
+    referee = rt.spawn(Referee, at=0)
+    total = rt.call(referee, "tally", a, b)
     score_a = rt.call(a, "score")
     score_b = rt.call(b, "score")
-    assert score_a + score_b == rally, (score_a, score_b, rally)
+    assert score_a + score_b == rally == total, (score_a, score_b, rally, total)
     return ScenarioResult(
         name="ping_pong",
         runtime=rt,
@@ -145,6 +170,7 @@ def run_ping_pong(
             "rally": rally,
             "score_a": score_a,
             "score_b": score_b,
+            "referee_total": total,
             "elapsed_us": rt.now,
         },
     )
@@ -325,6 +351,31 @@ SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
     "fibonacci_loadbalance": run_fibonacci_loadbalance,
     "group_broadcast": run_group_broadcast,
 }
+
+
+def scenario_program(name: str):
+    """The program image a scenario loads, for ahead-of-run compilation
+    (``python -m repro compile <scenario>``): the same behaviours the
+    scenario's runtime would compile at load time, without booting a
+    partition."""
+    from repro.runtime.program import HalProgram
+
+    if name == "fibonacci_loadbalance":
+        from repro.apps.fibonacci import fib_program
+        return fib_program()
+    classes = {
+        "ping_pong": [PingPonger, Referee],
+        "migration_tour": [Wanderer],
+        "group_broadcast": [GroupCell],
+    }.get(name)
+    if classes is None:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )
+    program = HalProgram(name)
+    for cls in classes:
+        program.behavior(cls)
+    return program
 
 
 def run_scenario(

@@ -117,6 +117,23 @@ def _cmd_compile_report(args) -> None:
         print()
 
 
+def _cmd_compile(args) -> None:
+    """Compile one scenario's program ahead of run and print the
+    per-behaviour dispatch-plan report."""
+    import json
+    from repro.apps.scenarios import scenario_program
+    from repro.hal.compiler import compile_program
+    try:
+        program = scenario_program(args.app)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    compiled = compile_program(program, strict=not args.no_strict)
+    if args.json:
+        print(json.dumps(compiled.report_dict(), indent=2))
+    else:
+        print(compiled.report())
+
+
 def _fault_plan(args):
     """Build a FaultPlan from the shared fault flags, or None when no
     fault rate was requested."""
@@ -360,6 +377,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--partitions", type=_partitions, default=_partitions(default_p),
                        help="comma-separated node counts")
         p.set_defaults(fn=fn)
+
+    # Ahead-of-run compilation: dispatch plans + continuation summary.
+    p = sub.add_parser(
+        "compile",
+        help="compile a scenario's behaviours without running it and "
+             "print the per-behaviour dispatch-plan report: static/"
+             "lookup/generic send sites, demotion reasons, and the "
+             "continuation splits each frontend produced",
+    )
+    p.add_argument("app", help="scenario name")
+    p.add_argument("--report", action="store_true",
+                   help="print the human-readable report (the default)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as structured JSON instead")
+    p.add_argument("--no-strict", action="store_true",
+                   help="don't fail on sends whose inferred receiver "
+                        "types declare no such method")
+    p.set_defaults(fn=_cmd_compile)
 
     # Execution: run a scenario on a chosen backend.
     p = sub.add_parser(

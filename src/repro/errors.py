@@ -65,7 +65,26 @@ class BehaviorError(ReproError):
 
 
 class CompileError(ReproError):
-    """The HAL compiler could not analyse or lower a behaviour."""
+    """The HAL compiler could not analyse or lower a behaviour.
+
+    Carries the position of the offending construct when known:
+    ``behavior`` and ``method`` name the method, ``lineno`` is the
+    absolute line in the defining source file (so editors and CI logs
+    can point straight at it).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        behavior: "str | None" = None,
+        method: "str | None" = None,
+        lineno: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.behavior = behavior
+        self.method = method
+        self.lineno = lineno
 
 
 class TypeInferenceError(CompileError):

@@ -2,6 +2,10 @@
 
 Stages, mirroring the paper's compiler/runtime split:
 
+0. AST lowering of plain-def methods: request sites are found by
+   dependence analysis over the AST, independent requests are grouped
+   into shared joins, and the body is CPS-rewritten into the generator
+   form the runtime executes (:mod:`repro.hal.lower`);
 1. constraint-based type inference over all behaviour methods
    (:mod:`repro.hal.inference`);
 2. dependence analysis: continuation structure of request/reply
@@ -23,6 +27,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from repro.actors.behavior import Behavior, behavior_of
 from repro.hal.dependence import DependenceResult, analyze_dependence
 from repro.hal.inference import InferenceResult, infer_program
+from repro.hal.lower import lower_method
 from repro.hal.optimize import BehaviorPlans, select_plans
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,6 +41,8 @@ class CompiledBehavior:
     behavior: str
     plans: BehaviorPlans
     functional: bool
+    #: Methods whose bodies came out of the AST lowering frontend.
+    lowered_methods: List[str] = field(default_factory=list)
     #: (method, selector) -> reason string, for the compiler report.
     notes: Dict = field(default_factory=dict)
 
@@ -54,6 +61,14 @@ class CompiledProgram:
     diagnostics: List[str]
 
     # ------------------------------------------------------------------
+    def plan_counts(self) -> Dict[str, int]:
+        """Dispatch-mechanism tally over every planned send site."""
+        counts = {"static": 0, "lookup": 0, "generic": 0}
+        for cb in self.behaviors.values():
+            for plan in cb.plans.plans.values():
+                counts[plan.kind] = counts.get(plan.kind, 0) + 1
+        return counts
+
     def report(self) -> str:
         """Human-readable compilation report (dispatch decisions,
         continuation structure, purity)."""
@@ -72,12 +87,60 @@ class CompiledProgram:
                         f"{j.slots if j.slots >= 0 else '?'}@{j.lineno}"
                         for j in cont.joins
                     )
+                    frontend = "lowered plain-def" if cont.lowered else "generator"
                     lines.append(
-                        f"  {m}: {cont.split_points} continuation split(s) [{joins}]"
+                        f"  {m}: {cont.split_points} continuation split(s) "
+                        f"[{joins}] ({frontend})"
                     )
+        counts = self.plan_counts()
+        lines.append(
+            f"plans: {counts['static']} static / {counts['lookup']} lookup "
+            f"/ {counts['generic']} generic"
+        )
         for d in self.diagnostics:
             lines.append(d)
         return "\n".join(lines)
+
+    def report_dict(self) -> dict:
+        """The report as JSON-able data (the CLI's ``--json`` output)."""
+        behaviors = {}
+        for bname in sorted(self.behaviors):
+            cb = self.behaviors[bname]
+            plans = [
+                {
+                    "method": mname,
+                    "selector": selector,
+                    "kind": plan.kind,
+                    "receivers": sorted(plan.receivers) if plan.receivers is not None else None,
+                    "reason": plan.reason,
+                }
+                for (mname, selector), plan in sorted(cb.plans.plans.items())
+            ]
+            continuations = [
+                {
+                    "method": m,
+                    "frontend": "lowered" if cont.lowered else "generator",
+                    "splits": cont.split_points,
+                    "joins": [
+                        {"line": j.lineno, "slots": j.slots, "grouped": j.grouped}
+                        for j in cont.joins
+                    ],
+                }
+                for (b, m), cont in sorted(self.dependence.continuations.items())
+                if b == bname and cont.is_generator
+            ]
+            behaviors[bname] = {
+                "functional": cb.functional,
+                "lowered_methods": sorted(cb.lowered_methods),
+                "plans": plans,
+                "continuations": continuations,
+            }
+        return {
+            "program": self.name,
+            "behaviors": behaviors,
+            "plan_counts": self.plan_counts(),
+            "diagnostics": list(self.diagnostics),
+        }
 
     def static_site_count(self) -> int:
         return sum(
@@ -86,6 +149,25 @@ class CompiledProgram:
             for plan in cb.plans.plans.values()
             if plan.kind == "static"
         )
+
+
+def _lower_universe(universe: Dict[str, Behavior]) -> Dict[str, List[str]]:
+    """Stage 0: run the AST frontend over every plain-def method.
+
+    Mutates each behaviour's method table in place — the lowered
+    generator *is* the method from here on (the runtime dispatches it,
+    inference analyses its stored AST).  Idempotent: already-lowered
+    and already-generator methods are skipped, so repeated compilation
+    under a growing universe is safe.
+    """
+    lowered: Dict[str, List[str]] = {}
+    for bname, beh in universe.items():
+        for mname, fn in list(beh.methods.items()):
+            lm = lower_method(bname, mname, fn)
+            if lm is not None:
+                beh.methods[mname] = lm.fn
+                lowered.setdefault(bname, []).append(mname)
+    return lowered
 
 
 def compile_behaviors(
@@ -104,6 +186,7 @@ def compile_behaviors(
     """
     universe = dict(universe or {})
     universe.update(behaviors)
+    _lower_universe(universe)
     inference = infer_program(universe)
     dependence = analyze_dependence(inference)
     plans, diags = select_plans(universe, inference, dependence, strict=strict)
@@ -111,7 +194,15 @@ def compile_behaviors(
     compiled: Dict[str, CompiledBehavior] = {}
     for bname, beh in behaviors.items():
         functional = dependence.behavior_is_functional(bname)
-        cb = CompiledBehavior(bname, plans[bname], functional)
+        # Flag-derived, not taken from _lower_universe's return: a
+        # recompile of an already-lowered behaviour must still report
+        # its methods as lowered.
+        lowered = sorted(
+            m for m, fn in beh.methods.items()
+            if getattr(fn, "__hal_lowered__", False)
+        )
+        cb = CompiledBehavior(bname, plans[bname], functional,
+                              lowered_methods=lowered)
         beh.compiled = cb
         beh.functional = functional
         compiled[bname] = cb

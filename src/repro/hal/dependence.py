@@ -3,12 +3,18 @@ detection (§7.2).
 
 The HAL compiler transforms a ``request`` send into an asynchronous
 send and separates out its continuation through dependence analysis;
-independent sends are grouped to share one continuation.  In the DSL,
-the split points are explicit ``yield``s, so the static analysis here
-has three jobs:
+independent sends are grouped to share one continuation.  Both
+frontends flow through here: in the explicit-yield DSL the split
+points are hand-written ``yield``s, while plain-def methods arrive
+*after* the AST frontend (:mod:`repro.hal.lower`) has inserted theirs
+— so the two styles are held to the same rules and report the same
+continuation structure (:attr:`ContinuationPlan.shape` pins the
+equivalence in tests).  The static analysis has three jobs:
 
-1. **validate** generator methods (every yield must be a request or a
-   group of requests — anything else would deadlock the continuation);
+1. **validate** generator methods — every yield must be a request or a
+   group of requests (anything else would deadlock the continuation);
+   violations raise :class:`~repro.errors.CompileError` carrying
+   behaviour, method and the absolute source line;
 2. **summarise** the continuation structure (how many split points,
    how many slots per join) for the compiler report and for tests;
 3. **detect purely functional behaviours** — methods that never write
@@ -27,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CompileError
 from repro.hal.inference import InferenceResult, MethodAnalysis
+from repro.hal.lower import is_request_call, walk_scope
 
 
 @dataclass(frozen=True)
@@ -46,10 +53,19 @@ class ContinuationPlan:
     method: str
     is_generator: bool
     joins: List[JoinPoint] = field(default_factory=list)
+    #: True when the split points were inserted by the AST frontend.
+    lowered: bool = False
 
     @property
     def split_points(self) -> int:
         return len(self.joins)
+
+    @property
+    def shape(self) -> Tuple[Tuple[int, bool], ...]:
+        """Position-independent continuation structure — what the two
+        frontends must agree on for twin methods: the ``(slots,
+        grouped)`` sequence of every split point, in order."""
+        return tuple((j.slots, j.grouped) for j in self.joins)
 
 
 @dataclass
@@ -65,52 +81,58 @@ class PurityInfo:
         return not (self.writes_state or self.becomes or self.migrates)
 
 
-def _is_request_call(e: ast.expr) -> bool:
-    return (
-        isinstance(e, ast.Call)
-        and isinstance(e.func, ast.Attribute)
-        and e.func.attr in ("request", "request_create")
-        and isinstance(e.func.value, ast.Name)
-        and e.func.value.id == "ctx"
+def _split_error(ma: MethodAnalysis, node: ast.AST, msg: str) -> CompileError:
+    """A validation failure, pinned to its absolute source position."""
+    lineno = getattr(node, "lineno", None)
+    where = f" (line {lineno})" if lineno is not None else ""
+    return CompileError(
+        f"{ma.behavior}.{ma.name}{where}: {msg}",
+        behavior=ma.behavior, method=ma.name, lineno=lineno,
     )
 
 
 def analyze_continuations(ma: MethodAnalysis) -> ContinuationPlan:
     """Compute (and validate) the continuation structure of a method."""
-    plan = ContinuationPlan(ma.behavior, ma.name, ma.has_yield)
+    plan = ContinuationPlan(ma.behavior, ma.name, ma.has_yield,
+                            lowered=ma.lowered)
     if not ma.analyzable or not ma.has_yield:
         return plan
-    for node in ast.walk(ma.node):
+    # Own-scope walk: a nested helper generator's yields are not HAL
+    # split points and must not be validated as such.
+    for node in walk_scope(ma.node):
         if isinstance(node, ast.YieldFrom):
-            raise CompileError(
-                f"{ma.behavior}.{ma.name} (line {node.lineno}): `yield from` "
-                "is not a HAL construct; yield individual requests"
+            raise _split_error(
+                ma, node,
+                "`yield from` is not a HAL construct; yield individual "
+                "requests",
             )
         if not isinstance(node, ast.Yield):
             continue
         inner = node.value
         if inner is None:
-            raise CompileError(
-                f"{ma.behavior}.{ma.name} (line {node.lineno}): bare yield; "
-                "a method may only yield ctx.request(...) values"
+            raise _split_error(
+                ma, node,
+                "bare yield; a method may only yield ctx.request(...) "
+                "values",
             )
         if isinstance(inner, (ast.List, ast.Tuple)):
             elts = inner.elts
-            bad = [e for e in elts if not _is_request_call(e)]
+            bad = [e for e in elts if not is_request_call(e)]
             if bad or not elts:
-                raise CompileError(
-                    f"{ma.behavior}.{ma.name} (line {node.lineno}): grouped "
-                    "yield must contain only ctx.request(...) calls"
+                raise _split_error(
+                    ma, bad[0] if bad else node,
+                    "malformed grouped request: a grouped yield must "
+                    "contain only ctx.request(...) calls",
                 )
             plan.joins.append(JoinPoint(node.lineno, len(elts), True))
-        elif _is_request_call(inner):
+        elif is_request_call(inner):
             plan.joins.append(JoinPoint(node.lineno, 1, False))
         elif isinstance(inner, (ast.Constant, ast.BinOp, ast.Compare,
                                 ast.JoinedStr, ast.Dict, ast.Set)):
-            raise CompileError(
-                f"{ma.behavior}.{ma.name} (line {node.lineno}): a method "
-                "may only yield ctx.request(...) values, not "
-                f"{ast.dump(inner)[:40]}..."
+            raise _split_error(
+                ma, node,
+                "a method may only yield ctx.request(...) values, not "
+                f"{ast.dump(inner)[:40]}...",
             )
         else:
             # A dynamic expression (e.g. a pre-built list variable) —

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.actors.behavior import Behavior
 from repro.errors import CompileError
+from repro.hal.lower import walk_scope
 from repro.hal.types import (
     ANY,
     BOTTOM,
@@ -63,7 +64,15 @@ class SendSite:
 
 @dataclass
 class MethodAnalysis:
-    """Parsed form of one behaviour method."""
+    """Parsed form of one behaviour method.
+
+    ``node`` carries *absolute* line numbers (the parse re-anchors the
+    dedented snippet at the function's position in its source file), so
+    every downstream diagnostic and report line points into the real
+    file.  For methods the AST frontend lowered, ``node`` is the stored
+    post-lowering AST — re-reading source would see the original
+    plain-def body, not the generator the runtime executes.
+    """
 
     behavior: str
     name: str
@@ -71,6 +80,9 @@ class MethodAnalysis:
     node: ast.FunctionDef
     has_yield: bool
     analyzable: bool
+    #: True when the body came out of the AST lowering frontend
+    #: (plain-def source, compiler-inserted split points).
+    lowered: bool = False
 
 
 @dataclass
@@ -91,24 +103,39 @@ class InferenceResult:
 
 
 def _parse_method(behavior_name: str, name: str, fn) -> MethodAnalysis:
-    """Parse one method's source into an AST, tolerating failure."""
-    try:
-        src = textwrap.dedent(inspect.getsource(fn))
-        tree = ast.parse(src)
-    except (OSError, TypeError, SyntaxError, IndentationError):
-        return MethodAnalysis(behavior_name, name, [], None, False, False)  # type: ignore[arg-type]
-    func = next(
-        (n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)), None
-    )
-    if func is None:
-        return MethodAnalysis(behavior_name, name, [], None, False, False)  # type: ignore[arg-type]
+    """Parse one method into an AST, tolerating failure.
+
+    Lowered methods hand back their stored post-lowering AST:
+    ``inspect`` would return the *original* plain-def source (the
+    rewritten code object deliberately keeps the original file and
+    line numbers), which no longer matches what the runtime executes.
+    """
+    lowered_ast = getattr(fn, "__hal_lowered_ast__", None)
+    if lowered_ast is not None:
+        func = lowered_ast  # already absolute-lineno'd by the lowerer
+        lowered = True
+    else:
+        try:
+            lines, firstlineno = inspect.getsourcelines(fn)
+            tree = ast.parse(textwrap.dedent("".join(lines)))
+        except (OSError, TypeError, SyntaxError, IndentationError):
+            return MethodAnalysis(behavior_name, name, [], None, False, False)  # type: ignore[arg-type]
+        func = next(
+            (n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)), None
+        )
+        if func is None:
+            return MethodAnalysis(behavior_name, name, [], None, False, False)  # type: ignore[arg-type]
+        ast.increment_lineno(func, firstlineno - 1)
+        lowered = False
     arg_names = [a.arg for a in func.args.args]
     # skip (self, ctx)
     params = arg_names[2:] if len(arg_names) >= 2 else []
     has_yield = any(
-        isinstance(n, (ast.Yield, ast.YieldFrom)) for n in ast.walk(func)
+        isinstance(n, (ast.Yield, ast.YieldFrom)) for n in walk_scope(func)
     )
-    return MethodAnalysis(behavior_name, name, params, func, has_yield, True)
+    return MethodAnalysis(
+        behavior_name, name, params, func, has_yield, True, lowered=lowered
+    )
 
 
 class Inference:

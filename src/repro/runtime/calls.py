@@ -143,6 +143,19 @@ class GeneratorDriver:
         kernel.node.charge(costs.continuation_alloc_us)
         kernel.stats.incr("calls.continuations")
 
+        # The compiler's dispatch verdict for this method's request
+        # sites: a lowered or generator method executing message
+        # ``msg.selector`` had its sites planned under that method
+        # name, so local receivers with a static/lookup plan take the
+        # stack-based inline path instead of the generic buffered send.
+        compiled = None
+        if actor is not None and msg is not None:
+            compiled = actor.behavior.compiled
+        task_static = (
+            actor is None
+            and kernel.config.scheduler.static_dispatch
+        )
+
         def resume(cont: JoinContinuation) -> None:
             values = cont.values()
             kernel.continuations.discard(cont.cont_id)
@@ -181,9 +194,18 @@ class GeneratorDriver:
                         trace_ctx=tctx,
                     )
             else:
+                if compiled is not None:
+                    plan_kind = compiled.plan_for(msg.selector, req.selector)
+                elif task_static:
+                    # Task bodies are compiler output; their receiver
+                    # types are known to the code generator.
+                    plan_kind = "static"
+                else:
+                    plan_kind = "generic"
                 kernel.delivery.send_message(
                     req.ref, req.selector, req.args,
                     reply_to=target, sender_actor=actor,
+                    plan_kind=plan_kind,
                 )
 
 

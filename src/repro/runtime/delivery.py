@@ -89,7 +89,12 @@ class DeliveryService:
         reply_to: Optional[ReplyTarget] = None,
         sender_actor: Optional["Actor"] = None,
         sender_ctx: Optional["Context"] = None,
+        plan_kind: Optional[str] = None,
     ) -> None:
+        """``plan_kind`` is an explicit compiler verdict for this send
+        site (the generator driver passes the plan of the request's
+        split point); when absent, the verdict is derived from the
+        sending context."""
         k = self.kernel
         # Name translation happens in the sender's node even when the
         # recipient is local (§4).
@@ -124,7 +129,8 @@ class DeliveryService:
 
         if is_local:
             actor = desc.actor
-            plan_kind = self._plan_kind(sender_ctx, selector)
+            if plan_kind is None:
+                plan_kind = self._plan_kind(sender_ctx, selector)
             if plan_kind != "generic":
                 depth = sender_ctx.depth if sender_ctx is not None else 0
                 if k.execution.try_inline(actor, msg, plan_kind=plan_kind,

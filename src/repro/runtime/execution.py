@@ -45,6 +45,13 @@ class Execution:
         self._invoke_us = costs.invoke_us
         self._method_lookup_us = costs.method_lookup_us
         self._c_messages = kernel.stats.cell("exec.messages")
+        # Inline-dispatch tallies feed the local-dispatch hit-rate
+        # metric (inline static/lookup vs generic deliveries); with
+        # request sends now planned, these run per message — cells,
+        # not f-string counter keys.
+        self._c_inline_static = kernel.stats.cell("exec.inline_static")
+        self._c_inline_lookup = kernel.stats.cell("exec.inline_lookup")
+        self._c_inline_refused = kernel.stats.cell("exec.inline_refused")
         # Causal tracing: one cached flag on the hot path; the latency
         # histograms are only fed on traced machines, so untraced stats
         # snapshots are byte-identical to the pre-tracing ones.
@@ -334,17 +341,22 @@ class Execution:
             return False
         if depth >= sched.max_inline_depth or self.inline_depth >= sched.max_inline_depth:
             k.stats.incr("exec.inline_depth_overflow")
+            self._c_inline_refused.n += 1
             return False
         if actor.busy or actor.migrating:
+            self._c_inline_refused.n += 1
             return False
         # The locality-check routine also verifies the receiver is
         # enabled for this message (paper §6.3).
         if self._is_disabled(actor, msg):
+            self._c_inline_refused.n += 1
             return False
         if plan_kind == "lookup":
             k.node.charge(k.costs.method_lookup_us)
+            self._c_inline_lookup.n += 1
+        else:
+            self._c_inline_static.n += 1
         fn = actor.behavior.lookup(msg.selector)
-        k.stats.incr(f"exec.inline_{plan_kind}")
         self.inline_depth += 1
         try:
             self.invoke(actor, msg, fn, depth=depth + 1)

@@ -91,6 +91,25 @@ class TestCli:
         out = capsys.readouterr().out
         assert "FibActor [functional]" in out
 
+    def test_compile_verb_report(self, capsys):
+        assert main(["compile", "fibonacci_loadbalance"]) == 0
+        out = capsys.readouterr().out
+        assert "send 'compute' -> static" in out
+        assert "(lowered plain-def)" in out
+        assert "plans: 1 static / 0 lookup / 0 generic" in out
+
+    def test_compile_verb_json(self, capsys):
+        import json
+
+        assert main(["compile", "ping_pong", "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["behaviors"]["Referee"]["lowered_methods"] == ["tally"]
+        assert d["plan_counts"]["generic"] >= 1
+
+    def test_compile_verb_unknown_scenario(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["compile", "frobnicate"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

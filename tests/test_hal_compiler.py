@@ -318,9 +318,73 @@ class TestPlans:
         assert cp.behaviors["Oops"].plan_for("bad", "no_such_method") == "generic"
         assert any("warning" in d for d in cp.diagnostics)
 
+    def test_become_demotes_static_to_lookup(self):
+        @behavior
+        class Shifty:
+            def __init__(self):
+                pass
+
+            @method
+            def hit(self, ctx):
+                ctx.become(Leaf)
+
+        @behavior
+        class Caller:
+            def __init__(self):
+                self.t = None
+
+            @method
+            def setup(self, ctx):
+                self.t = ctx.new(Shifty)
+
+            @method
+            def go(self, ctx):
+                ctx.send(self.t, "hit")
+
+        cp = compiled(Leaf, Shifty, Caller)
+        assert cp.behaviors["Caller"].plan_for("go", "hit") == "lookup"
+        plan = cp.behaviors["Caller"].plans.plans[("go", "hit")]
+        assert "become" in plan.reason
+
+    def test_plan_for_falls_back_to_generic_on_unanalyzed_sites(self):
+        cp = compiled(Leaf, Root)
+        # Selectors the analysis never planned (runtime-composed sends,
+        # external drivers) take the generic mailbox path.
+        assert cp.behaviors["Root"].plan_for("fwd", "never_planned") == "generic"
+        assert cp.behaviors["Leaf"].plan_for("poke", "poke") == "generic"
+
     def test_report_renders(self):
         cp = compiled(Leaf, Root)
         text = cp.report()
         assert "behaviour Root" in text
         assert "static" in text
         assert "continuation split" in text
+
+    def test_report_golden(self):
+        import re
+
+        cp = compiled(Leaf, Root)
+        text = re.sub(r"@\d+", "@L", cp.report())
+        assert text == (
+            "=== HAL compilation report: <adhoc> ===\n"
+            "behaviour Leaf\n"
+            "behaviour Root\n"
+            "  ask: send 'value' -> static  (unique receiver type Leaf)\n"
+            "  fwd: send 'poke' -> static  (unique receiver type Leaf)\n"
+            "  ask: 1 continuation split(s) [1@L] (generator)\n"
+            "plans: 2 static / 0 lookup / 0 generic"
+        )
+
+    def test_report_dict_structure(self):
+        from repro.apps.fibonacci import FibActor
+
+        cp = compiled(FibActor)
+        d = cp.report_dict()
+        fa = d["behaviors"]["FibActor"]
+        assert fa["lowered_methods"] == ["compute"]
+        assert fa["plans"][0]["kind"] == "static"
+        cont = fa["continuations"][0]
+        assert cont["frontend"] == "lowered"
+        assert cont["joins"][0]["slots"] == 2
+        assert cont["joins"][0]["grouped"] is True
+        assert d["plan_counts"]["static"] == 1
