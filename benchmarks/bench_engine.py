@@ -569,6 +569,15 @@ def run_bench(*, quick: bool = False, repeats: int = 3,
         results["backend_mp_shm"] = run_fib_app(
             fib_n, num_nodes=4, backend="mp", transport="shm"
         )
+        # Socket-cluster backend: the same frames over a real TCP
+        # mesh with the reliable-AM sublayer always attached, so this
+        # row prices envelope/ack traffic plus loopback TCP on top of
+        # the mp wire path.  Ungated on first landing — recorded for
+        # trend visibility until a few nightlies establish its noise
+        # band (see check_regression.py).
+        results["backend_asyncio"] = run_fib_app(
+            fib_n, num_nodes=4, backend="asyncio"
+        )
     return results
 
 
@@ -634,6 +643,13 @@ def render(results: Dict) -> str:
             f"mp/shm     n={bh['n']:<4} nodes={bh['nodes']:<3} "
             f"events={bh['sim_events']:>9,}  "
             f"host={bh['events_per_sec']:>11,} ev/s"
+        )
+    ba = results.get("backend_asyncio")
+    if ba:
+        lines.append(
+            f"asyncio    n={ba['n']:<4} nodes={ba['nodes']:<3} "
+            f"events={ba['sim_events']:>9,}  "
+            f"host={ba['events_per_sec']:>11,} ev/s"
         )
     return "\n".join(lines)
 

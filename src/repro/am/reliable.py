@@ -6,10 +6,16 @@ withdraws that guarantee, this layer restores it end-to-end without
 touching any protocol handler:
 
 - every outgoing AM is wrapped in a ``__rel__`` envelope carrying a
-  per-sender **sequence number** (8 bytes of wire overhead);
+  per-``(sender, destination)`` **sequence number** (8 bytes of wire
+  overhead) — dense from 0 on each directed pair, so a receiver sees
+  every seq of the stream it dedupes;
 - the receiver immediately acks the sequence number (``__rel_ack__``)
   and runs the inner handler exactly once — duplicates are absorbed by
-  a ``(sender, seq)`` seen-set *before* dispatch;
+  a **windowed** per-sender dedupe *before* dispatch: each sender's
+  delivered seqs are kept as a contiguous *floor* (every seq at or
+  below it was dispatched) plus the out-of-order residue above it, so
+  the table's size is bounded by the reordering window, not by the
+  connection's lifetime traffic;
 - the sender keeps the envelope until acked, retransmitting on timeout
   with exponential backoff, and fails loudly with
   :class:`~repro.errors.ReliabilityError` when the retry budget is
@@ -44,6 +50,13 @@ from repro.tracectx import TraceCtx
 #: Wire overhead of the envelope's sequence number.
 SEQ_BYTES = 8
 
+#: Ceiling on the exponent fed to ``backoff_factor ** k``.  Attempt
+#: counts are unbounded when ``max_retries`` is raised for long-lived
+#: network backends, and a float power overflows near ``2.0 ** 1024``
+#: — long before that, ``ack_timeout_us * factor**k`` has exceeded any
+#: sane ``max_backoff_us``, so clamping the *exponent* loses nothing.
+BACKOFF_EXP_CAP = 64
+
 ENV_HANDLER = "__rel__"
 ACK_HANDLER = "__rel_ack__"
 
@@ -69,11 +82,22 @@ class ReliableTransport:
         self._spans = (
             spans if spans is not None and spans.enabled else None
         )
-        self._seq = 0
-        #: seq -> [dst, handler, args, env_nbytes, attempts, timer,
-        #:         sent_time, trace_ctx]
-        self._pending: Dict[int, list] = {}
-        self._seen: Set[Tuple[int, int]] = set()
+        #: Next seq per destination.  Seqs are per directed pair, not
+        #: per sender: the receiver's windowed dedupe needs to see a
+        #: *dense* stream to advance its contiguous floor.
+        self._next_seq: Dict[int, int] = {}
+        #: (dst, seq) -> [dst, handler, args, env_nbytes, attempts,
+        #:                timer, sent_time, trace_ctx]
+        self._pending: Dict[Tuple[int, int], list] = {}
+        #: Windowed dedupe state, per sender: ``_floor[src]`` is the
+        #: highest seq S such that every seq <= S from ``src`` has been
+        #: dispatched; ``_above[src]`` holds the seqs delivered out of
+        #: order above that floor.  Senders allocate seqs densely from
+        #: 0, so in-order traffic keeps ``_above`` empty and the whole
+        #: table is one int per peer — the residue only grows while
+        #: reordering/loss holds a gap open.
+        self._floor: Dict[int, int] = {}
+        self._above: Dict[int, Set[int]] = {}
         self._c_sent = stats.cell("rel.envelopes")
         self._c_acks = stats.cell("rel.acks")
         self._c_retries = stats.cell("rel.retries")
@@ -98,6 +122,13 @@ class ReliableTransport:
         """Unacked envelopes held by this sender (white-box for tests
         and the invariant checker)."""
         return len(self._pending)
+
+    @property
+    def dedupe_residue(self) -> int:
+        """Out-of-order seqs currently held above the contiguous
+        floors, summed over senders (white-box for tests: this — not
+        total traffic — is what bounds the dedupe table's memory)."""
+        return sum(len(s) for s in self._above.values())
 
     def _now(self) -> float:
         return self.node.time()
@@ -129,8 +160,8 @@ class ReliableTransport:
                 wire_kind=handler,
             )
             return
-        seq = self._seq
-        self._seq = seq + 1
+        seq = self._next_seq.get(dst, 0)
+        self._next_seq[dst] = seq + 1
         size = nbytes if nbytes is not None else message_nbytes(
             args, self.ep._packet_bytes
         )
@@ -139,7 +170,7 @@ class ReliableTransport:
             args = args + (trace_ctx,)
         entry = [dst, handler, args, size + SEQ_BYTES, 0, None, self._now(),
                  trace_ctx]
-        self._pending[seq] = entry
+        self._pending[(dst, seq)] = entry
         self._transmit_env(seq, entry, charge_sender)
 
     def _transmit_env(self, seq: int, entry: list, charge_sender: bool) -> None:
@@ -150,17 +181,26 @@ class ReliableTransport:
             charge_sender=charge_sender, wire_kind=handler,
         )
         p = self.params
-        timeout = min(
-            p.ack_timeout_us * (p.backoff_factor ** entry[4]), p.max_backoff_us
-        )
+        # Clamp the exponent *before* the power: ``float ** k`` raises
+        # OverflowError around k=1024 with the default factor of 2,
+        # which a high-max_retries network run can reach.  The except
+        # is belt-and-braces for extreme factors below the cap — the
+        # product is about to be min()-ed against max_backoff_us
+        # anyway, so the ceiling is the right answer on both paths.
+        exp = entry[4] if entry[4] < BACKOFF_EXP_CAP else BACKOFF_EXP_CAP
+        try:
+            backoff = p.ack_timeout_us * (p.backoff_factor ** exp)
+        except OverflowError:
+            backoff = p.max_backoff_us
+        timeout = min(backoff, p.max_backoff_us)
         entry[5] = self.node.execute(
             self._now() + timeout,
-            lambda: self._on_timeout(seq),
+            lambda: self._on_timeout(dst, seq),
             label="rel.timeout",
         )
 
-    def _on_timeout(self, seq: int) -> None:
-        entry = self._pending.get(seq)
+    def _on_timeout(self, dst: int, seq: int) -> None:
+        entry = self._pending.get((dst, seq))
         if entry is None:
             return  # acked while the timer event was in flight
         self._c_timeouts.n += 1
@@ -198,7 +238,7 @@ class ReliableTransport:
 
     def _on_ack(self, src: int, seq: int) -> None:
         self._c_ack_recv.n += 1
-        entry = self._pending.pop(seq, None)
+        entry = self._pending.pop((src, seq), None)
         if entry is None:
             return  # duplicate ack (retransmit raced the first ack)
         self._c_acks.n += 1
@@ -215,11 +255,27 @@ class ReliableTransport:
         # packet that was lost.
         self._c_ack_sent.n += 1
         self.ep.send_raw(src, ACK_HANDLER, (seq,), wire_kind=ACK_HANDLER)
-        key = (src, seq)
-        if key in self._seen:
+        floor = self._floor.get(src, -1)
+        if seq <= floor:
             self._c_dup.n += 1
             return
-        self._seen.add(key)
+        above = self._above.get(src)
+        if above is None:
+            above = self._above[src] = set()
+        if seq in above:
+            self._c_dup.n += 1
+            return
+        if seq == floor + 1:
+            # Advance the contiguous floor through any residue it now
+            # connects to — this is the pruning step that keeps the
+            # table bounded under sustained traffic.
+            floor += 1
+            while floor + 1 in above:
+                floor += 1
+                above.discard(floor)
+            self._floor[src] = floor
+        else:
+            above.add(seq)
         ep = self.ep
         fn = ep._handler_table.get(handler)
         if fn is None:
@@ -229,4 +285,7 @@ class ReliableTransport:
     # ------------------------------------------------------------------
     def unacked(self) -> List[Tuple[int, int, str]]:
         """Outstanding (seq, dst, handler) triples, for diagnostics."""
-        return [(seq, e[0], e[1]) for seq, e in sorted(self._pending.items())]
+        return [
+            (seq, dst, e[1])
+            for (dst, seq), e in sorted(self._pending.items())
+        ]

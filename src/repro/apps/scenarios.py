@@ -18,7 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from repro.config import LoadBalanceParams, MpParams, RuntimeConfig, TracingParams
+from repro.config import (
+    LoadBalanceParams,
+    MpParams,
+    NetParams,
+    RuntimeConfig,
+    TracingParams,
+)
 from repro.hal.dsl import behavior, method
 from repro.runtime.system import HalRuntime
 
@@ -133,6 +139,7 @@ def run_ping_pong(
     faults=None,
     backend: str = "sim",
     mp: Optional[MpParams] = None,
+    net: Optional[NetParams] = None,
     tracing: Optional[TracingParams] = None,
 ) -> ScenarioResult:
     """A ``2n``-hit rally between actors on two different nodes.
@@ -144,7 +151,7 @@ def run_ping_pong(
     if num_nodes < 2:
         raise ValueError("ping_pong needs at least 2 nodes")
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed, backend=backend,
-                        mp=mp or MpParams(),
+                        mp=mp or MpParams(), net=net or NetParams(),
                         tracing=tracing or TracingParams())
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load_behaviors(PingPonger, Referee)
@@ -185,6 +192,7 @@ def run_migration_tour(
     faults=None,
     backend: str = "sim",
     mp: Optional[MpParams] = None,
+    net: Optional[NetParams] = None,
     tracing: Optional[TracingParams] = None,
 ) -> ScenarioResult:
     """Tour one actor through ``n`` migrations, then probe it from a
@@ -206,7 +214,7 @@ def run_migration_tour(
     # table) is still visible in the trace.
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed,
                         descriptor_caching=False, backend=backend,
-                        mp=mp or MpParams(),
+                        mp=mp or MpParams(), net=net or NetParams(),
                         tracing=tracing or TracingParams())
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load_behaviors(Wanderer)
@@ -255,6 +263,7 @@ def run_fibonacci_loadbalance(
     faults=None,
     backend: str = "sim",
     mp: Optional[MpParams] = None,
+    net: Optional[NetParams] = None,
     tracing: Optional[TracingParams] = None,
 ) -> ScenarioResult:
     """fib(n) under receiver-initiated work stealing, traced.
@@ -270,6 +279,7 @@ def run_fibonacci_loadbalance(
         backend=backend,
         load_balance=LoadBalanceParams(enabled=True),
         mp=mp or MpParams(),
+        net=net or NetParams(),
         tracing=tracing or TracingParams(),
     )
     rt = HalRuntime(cfg, trace=trace, faults=faults)
@@ -303,6 +313,7 @@ def run_group_broadcast(
     faults=None,
     backend: str = "sim",
     mp: Optional[MpParams] = None,
+    net: Optional[NetParams] = None,
     tracing: Optional[TracingParams] = None,
 ) -> ScenarioResult:
     """``grpnew`` an ``n``-member group, broadcast to it three times,
@@ -315,7 +326,7 @@ def run_group_broadcast(
     three backends.
     """
     cfg = RuntimeConfig(num_nodes=num_nodes, seed=seed, backend=backend,
-                        mp=mp or MpParams(),
+                        mp=mp or MpParams(), net=net or NetParams(),
                         tracing=tracing or TracingParams())
     rt = HalRuntime(cfg, trace=trace, faults=faults)
     rt.load_behaviors(GroupCell)
@@ -388,6 +399,7 @@ def run_scenario(
     faults=None,
     backend: str = "sim",
     mp: Optional[MpParams] = None,
+    net: Optional[NetParams] = None,
     tracing: Optional[TracingParams] = None,
 ) -> ScenarioResult:
     """Run a registered scenario by name; None keeps its defaults."""
@@ -399,7 +411,7 @@ def run_scenario(
         ) from None
     kwargs: Dict[str, object] = {
         "trace": trace, "seed": seed, "faults": faults, "backend": backend,
-        "mp": mp, "tracing": tracing,
+        "mp": mp, "net": net, "tracing": tracing,
     }
     if num_nodes is not None:
         kwargs["num_nodes"] = num_nodes

@@ -171,6 +171,23 @@ def _mp_params(args):
     )
 
 
+def _net_params(args):
+    """NetParams from the asyncio socket-mesh flags (None = config
+    defaults: ephemeral TCP on 127.0.0.1)."""
+    transport = getattr(args, "net_transport", None)
+    host = getattr(args, "net_host", None)
+    port_base = getattr(args, "net_port_base", None)
+    if transport is None and host is None and port_base is None:
+        return None
+    from repro.config import NetParams
+    defaults = NetParams()
+    return NetParams(
+        transport=transport or defaults.transport,
+        host=host or defaults.host,
+        port_base=defaults.port_base if port_base is None else port_base,
+    )
+
+
 def _tracing_params(args):
     """TracingParams from the sampling flags (None = config defaults:
     rate 1.0, capacity 65536)."""
@@ -193,6 +210,7 @@ def _run_scenario_for_cli(args, faults=None):
                             seed=args.seed, faults=faults,
                             backend=getattr(args, "backend", "sim"),
                             mp=_mp_params(args),
+                            net=_net_params(args),
                             tracing=_tracing_params(args))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -213,7 +231,7 @@ def _cmd_run(args) -> None:
             f"backend={rt.config.backend})",
             ["", "value"], rows,
             note="elapsed_us is simulated time on backend=sim, "
-                 "wall-clock time on backend=threaded/mp",
+                 "wall-clock time on backend=threaded/mp/asyncio",
         ))
     finally:
         rt.close()
@@ -419,14 +437,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "in bytes (default 262144; larger frames "
                             "cross in chunks)")
 
+    def add_net_flags(p):
+        p.add_argument("--net-transport", choices=("tcp", "unix"),
+                       default=None,
+                       help="asyncio socket mesh: real TCP listeners "
+                            "(default) or single-host UNIX-domain sockets")
+        p.add_argument("--net-host", default=None,
+                       help="asyncio tcp: interface the per-node listeners "
+                            "bind (default 127.0.0.1)")
+        p.add_argument("--net-port-base", type=int, default=None,
+                       help="asyncio tcp: node i listens on port_base+i "
+                            "(default 0 = ephemeral ports, addresses "
+                            "distributed by the driver)")
+
     p.add_argument("app", help="scenario name")
-    p.add_argument("--backend", choices=("sim", "threaded", "mp"),
+    p.add_argument("--backend", choices=("sim", "threaded", "mp", "asyncio"),
                    default="sim",
                    help="sim: deterministic discrete-event simulator; "
                         "threaded: real-time, one OS thread per node; "
                         "mp: one OS process per node, batched binary "
-                        "frames, token-ring quiescence")
+                        "frames, token-ring quiescence; asyncio: one "
+                        "process per node over a TCP/UNIX socket mesh "
+                        "with the reliable-AM sublayer always on")
     add_mp_flags(p)
+    add_net_flags(p)
     p.add_argument("--nodes", type=int, default=None, help="partition size")
     p.add_argument("--n", type=int, default=None,
                    help="problem size (scenario-specific)")
@@ -499,11 +533,14 @@ def main(argv: Optional[List[str]] = None) -> int:
              "audit the run's invariants (exit 1 on violation)",
     )
     p.add_argument("app", help="scenario name")
-    p.add_argument("--backend", choices=("sim", "mp"), default="sim",
-                   help="backend to inject on: sim (fully deterministic) "
-                        "or mp (per-(seed, node) deterministic draw "
-                        "streams; audit runs on merged exact counters)")
+    p.add_argument("--backend", choices=("sim", "mp", "asyncio"),
+                   default="sim",
+                   help="backend to inject on: sim (fully deterministic), "
+                        "mp or asyncio (per-(seed, node) deterministic "
+                        "draw streams; audit runs on merged exact "
+                        "counters)")
     add_mp_flags(p)
+    add_net_flags(p)
     p.add_argument("--nodes", type=int, default=None, help="partition size")
     p.add_argument("--n", type=int, default=None,
                    help="problem size (scenario-specific)")

@@ -146,6 +146,52 @@ class MpParams:
 
 
 @dataclass(frozen=True)
+class NetParams:
+    """Socket-mesh knobs for the asyncio network backend.
+
+    Each node is a process reachable over a real socket: ``"tcp"``
+    listens on ``(host, port_base + node_id)`` per node (``port_base
+    = 0`` lets the OS pick an ephemeral port for each listener — the
+    right default for tests, where fixed ports collide), ``"unix"``
+    uses per-node UNIX-domain socket paths under a private temp
+    directory (single-host only, no port management).  Workers
+    bootstrap into a full mesh through the driver: every worker
+    reports its bound address, the driver broadcasts the address map,
+    and each worker dials its lower-numbered peers (redialling for up
+    to ``connect_timeout_s`` while listeners come up).  Frames on the
+    wire are the same :mod:`repro.platform.wireformat` batches the mp
+    backend ships; the reliable-AM sublayer is always attached on
+    this backend, so drops/delays/reordering are repaired end-to-end
+    rather than assumed away.
+    """
+
+    #: Socket family: real TCP or single-host UNIX-domain sockets.
+    transport: Literal["tcp", "unix"] = "tcp"
+    #: Interface/host the per-node listeners bind ("tcp" only).
+    host: str = "127.0.0.1"
+    #: First listener port; node *i* binds ``port_base + i``.  0 means
+    #: ephemeral — every node binds port 0 and the driver distributes
+    #: the actual addresses.
+    port_base: int = 0
+    #: How long a worker keeps redialling a peer during mesh bring-up
+    #: before giving up (seconds, wall clock).
+    connect_timeout_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("tcp", "unix"):
+            raise ValueError(
+                f"unknown net transport {self.transport!r}; "
+                "expected 'tcp' or 'unix'"
+            )
+        if not (0 <= self.port_base <= 65535):
+            raise ValueError("port_base must be within [0, 65535]")
+        if self.port_base and self.port_base + 256 > 65536:
+            raise ValueError("port_base too high for a node range")
+        if self.connect_timeout_s <= 0:
+            raise ValueError("connect_timeout_s must be positive")
+
+
+@dataclass(frozen=True)
 class TracingParams:
     """Always-on causal tracing knobs (see :mod:`repro.tracing`).
 
@@ -231,9 +277,12 @@ class RuntimeConfig:
     #: simulator (fault injection, timing tables); ``threaded`` runs
     #: each node on an OS thread in real time (convergence semantics,
     #: no determinism); ``mp`` runs each node in its own OS process
-    #: (pickled wire packets, token-ring quiescence, no GIL sharing).
+    #: (pickled wire packets, token-ring quiescence, no GIL sharing);
+    #: ``asyncio`` runs each node in its own process behind a real
+    #: TCP/UNIX socket mesh with the reliable-AM sublayer always on
+    #: (cluster semantics: loss is repaired, not assumed away).
     #: See :mod:`repro.platform`.
-    backend: Literal["sim", "threaded", "mp"] = "sim"
+    backend: Literal["sim", "threaded", "mp", "asyncio"] = "sim"
     #: Interconnect topology: CM-5 fat-tree or binary hypercube.
     topology: Literal["fattree", "hypercube"] = "fattree"
     #: Seed for all deterministic random substreams.
@@ -254,6 +303,8 @@ class RuntimeConfig:
     reliability: ReliabilityParams = field(default_factory=ReliabilityParams)
     #: Wire-path knobs for the mp backend (ignored elsewhere).
     mp: MpParams = field(default_factory=MpParams)
+    #: Socket-mesh knobs for the asyncio backend (ignored elsewhere).
+    net: NetParams = field(default_factory=NetParams)
     #: Span-recording knobs (head sampling + ring capacity); only
     #: consulted when the machine is built with ``trace=True``.
     tracing: TracingParams = field(default_factory=TracingParams)
@@ -268,10 +319,10 @@ class RuntimeConfig:
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
-        if self.backend not in ("sim", "threaded", "mp"):
+        if self.backend not in ("sim", "threaded", "mp", "asyncio"):
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected 'sim', "
-                "'threaded' or 'mp'"
+                "'threaded', 'mp' or 'asyncio'"
             )
         if self.bulk_threshold_bytes < 1:
             raise ValueError("bulk_threshold_bytes must be >= 1")

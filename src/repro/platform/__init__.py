@@ -19,6 +19,14 @@ a backend by name (usually from ``RuntimeConfig.backend``):
     with per-(seed, node) deterministic draw streams), and
     non-picklable payloads are hard errors.
 
+``asyncio``
+    Cluster: one OS process per node behind a real TCP (or UNIX)
+    socket mesh driven by an asyncio event loop — the mp backend's
+    frames, Safra ring and fault plans, but over sockets that could
+    span hosts, with the reliable-AM sublayer always attached and
+    cluster-wide ``(birthplace, descriptor)`` name resolution with
+    FIR-style back-patching on the driver.
+
 Backend modules are imported lazily so constructing a sim machine
 never pays for ``threading`` machinery and vice versa, and so the
 interface module stays import-cycle-free.
@@ -39,7 +47,7 @@ from repro.platform.base import (
 )
 
 #: Names accepted by :func:`make_machine` / ``RuntimeConfig.backend``.
-BACKENDS = ("sim", "threaded", "mp")
+BACKENDS = ("sim", "threaded", "mp", "asyncio")
 
 
 def make_machine(
@@ -68,6 +76,10 @@ def make_machine(
         from repro.platform.mp import MpMachine
 
         return MpMachine(config, trace=trace, faults=faults)
+    if name == "asyncio":
+        from repro.platform.asyncio_net import AsyncioMachine
+
+        return AsyncioMachine(config, trace=trace, faults=faults)
     raise ReproError(
         f"unknown backend {name!r}; expected one of {', '.join(BACKENDS)}"
     )

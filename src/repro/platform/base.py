@@ -39,14 +39,14 @@ machine.  The single source of truth is the declarative table in
 :mod:`repro.platform.capabilities` (tests pin the class flags, the
 rejection messages and the README matrix against it):
 
-========================  ===========  ============  ============
-capability                sim          threaded      mp
-========================  ===========  ============  ============
-``deterministic``         yes          no            no
-``supports_faults``       yes          no            yes
-``supports_tracing``      yes          yes           no
-``distributed``           no           no            yes
-========================  ===========  ============  ============
+========================  ===========  ============  ====  =========
+capability                sim          threaded      mp    asyncio
+========================  ===========  ============  ====  =========
+``deterministic``         yes          no            no    no
+``supports_faults``       yes          no            yes   yes
+``supports_tracing``      yes          yes           no    no
+``distributed``           no           no            yes   yes
+========================  ===========  ============  ====  =========
 
 A *distributed* machine runs each node in its own OS process: nothing
 is shared, every message crosses an operating-system boundary as a

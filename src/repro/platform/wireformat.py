@@ -13,12 +13,15 @@ Frame layout (all integers network byte order)::
 
     frame   := u32 body_len | body
     body    := record+
-    record  := MSG | DEF | TOK | QSC
+    record  := MSG | DEF | TOK | QSC | MSGR
     MSG     := u8 0x01 | i16 src | i16 dst | u16 handler_id
                | u16 kind_id | u32 nbytes | u32 payload_len | payload
     DEF     := u8 0x02 | u16 id | u16 name_len | name (utf-8)
     TOK     := u8 0x03 | u32 rid | i64 count | u8 black
     QSC     := u8 0x04 | u32 rid
+    MSGR    := u8 0x05 | i16 src | i16 dst | u16 handler_len
+               | u16 kind_len | u32 nbytes | u32 payload_len
+               | handler (utf-8) | kind (utf-8) | payload
 
 ``handler_id``/``kind_id`` index a **per-connection string table**:
 the sender interns each handler name the first time it crosses a given
@@ -27,9 +30,13 @@ that references it, and the receiver's table grows append-only in step
 (ids are assigned densely from 0 in emission order).  Hot handler
 names — ``deliver_keyed``, ``fir_req``, steal chatter — therefore cost
 two bytes per message after their first appearance instead of a
-pickled string.  ``TOK``/``QSC`` carry the Safra token ring's
-termination-detection traffic in the same stream, so control messages
-keep FIFO order with the data they chase.
+pickled string.  Once a connection's table is full (``MAX_INTERNED``
+ids assigned) further *new* names degrade gracefully to ``MSGR``
+records carrying both names raw — slower per message, but a long-
+lived connection with a pathological name population keeps working
+instead of dying with a protocol error.  ``TOK``/``QSC`` carry the
+Safra token ring's termination-detection traffic in the same stream,
+so control messages keep FIFO order with the data they chase.
 
 The encoder accepts a pre-serialised payload so a broadcast can
 pickle its args **once per batch** and reuse the bytes across every
@@ -59,13 +66,16 @@ from repro.platform.base import WirePacket
 PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 #: Record type tags.
-MSG, DEF, TOK, QSC = 0x01, 0x02, 0x03, 0x04
+MSG, DEF, TOK, QSC, MSGR = 0x01, 0x02, 0x03, 0x04, 0x05
 
 _LEN = struct.Struct("!I")
 _MSG = struct.Struct("!BhhHHII")
 _DEF = struct.Struct("!BHH")
 _TOK = struct.Struct("!BIqB")
 _QSC = struct.Struct("!BI")
+#: Raw-name message: same header shape as ``_MSG`` but the two u16
+#: fields are utf-8 *lengths* of the handler/kind names that follow.
+_MSGR = struct.Struct("!BhhHHII")
 
 #: Interning ids are u16: a connection may carry at most this many
 #: distinct handler names (a registry holds a few dozen in practice).
@@ -107,14 +117,15 @@ class FrameEncoder:
         self.messages = 0
 
     # ------------------------------------------------------------------
-    def _intern(self, name: str) -> int:
+    def _intern(self, name: str) -> Optional[int]:
+        """Id for ``name``, interning it (and emitting its ``DEF``) on
+        first sight — or ``None`` when the table is already full, in
+        which case the caller falls back to a raw-name record."""
         ident = self._ids.get(name)
         if ident is None:
             ident = len(self._ids)
             if ident > MAX_INTERNED:
-                raise NetworkError(
-                    f"handler-name intern table overflow at {name!r}"
-                )
+                return None
             self._ids[name] = ident
             raw = name.encode("utf-8")
             if len(raw) > 0xFFFF:
@@ -132,10 +143,32 @@ class FrameEncoder:
         if payload is None:
             payload = encode_payload(packet.args)
         hid = self._intern(packet.handler)
-        kid = hid if packet.kind == packet.handler else self._intern(packet.kind)
-        self._buf += _MSG.pack(
-            MSG, packet.src, packet.dst, hid, kid, packet.nbytes, len(payload)
+        kid = (
+            hid if packet.kind == packet.handler else self._intern(packet.kind)
         )
+        if hid is None or kid is None:
+            # Intern table full and this message names something new:
+            # degrade to a raw-name record rather than killing the
+            # connection.  Both names travel explicitly (no sentinel
+            # for kind==handler — the overflow path optimises for
+            # unambiguity, not bytes).
+            hraw = packet.handler.encode("utf-8")
+            kraw = packet.kind.encode("utf-8")
+            if len(hraw) > 0xFFFF or len(kraw) > 0xFFFF:
+                raise NetworkError(
+                    f"handler name too long: {packet.handler[:32]!r}..."
+                )
+            self._buf += _MSGR.pack(
+                MSGR, packet.src, packet.dst, len(hraw), len(kraw),
+                packet.nbytes, len(payload),
+            )
+            self._buf += hraw
+            self._buf += kraw
+        else:
+            self._buf += _MSG.pack(
+                MSG, packet.src, packet.dst, hid, kid, packet.nbytes,
+                len(payload),
+            )
         self._buf += payload
         self.messages += 1
 
@@ -247,6 +280,22 @@ class FrameDecoder:
                         f"{len(names)} names known"
                     )
                 names.append(name)
+            elif tag == MSGR:
+                _, src, dst, hlen, klen, nbytes, plen = _MSGR.unpack_from(
+                    buf, off
+                )
+                off += _MSGR.size
+                if off + hlen + klen + plen > end:
+                    raise NetworkError("message payload overruns its frame")
+                handler = bytes(buf[off:off + hlen]).decode("utf-8")
+                off += hlen
+                kind = bytes(buf[off:off + klen]).decode("utf-8")
+                off += klen
+                args = decode_payload(bytes(buf[off:off + plen]))
+                off += plen
+                out.append(
+                    ("msg", WirePacket(src, dst, handler, args, nbytes, kind))
+                )
             elif tag == TOK:
                 _, rid, count, black = _TOK.unpack_from(buf, off)
                 off += _TOK.size

@@ -1,0 +1,235 @@
+"""Asyncio socket-mesh backend: read-loop robustness and cluster
+naming.
+
+The adversarial-segmentation property drives the backend's *actual*
+reader-pump coroutine (``_AsyncWorkerHost._pump``) over a real
+``asyncio.StreamReader``: TCP may present any byte chunking of any
+frame sequence, interleaved with event-loop scheduling points, and the
+pump + decoder must reassemble exactly the sent records.  The naming
+tests pin the driver-side FIR-style chase: resolution starts from the
+birthplace shard an address encodes, follows forwarding guesses, and
+back-patches the driver cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.scenarios import run_migration_tour, run_scenario
+from repro.config import NetParams
+from repro.platform.asyncio_net import (
+    _NET_ACK_TIMEOUT_US,
+    _AsyncChannel,
+    _AsyncWorkerHost,
+    _net_worker_config,
+)
+from repro.platform.base import WirePacket
+from repro.platform.wireformat import FrameDecoder, FrameEncoder
+
+
+# ----------------------------------------------------------------------
+# adversarial TCP segmentation through the backend's read loop
+# ----------------------------------------------------------------------
+class _PumpProbe:
+    """Just enough host surface for the real pump coroutine: the wake
+    event it signals and the EOF flag it raises."""
+
+    _pump = _AsyncWorkerHost._pump
+
+    def __init__(self) -> None:
+        self._wake = asyncio.Event()
+        self._eof = False
+
+
+def _simple_packets():
+    names = st.sampled_from(["deliver_keyed", "fir_req", "__rel__", "h"])
+    return st.builds(
+        WirePacket,
+        src=st.integers(0, 7),
+        dst=st.integers(0, 7),
+        handler=names,
+        args=st.tuples(st.integers(-1000, 1000), st.text(max_size=8)),
+        nbytes=st.integers(1, 4096),
+        kind=names,
+    )
+
+
+class TestAdversarialSegmentation:
+    @given(
+        st.lists(_simple_packets(), min_size=1, max_size=16),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pump_reassembles_any_chunking(self, pkts, data):
+        """Feed the wire bytes to the pump's StreamReader in
+        adversarially-chosen chunks with scheduling points between
+        them; the channel decoder must yield exactly the records a
+        whole-stream decode yields, and EOF must raise the host's
+        eof flag and wake it."""
+        enc = FrameEncoder()
+        wire = bytearray()
+        for i, p in enumerate(pkts):
+            enc.add_message(p)
+            # Interleave control records and frame boundaries so the
+            # chunking crosses frames, not just messages.
+            if data.draw(st.booleans(), label=f"token after {i}"):
+                enc.add_token(i, i - 3, bool(i & 1))
+            if data.draw(st.booleans(), label=f"flush after {i}"):
+                wire += enc.take_frame()
+        enc.add_quiesce(99)
+        wire += enc.take_frame()
+        expect_dec = FrameDecoder()
+        expect_dec.feed(bytes(wire))
+        expected = list(expect_dec.drain())
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            ch = _AsyncChannel(reader, None)
+            probe = _PumpProbe()
+            task = asyncio.ensure_future(probe._pump(ch))
+            pos = 0
+            while pos < len(wire):
+                step = data.draw(
+                    st.integers(1, len(wire) - pos), label="chunk size"
+                )
+                reader.feed_data(bytes(wire[pos:pos + step]))
+                pos += step
+                if data.draw(st.booleans(), label="yield"):
+                    # A scheduling point: the pump may run on any
+                    # prefix of the stream.
+                    await asyncio.sleep(0)
+            reader.feed_eof()
+            await task
+            return list(ch.decoder.drain()), probe
+
+        records, probe = asyncio.run(scenario())
+        assert records == expected
+        assert probe._eof
+        assert probe._wake.is_set()
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_pump_holds_partial_frames_across_reads(self, data):
+        """A frame split one byte at a time never yields early or
+        corrupts: records appear only once their frame completes."""
+        enc = FrameEncoder()
+        p = WirePacket(0, 1, "deliver_keyed", (42,), 64, "deliver_keyed")
+        enc.add_message(p)
+        wire = enc.take_frame()
+        cut = data.draw(st.integers(1, len(wire) - 1), label="cut")
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            ch = _AsyncChannel(reader, None)
+            probe = _PumpProbe()
+            task = asyncio.ensure_future(probe._pump(ch))
+            reader.feed_data(wire[:cut])
+            await asyncio.sleep(0)
+            early = list(ch.decoder.drain())
+            reader.feed_data(wire[cut:])
+            reader.feed_eof()
+            await task
+            return early, list(ch.decoder.drain())
+
+        early, late = asyncio.run(scenario())
+        assert early == []
+        assert late == [("msg", p)]
+
+
+# ----------------------------------------------------------------------
+# worker config: the loss-tolerance layer is always on
+# ----------------------------------------------------------------------
+class TestWorkerConfig:
+    def test_automatic_reliability_is_forced_on_with_wall_clock_floors(self):
+        from repro.config import RuntimeConfig
+
+        cfg = _net_worker_config(RuntimeConfig(num_nodes=2, seed=1))
+        assert cfg.reliability.enabled is True
+        assert cfg.reliability.ack_timeout_us >= _NET_ACK_TIMEOUT_US
+
+    def test_explicit_settings_are_honoured(self):
+        from repro.config import ReliabilityParams, RuntimeConfig
+
+        off = _net_worker_config(RuntimeConfig(
+            num_nodes=2, seed=1,
+            reliability=ReliabilityParams(enabled=False),
+        ))
+        assert off.reliability.enabled is False
+        custom = _net_worker_config(RuntimeConfig(
+            num_nodes=2, seed=1,
+            reliability=ReliabilityParams(enabled=True, ack_timeout_us=123.0),
+        ))
+        assert custom.reliability.ack_timeout_us == 123.0
+
+
+# ----------------------------------------------------------------------
+# cluster naming: birthplace-shard resolution with back-patching
+# ----------------------------------------------------------------------
+class TestClusterNaming:
+    def test_locate_chases_from_the_birthplace_shard_and_backpatches(self):
+        """After a migration tour the birthplace's table only holds a
+        forwarding guess; a driver with a cold cache must still resolve
+        the address (chasing node to node) and must cache the answer so
+        the next query is a single hop."""
+        res = run_migration_tour(
+            trace=False, backend="asyncio", num_nodes=4, n=3
+        )
+        try:
+            machine = res.runtime.machine
+            [(addr, true_node)] = machine.actor_locations().items()
+            assert true_node == res.summary["final_node"]
+            machine._locations.clear()  # cold cache: force a chase
+            assert machine.locate(addr) == true_node
+            assert machine._locations[addr] == true_node  # back-patched
+            # Warm cache: the next resolve starts at the cached node
+            # and confirms locally in one hop.
+            assert machine.locate(addr) == true_node
+        finally:
+            res.runtime.close()
+
+    def test_resolve_is_a_pure_read(self):
+        """Name resolution must not wake the partition: quiescence
+        certified before a locate still holds after it."""
+        res = run_migration_tour(
+            trace=False, backend="asyncio", num_nodes=4, n=3
+        )
+        try:
+            rt = res.runtime
+            assert rt.quiescent()
+            machine = rt.machine
+            [(addr, _)] = machine.actor_locations().items()
+            machine._locations.clear()
+            machine.locate(addr)
+            assert rt.quiescent()
+        finally:
+            res.runtime.close()
+
+    def test_unknown_address_falls_back_to_snapshot(self):
+        from repro.runtime.names import AddrKind, MailAddress
+
+        res = run_scenario("ping_pong", trace=False, backend="asyncio")
+        try:
+            bogus = MailAddress(AddrKind.ORDINARY, 1, 999_999)
+            assert res.runtime.machine.locate(bogus) is None
+        finally:
+            res.runtime.close()
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+class TestTransports:
+    @pytest.mark.parametrize("transport", ["tcp", "unix"])
+    def test_ping_pong_converges(self, transport):
+        res = run_scenario(
+            "ping_pong", trace=False, backend="asyncio",
+            net=NetParams(transport=transport),
+        )
+        try:
+            assert res.summary["rally"] == 40
+            assert res.runtime.quiescent()
+        finally:
+            res.runtime.close()

@@ -1,6 +1,6 @@
 """Backend parity: the same scenarios converge to the same final state
-on the discrete-event, the real-time threaded, and the multiprocessing
-backends.
+on the discrete-event, the real-time threaded, the multiprocessing,
+and the asyncio socket-cluster backends.
 
 The threaded and mp backends give no ordering or timing guarantees, so
 parity is asserted on *convergent* state only: scenario results
@@ -156,3 +156,35 @@ def test_mp_backend_converges_across_seeds(name):
             assert state["actors"] == len(state["locations"])
         finally:
             res.runtime.close()
+
+
+@pytest.mark.parametrize("name", SEQUENTIAL_SCENARIOS)
+def test_asyncio_backend_matches_sim_final_state(name):
+    """The socket-cluster backend reaches the sim's exact final state
+    (summary, actor count, ground-truth locations).  Counters are not
+    compared: the always-attached reliable sublayer books `rel.*`
+    traffic no lossless backend has."""
+    sim_res = run_scenario(name, trace=False, backend="sim")
+    net_res = run_scenario(name, trace=False, backend="asyncio")
+    try:
+        net_state = _final_state(net_res)
+        assert _final_state(sim_res) == net_state
+        assert net_state["quiescent"]
+    finally:
+        sim_res.runtime.close()
+        net_res.runtime.close()
+
+
+def test_asyncio_unix_transport_matches_sim_final_state():
+    from repro.config import NetParams
+
+    sim_res = run_scenario("migration_tour", trace=False, backend="sim")
+    net_res = run_scenario(
+        "migration_tour", trace=False, backend="asyncio",
+        net=NetParams(transport="unix"),
+    )
+    try:
+        assert _final_state(sim_res) == _final_state(net_res)
+    finally:
+        sim_res.runtime.close()
+        net_res.runtime.close()

@@ -51,7 +51,7 @@ class TestMakeMachine:
             RuntimeConfig(backend="mpi")
 
     def test_registry_names(self):
-        assert BACKENDS == ("sim", "threaded", "mp")
+        assert BACKENDS == ("sim", "threaded", "mp", "asyncio")
 
 
 class TestProtocolConformance:

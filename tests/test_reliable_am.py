@@ -127,7 +127,104 @@ class TestEnvelopeProtocol:
         assert rt.stats.counter("rel.expendable_sends") == 1
 
 
-class TestAckAccounting:
+def _dedupe_entries(rel) -> int:
+    """Total retained dedupe keys, across representations: the legacy
+    unbounded ``(sender, seq)`` seen-set if present, else the windowed
+    per-sender floors plus the out-of-order residue above them."""
+    seen = getattr(rel, "_seen", None)
+    if seen is not None:
+        return len(seen)
+    return len(rel._floor) + rel.dedupe_residue
+
+
+class TestDedupeWindow:
+    def test_dedupe_table_bounded_under_sustained_traffic(self):
+        """Regression: the dedupe table used to retain one key per
+        envelope ever delivered — unbounded on a long-running
+        connection.  Windowed dedupe keeps one contiguous floor per
+        peer plus whatever reordering residue is live, so after a
+        drain the whole table is at most the peer count."""
+        rt = make_rt(reliability=ReliabilityParams(enabled=True))
+        ref = rt.spawn(Counter, at=1)
+        for _ in range(300):
+            rt.send(ref, "incr", from_node=0)
+        rt.run()
+        assert rt.call(ref, "get", from_node=0) == 300
+        rt.run()  # drain the final reply's ack
+        worst = max(_dedupe_entries(k.reliable) for k in rt.kernels)
+        assert worst <= rt.config.num_nodes, (
+            f"dedupe table held {worst} keys after 300 messages — "
+            "growing with traffic, not with the reordering window"
+        )
+        assert all(k.reliable.dedupe_residue == 0 for k in rt.kernels)
+
+    def test_windowed_dedupe_absorbs_duplicates_under_loss(self):
+        """Gaps opened by drops (the retransmit arrives out of order
+        behind younger seqs) must park in the residue and be reclaimed
+        once the floor catches up — with every duplicate still
+        absorbed exactly as before."""
+        plan = FaultPlan(
+            by_kind={
+                "deliver_keyed": FaultRule(drop=0.15, duplicate=0.25)
+            },
+            seed=7,
+        )
+        rt = make_rt(faults=plan)
+        ref = rt.spawn(Counter, at=1)
+        for _ in range(60):
+            rt.send(ref, "incr", from_node=0)
+        rt.run()
+        assert rt.call(ref, "get", from_node=0) == 60
+        rt.run()
+        assert rt.stats.counter("rel.dup_absorbed") > 0
+        assert all(k.reliable.dedupe_residue == 0 for k in rt.kernels)
+        check_invariants(rt)
+
+
+class TestBackoffClamp:
+    def test_high_attempt_retransmits_do_not_overflow(self):
+        """Regression: the backoff computed ``factor ** attempts``
+        before clamping, which raises OverflowError near attempt 1024
+        with the default factor — reachable exactly when max_retries
+        is raised for a long-lived network backend.  The budget must
+        run to exhaustion and fail with ReliabilityError instead."""
+        plan = FaultPlan(by_kind={"deliver_keyed": FaultRule(drop=1.0)})
+        rt = make_rt(
+            faults=plan,
+            reliability=ReliabilityParams(max_retries=1500),
+        )
+        ref = rt.spawn(Counter, at=1)
+        rt.send(ref, "incr", from_node=0)
+        with pytest.raises(ReliabilityError, match="unreachable"):
+            rt.run()
+        assert rt.stats.counter("rel.retries") == 1500
+
+    def test_overflow_path_still_forces_retransmit_span(self):
+        """Past the exponent cap every retransmit must still force its
+        ``rel.retransmit`` span — the overflow path may not go dark."""
+        from repro import HalRuntime
+        from repro.config import TracingParams
+
+        plan = FaultPlan(by_kind={"deliver_keyed": FaultRule(drop=1.0)})
+        cfg = RuntimeConfig(
+            num_nodes=2,
+            reliability=ReliabilityParams(max_retries=1100),
+            tracing=TracingParams(sample_rate=0.0),
+        )
+        rt = HalRuntime(cfg, faults=plan, trace=True)
+        rt.load_behaviors(Counter)
+        ref = rt.spawn(Counter, at=1)
+        rt.send(ref, "incr", from_node=0)
+        with pytest.raises(ReliabilityError, match="unreachable"):
+            rt.run()
+        retrans = rt.spans.of_kind("rel.retransmit")
+        assert rt.stats.counter("rel.retries") == 1100
+        # Every retransmit forced a span, including the ~76 attempts
+        # past the exponent cap (the old overflow region).
+        assert len(retrans) == 1100
+        attempts = [s.attrs[-1] for s in retrans if s.attrs]
+        if attempts:
+            assert max(attempts) == 1100
     def test_acks_do_not_hold_quiescence_open(self):
         """In-flight reliability acks are control traffic: quiescent()
         must not count them, or idle balancer polls livelock (each poll

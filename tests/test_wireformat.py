@@ -178,11 +178,48 @@ class TestInterning:
         assert got == names
         assert dec.interned == tuple(names)
 
-    def test_intern_overflow_is_hard_error(self):
-        enc = FrameEncoder()
+    def test_intern_overflow_falls_back_to_raw_name_records(self):
+        """Crossing MAX_INTERNED must not kill the connection: the
+        last id (0xFFFF itself) is still interned normally, and every
+        *new* name past it rides a raw-name MSGR record — while
+        already-interned names keep their cheap ids."""
+        enc, dec = FrameEncoder(), FrameDecoder()
+        # A connection that has already interned all but one id, with
+        # the decoder's table grown in step (as it would over the real
+        # DEF stream).
+        enc._ids = {f"h{i}": i for i in range(MAX_INTERNED)}
+        dec._names = [f"h{i}" for i in range(MAX_INTERNED)]
+        edge = WirePacket(0, 1, "edge", (1,), 8, "edge")
+        past = WirePacket(0, 1, "past", (2,), 8, "past")
+        mixed = WirePacket(0, 1, "past", (3,), 8, "h7")  # raw + interned kind
+        again = WirePacket(0, 1, "h3", (4,), 8, "h3")    # table still live
+        for p in (edge, past, mixed, again):
+            enc.add_message(p)
+        assert enc.messages == 4
+        dec.feed(enc.take_frame())
+        assert list(iter_messages(dec.drain())) == [edge, past, mixed, again]
+        # "edge" took the last id; "past" was never interned.
+        assert enc._ids["edge"] == MAX_INTERNED
+        assert "past" not in enc._ids
+        assert dec.interned[-1] == "edge"
+
+    def test_raw_name_records_round_trip_on_fresh_connection(self):
+        """MSGR records reference no table state at all — a decoder
+        that has never seen a DEF must still parse them (split reads
+        included)."""
+        enc, dec = FrameEncoder(), FrameDecoder()
         enc._ids = {f"h{i}": i for i in range(MAX_INTERNED + 1)}
-        with pytest.raises(NetworkError, match="intern table overflow"):
-            enc.add_message(WirePacket(0, 1, "fresh", (), 8, "fresh"))
+        pkts = [
+            WirePacket(0, 1, "alpha", (i, "x" * i), 8 + i, "beta")
+            for i in range(4)
+        ]
+        for p in pkts:
+            enc.add_message(p)
+        frame = enc.take_frame()
+        for b in frame:  # one byte at a time
+            dec.feed(bytes([b]))
+        assert list(iter_messages(dec.drain())) == pkts
+        assert dec.interned == ()
 
 
 # ----------------------------------------------------------------------

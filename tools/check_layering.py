@@ -48,6 +48,7 @@ FORBIDDEN_PREFIXES = (
     "repro.platform.simbackend",
     "repro.platform.threaded",
     "repro.platform.mp",
+    "repro.platform.asyncio_net",
     "repro.platform.wireformat",
     "repro.platform.shmring",
 )
